@@ -1,0 +1,55 @@
+"""Ablation: bound computation with and without pruning, and across the
+three pruning strategies.
+
+Demonstrates what the paper's Figure 7 implies: pruning is what keeps the
+solver's input (and hence memory/time) proportional to the query, not the
+database.  Run with::
+
+    pytest benchmarks/bench_ablation_pruning.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import objective_bounds
+from repro.queries.licm_eval import evaluate_licm
+
+
+@pytest.fixture(scope="module")
+def q1_setting(context):
+    record = context.encoding("km", 4)
+    plan = context.plan("Q1", record.encoded)
+    objective = evaluate_licm(plan, record.encoded.relations)
+    return record.encoded.model, objective
+
+
+@pytest.mark.parametrize("method", ("lineage", "fixpoint", "single_pass"))
+def test_bounds_with_pruning(benchmark, q1_setting, method):
+    model, objective = q1_setting
+    bounds = benchmark.pedantic(
+        lambda: objective_bounds(model, objective, prune_method=method),
+        rounds=2,
+        iterations=1,
+    )
+    assert bounds.exact
+    benchmark.extra_info["problem_constraints"] = bounds.stats["problem_constraints"]
+    benchmark.extra_info["bounds"] = [bounds.lower, bounds.upper]
+
+
+def test_bounds_without_pruning(benchmark, q1_setting):
+    model, objective = q1_setting
+    bounds = benchmark.pedantic(
+        lambda: objective_bounds(model, objective, do_prune=False),
+        rounds=2,
+        iterations=1,
+    )
+    assert bounds.exact
+    benchmark.extra_info["problem_constraints"] = bounds.stats["problem_constraints"]
+
+
+def test_pruned_and_unpruned_agree(q1_setting):
+    model, objective = q1_setting
+    pruned = objective_bounds(model, objective)
+    unpruned = objective_bounds(model, objective, do_prune=False)
+    assert (pruned.lower, pruned.upper) == (unpruned.lower, unpruned.upper)

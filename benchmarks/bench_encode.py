@@ -1,0 +1,82 @@
+"""Encoding throughput: the L-model phase per anonymization scheme.
+
+Measures anonymization and LICM-encoding rates (transactions/second,
+variables created) — the fixed cost the paper's Figure 6 labels L-model.
+Run::
+
+    pytest benchmarks/bench_encode.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymize import (
+    Hierarchy,
+    encode_bipartite,
+    encode_generalized,
+    k_anonymize,
+    km_anonymize,
+    safe_grouping,
+)
+from repro.data import generate
+
+SIZES = (500, 1_500)
+K = 4
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    out = {}
+    for size in SIZES:
+        dataset = generate(size, num_items=128, seed=11)
+        out[size] = (dataset, Hierarchy.balanced(dataset.items, fanout=4))
+    return out
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_km_anonymize(benchmark, datasets, size):
+    dataset, hierarchy = datasets[size]
+    generalized = benchmark.pedantic(
+        lambda: km_anonymize(dataset, hierarchy, K, m=2), rounds=2, iterations=1
+    )
+    benchmark.extra_info["loss"] = round(generalized.information_loss(), 4)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_k_anonymize(benchmark, datasets, size):
+    dataset, hierarchy = datasets[size]
+    generalized = benchmark.pedantic(
+        lambda: k_anonymize(dataset, hierarchy, K), rounds=2, iterations=1
+    )
+    benchmark.extra_info["loss"] = round(generalized.information_loss(), 4)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_safe_grouping(benchmark, datasets, size):
+    dataset, _ = datasets[size]
+    grouping = benchmark.pedantic(
+        lambda: safe_grouping(dataset, K), rounds=2, iterations=1
+    )
+    benchmark.extra_info["groups"] = len(grouping.transaction_groups)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_encode_generalized(benchmark, datasets, size):
+    dataset, hierarchy = datasets[size]
+    generalized = k_anonymize(dataset, hierarchy, K)
+    encoded = benchmark.pedantic(
+        lambda: encode_generalized(generalized), rounds=2, iterations=1
+    )
+    benchmark.extra_info["variables"] = encoded.model.num_variables
+    benchmark.extra_info["constraints"] = encoded.model.num_constraints
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_encode_bipartite(benchmark, datasets, size):
+    dataset, _ = datasets[size]
+    grouping = safe_grouping(dataset, K)
+    encoded = benchmark.pedantic(
+        lambda: encode_bipartite(grouping), rounds=2, iterations=1
+    )
+    benchmark.extra_info["variables"] = encoded.model.num_variables

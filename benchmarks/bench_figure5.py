@@ -1,0 +1,38 @@
+"""Figure 5 benchmark: LICM bound computation per (scheme, query, k) cell.
+
+Each benchmark times the full LICM answer (operators + pruning + two BIP
+solves) for one cell of the paper's 3x3 grid and records the bounds —
+plus the MC observed range — in ``extra_info``, asserting the paper's
+containment invariant.  Run with::
+
+    pytest benchmarks/bench_figure5.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SCHEMES = ("km", "k-anonymity", "bipartite")
+QUERIES = ("Q1", "Q2", "Q3")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("k", (2, 4))
+def test_figure5_cell(benchmark, context, scheme, query, k):
+    # Warm the encoding cache outside the timed region (L-model is
+    # benchmarked separately in bench_figure6).
+    context.encoding(scheme, k)
+
+    answer = benchmark.pedantic(
+        lambda: context.licm_answer(query, scheme, k), rounds=2, iterations=1
+    )
+    mc = context.mc_answer(query, scheme, k)
+
+    assert answer.bounds.exact
+    assert answer.lower <= mc.minimum <= mc.maximum <= answer.upper
+
+    benchmark.extra_info["L_min"] = answer.lower
+    benchmark.extra_info["L_max"] = answer.upper
+    benchmark.extra_info["M_min"] = mc.minimum
+    benchmark.extra_info["M_max"] = mc.maximum

@@ -1,0 +1,55 @@
+"""Figure 6 benchmark: the timing comparison LICM vs Monte Carlo (k = 4
+at bench scale; the paper uses k = 8).
+
+Three benchmarks per (scheme, query): L-model (encoding), the LICM answer
+(L-query + L-solve), and the MC baseline, mirroring the paper's stacked
+bars.  Run with::
+
+    pytest benchmarks/bench_figure6.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SCHEMES = ("km", "k-anonymity", "bipartite")
+QUERIES = ("Q1", "Q2", "Q3")
+K = 4
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_model_phase(benchmark, context, scheme):
+    """L-model: anonymized data -> LICM database."""
+
+    def encode():
+        context._encodings.pop((scheme, K), None)
+        return context.encoding(scheme, K)
+
+    record = benchmark.pedantic(encode, rounds=2, iterations=1)
+    stats = record.encoded.stats
+    benchmark.extra_info["variables"] = stats["variables"]
+    benchmark.extra_info["constraints"] = stats["constraints"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("query", QUERIES)
+def test_licm_phase(benchmark, context, scheme, query):
+    """L-query + L-solve for one query."""
+    context.encoding(scheme, K)
+    answer = benchmark.pedantic(
+        lambda: context.licm_answer(query, scheme, K), rounds=2, iterations=1
+    )
+    benchmark.extra_info["query_time"] = round(answer.query_time, 4)
+    benchmark.extra_info["solve_time"] = round(answer.solve_time, 4)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("query", QUERIES)
+def test_mc_phase(benchmark, context, scheme, query):
+    """The MC baseline (10 sampled worlds at bench scale)."""
+    context.encoding(scheme, K)
+    result = benchmark.pedantic(
+        lambda: context.mc_answer(query, scheme, K), rounds=2, iterations=1
+    )
+    benchmark.extra_info["observed_min"] = result.minimum
+    benchmark.extra_info["observed_max"] = result.maximum

@@ -1,0 +1,50 @@
+"""Figure 7 benchmark: pruning cost and effectiveness.
+
+Times the pruning pass itself on the post-query constraint store of
+Query 2 and Query 3 over k-anonymized data, and records the paper's
+variables/constraints before/after counters in ``extra_info``.  Run with::
+
+    pytest benchmarks/bench_figure7.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linexpr import LinearExpr
+from repro.core.pruning import prune
+from repro.queries.licm_eval import evaluate_licm
+
+K = 4
+SCHEME = "k-anonymity"
+
+
+@pytest.fixture(scope="module")
+def queried_models(context):
+    """(model, objective, modeling-stage stats) per query, built once."""
+    out = {}
+    for query in ("Q2", "Q3"):
+        context._encodings.pop((SCHEME, K), None)
+        record = context.encoding(SCHEME, K)
+        model = record.encoded.model
+        at_model = (model.num_variables, model.num_constraints)
+        plan = context.plan(query, record.encoded)
+        objective = evaluate_licm(plan, record.encoded.relations)
+        assert isinstance(objective, LinearExpr)
+        out[query] = (model, objective, at_model)
+    context._encodings.pop((SCHEME, K), None)
+    return out
+
+
+@pytest.mark.parametrize("query", ("Q2", "Q3"))
+@pytest.mark.parametrize("method", ("lineage", "fixpoint", "single_pass"))
+def test_pruning_pass(benchmark, queried_models, query, method):
+    model, objective, at_model = queried_models[query]
+    result = benchmark(
+        prune, model.constraints, set(objective.coeffs), method, model=model
+    )
+    benchmark.extra_info["vars_at_modeling"] = at_model[0]
+    benchmark.extra_info["cons_at_modeling"] = at_model[1]
+    benchmark.extra_info["cons_after_query"] = result.original_constraints
+    benchmark.extra_info["cons_after_prune"] = len(result.constraints)
+    assert len(result.constraints) <= result.original_constraints

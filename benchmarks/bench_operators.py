@@ -1,0 +1,84 @@
+"""Operator micro-benchmarks: LICM operator throughput vs input size.
+
+The paper's L-query phase is dominated by these translations; the numbers
+here track rows/second and lineage-variable creation per operator.  Run::
+
+    pytest benchmarks/bench_operators.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import (
+    licm_intersect,
+    licm_join,
+    licm_project,
+    licm_select,
+)
+from repro.relational.predicates import Between
+
+SIZES = (1_000, 5_000)
+
+
+def _relation(model: LICMModel, name: str, rows: int, groups: int):
+    rel = model.relation(name, ["G", "V"])
+    for i in range(rows):
+        values = (i % groups, i)
+        if i % 3 == 0:
+            rel.insert(values)
+        else:
+            rel.insert_maybe(values)
+    return rel
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_select(benchmark, rows):
+    model = LICMModel()
+    rel = _relation(model, "R", rows, groups=rows // 10)
+    out = benchmark(licm_select, rel, Between("V", 0, rows // 2))
+    benchmark.extra_info["output_rows"] = len(out)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_project(benchmark, rows):
+    model = LICMModel()
+    rel = _relation(model, "R", rows, groups=rows // 10)
+    before = model.num_variables
+    out = benchmark.pedantic(lambda: licm_project(rel, ["G"]), rounds=2, iterations=1)
+    benchmark.extra_info["output_rows"] = len(out)
+    benchmark.extra_info["new_variables"] = model.num_variables - before
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_having_count(benchmark, rows):
+    model = LICMModel()
+    rel = _relation(model, "R", rows, groups=rows // 10)
+    out = benchmark.pedantic(
+        lambda: licm_having_count(rel, ["G"], ">=", 5), rounds=2, iterations=1
+    )
+    benchmark.extra_info["groups"] = len(out)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_join(benchmark, rows):
+    model = LICMModel()
+    left = _relation(model, "L", rows, groups=rows // 10)
+    right = model.relation("R2", ["V", "P"])
+    for i in range(0, rows, 2):
+        right.insert_maybe((i, i % 40))
+    out = benchmark.pedantic(lambda: licm_join(left, right), rounds=2, iterations=1)
+    benchmark.extra_info["output_rows"] = len(out)
+
+
+@pytest.mark.parametrize("rows", (500, 2_000))
+def test_intersect(benchmark, rows):
+    model = LICMModel()
+    a = _relation(model, "A", rows, groups=rows // 10)
+    b = model.relation("B", ["G", "V"])
+    for i in range(0, rows, 2):
+        b.insert_maybe((i % (rows // 10), i))
+    out = benchmark.pedantic(lambda: licm_intersect(a, b), rounds=2, iterations=1)
+    benchmark.extra_info["output_rows"] = len(out)

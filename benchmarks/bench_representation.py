@@ -1,0 +1,47 @@
+"""Representation-size benchmark: LICM vs U-relations (the Figure 1 story).
+
+Encodes one generalized item covering ``n`` leaves in both representations
+and records the sizes: LICM stays at ``n`` rows + 1 constraint while the
+U-relation needs ``n * 2^(n-1)`` rows ("this enumeration is unacceptable
+when the number of possible tuples in a block is large (e.g., up to 20)").
+Run with::
+
+    pytest benchmarks/bench_representation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.urelations import encode_generalized_item
+from repro.core.correlations import at_least
+from repro.core.database import LICMModel
+
+LEAF_COUNTS = (4, 8, 12, 16)
+
+
+def _encode_licm(num_leaves: int) -> LICMModel:
+    model = LICMModel()
+    relation = model.relation("TRANSITEM", ["TID", "ItemName"])
+    variables = []
+    for i in range(num_leaves):
+        variables.append(relation.insert_maybe(("T1", f"leaf{i}")).ext)
+    model.add_all(at_least(variables, 1))
+    return model
+
+
+@pytest.mark.parametrize("n", LEAF_COUNTS)
+def test_licm_encoding(benchmark, n):
+    model = benchmark(_encode_licm, n)
+    relation = model.relations["TRANSITEM"]
+    benchmark.extra_info["rows"] = len(relation)
+    benchmark.extra_info["constraints"] = model.num_constraints
+    assert len(relation) == n
+
+
+@pytest.mark.parametrize("n", LEAF_COUNTS)
+def test_urelation_encoding(benchmark, n):
+    leaves = [f"leaf{i}" for i in range(n)]
+    relation = benchmark(encode_generalized_item, "T1", leaves)
+    benchmark.extra_info["rows"] = relation.num_rows
+    assert relation.num_rows == n * 2 ** (n - 1)

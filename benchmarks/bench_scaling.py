@@ -1,0 +1,59 @@
+"""Scaling: LICM vs Monte Carlo as the dataset grows.
+
+The paper's timing win for LICM comes from a structural difference this
+benchmark makes visible: MC evaluates every query over the *whole* sampled
+world (cost grows with the dataset), while LICM's solve grows with the
+pruned problem — the uncertainty inside the query region.  Run with::
+
+    pytest benchmarks/bench_scaling.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+
+SIZES = (300, 600, 1200)
+
+
+def _context(num_transactions: int) -> ExperimentContext:
+    return ExperimentContext(
+        ExperimentConfig(
+            num_transactions=num_transactions,
+            num_items=128,
+            mc_samples=10,
+            seed=3,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    out = {}
+    for size in SIZES:
+        context = _context(size)
+        context.encoding("km", 4)  # warm the cache
+        out[size] = context
+    return out
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_licm_scaling(benchmark, contexts, size):
+    context = contexts[size]
+    answer = benchmark.pedantic(
+        lambda: context.licm_answer("Q1", "km", 4), rounds=2, iterations=1
+    )
+    benchmark.extra_info["bounds"] = [answer.lower, answer.upper]
+    benchmark.extra_info["transactions"] = size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_mc_scaling(benchmark, contexts, size):
+    context = contexts[size]
+    result = benchmark.pedantic(
+        lambda: context.mc_answer("Q1", "km", 4), rounds=2, iterations=1
+    )
+    benchmark.extra_info["observed"] = [result.minimum, result.maximum]
+    benchmark.extra_info["transactions"] = size

@@ -1,0 +1,29 @@
+"""Benchmark fixtures: a small shared workload so the whole bench suite
+runs in a few minutes.
+
+The benchmarks mirror the experiment harness at reduced scale; the full
+figure reproduction (paper-shaped tables) is ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+
+
+def small_config() -> ExperimentConfig:
+    config = ExperimentConfig(
+        num_transactions=600,
+        num_items=128,
+        k_values=(2, 4),
+        mc_samples=10,
+        seed=3,
+    )
+    return config
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(small_config())

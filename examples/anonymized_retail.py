@@ -1,0 +1,65 @@
+"""The paper's full evaluation pipeline on one synthetic retail dataset.
+
+Generates BMS-POS-like transactions, anonymizes them three ways
+(k^m global generalization, k-anonymity local generalization, bipartite
+safe grouping), encodes each output in LICM, and answers Query 1 with
+exact bounds — against the naive Monte Carlo baseline's observed range.
+
+Run:  python examples/anonymized_retail.py
+"""
+
+from repro.anonymize import (
+    Hierarchy,
+    encode_bipartite,
+    encode_generalized,
+    k_anonymize,
+    km_anonymize,
+    safe_grouping,
+)
+from repro.data import generate
+from repro.mc import run_monte_carlo
+from repro.queries import QueryParams, answer_licm, query1
+
+K = 4
+NUM_TRANSACTIONS = 600
+NUM_ITEMS = 128
+
+
+def main() -> None:
+    dataset = generate(NUM_TRANSACTIONS, num_items=NUM_ITEMS, seed=17)
+    hierarchy = Hierarchy.balanced(dataset.items, fanout=4)
+    print(
+        f"dataset: {dataset.num_transactions} transactions, "
+        f"{dataset.num_items} items, avg size {dataset.average_size:.1f}\n"
+    )
+
+    params = QueryParams(pa_selectivity=0.15, pb_selectivity=0.25)
+    encodings = {
+        "k^m-anonymity (global)": encode_generalized(
+            km_anonymize(dataset, hierarchy, K, m=2)
+        ),
+        "k-anonymity (local)": encode_generalized(k_anonymize(dataset, hierarchy, K)),
+        "bipartite grouping": encode_bipartite(safe_grouping(dataset, K)),
+    }
+
+    print(f"Query 1: #Pa-transactions containing a Pb-item (k={K})\n")
+    for label, encoded in encodings.items():
+        plan = query1(encoded, params)
+        licm = answer_licm(encoded, plan)
+        mc = run_monte_carlo(encoded, plan, samples=20, seed=0)
+        stats = encoded.stats
+        print(f"{label}:")
+        print(
+            f"  model: {stats['variables']} vars, {stats['constraints']} constraints"
+        )
+        print(f"  LICM exact bounds:  [{licm.lower}, {licm.upper}]")
+        print(f"  MC observed (20):   [{mc.minimum}, {mc.maximum}]")
+        print(
+            f"  times: query {licm.query_time:.2f}s + solve {licm.solve_time:.2f}s"
+            f"  vs MC {mc.total_time:.2f}s"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

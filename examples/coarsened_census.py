@@ -1,0 +1,58 @@
+"""LICM beyond set-valued data: coarsened numeric microdata.
+
+A census-style table publishes ages as k-anonymous ranges.  Naive interval
+arithmetic over the ranges over-counts ("anyone whose range overlaps
+[30, 40) might be in it") — LICM's exactly-one-per-record structure gives
+tight bounds, and witnesses show the extreme consistent tables.
+
+Run:  python examples/coarsened_census.py
+"""
+
+import random
+
+from repro.anonymize.microdata import MicrodataTable, coarsen, encode_microdata
+from repro.core.bounds import count_bounds
+from repro.core.operators import licm_project, licm_select
+from repro.relational.predicates import And, Between, Compare
+
+NUM_RECORDS = 80
+K = 5
+
+
+def main() -> None:
+    rng = random.Random(12)
+    table = MicrodataTable(attributes=("Age", "Region"))
+    for _ in range(NUM_RECORDS):
+        table.insert((rng.randint(18, 80), rng.randint(0, 4)))
+
+    published = coarsen(table, ["Age"], k=K)
+    widths = sorted({hi - lo + 1 for rec in published.ranges for lo, hi in [rec["Age"]]})
+    print(
+        f"{NUM_RECORDS} records, ages coarsened into {K}-anonymous ranges "
+        f"(widths seen: {widths})\n"
+    )
+
+    model, relation = encode_microdata(published)
+    print(f"LICM encoding: {model.num_variables} variables, "
+          f"{model.num_constraints} exactly-one constraints\n")
+
+    for lo, hi in [(30, 39), (18, 25), (60, 80)]:
+        selected = licm_select(
+            relation, And([Compare("Attr", "==", "Age"), Between("Value", lo, hi)])
+        )
+        per_record = licm_project(selected, ["RecordID"])
+        bounds = count_bounds(per_record)
+        truth = sum(1 for age in table.column("Age") if lo <= age <= hi)
+        naive = sum(
+            1
+            for rec in published.ranges
+            if rec["Age"][0] <= hi and rec["Age"][1] >= lo
+        )
+        print(
+            f"people aged {lo}-{hi}: exact bounds [{bounds.lower}, {bounds.upper}] "
+            f"(true {truth}; naive overlap count would say up to {naive})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Extensions walk-through: priors, expected values, tail bounds, AVG.
+
+The paper's Concluding Remarks pose an open problem — combine LICM's
+possibilistic envelope with probabilistic priors over the binary
+variables.  This example prices the Figure 2(c) uncertain transaction,
+computes the exact [min, max] of the basket value, the expected value
+under two different priors, tail bounds, and the exact AVG range via
+Dinkelbach iteration.
+
+Run:  python examples/priors_and_avg.py
+"""
+
+from repro import LICMModel, cardinality, sum_bounds
+from repro.core.bounds import avg_bounds
+from repro.core.priors import PriorModel, expected_value, tail_bounds
+from repro.core.aggregates import sum_objective
+
+PRICES = {"Beer": 6, "Wine": 9, "Liquor": 12, "Shampoo": 3}
+
+
+def build():
+    model = LICMModel()
+    basket = model.relation("BASKET", ["Item", "Price"])
+    b1, b2, b3 = model.new_vars(3)
+    basket.insert(("Beer", PRICES["Beer"]), ext=b1)
+    basket.insert(("Wine", PRICES["Wine"]), ext=b2)
+    basket.insert(("Liquor", PRICES["Liquor"]), ext=b3)
+    basket.insert(("Shampoo", PRICES["Shampoo"]))
+    model.add_all(cardinality([b1, b2, b3], 1, 2))  # 1 or 2 alcohol items
+    return model, basket, (b1, b2, b3)
+
+
+def main() -> None:
+    model, basket, (b1, b2, b3) = build()
+    print("Figure 2(c) with prices; 1 <= #alcohol items <= 2\n")
+
+    exact = sum_bounds(basket, "Price")
+    print(f"exact SUM(Price) range over all possible worlds: {exact}")
+
+    uniform = PriorModel(model)  # every alternative equally likely
+    objective = sum_objective(basket, "Price")
+    print(f"E[SUM] under a uniform prior:    {expected_value(uniform, objective)}")
+
+    skewed = PriorModel(model)
+    skewed.set_probability(b1, 0.9)   # beer very likely
+    skewed.set_probability(b3, 0.05)  # liquor unlikely
+    print(f"E[SUM] under a skewed prior:     {expected_value(skewed, objective)}")
+
+    tails = tail_bounds(uniform, objective, confidence=0.95)
+    low, high = tails.interval
+    print(
+        f"95% tail interval (clipped to the exact envelope): "
+        f"[{low:.2f}, {high:.2f}] within [{tails.lower}, {tails.upper}]"
+    )
+
+    avg = avg_bounds(basket, "Price")
+    print(
+        f"\nexact AVG(Price) range (Dinkelbach over the BIP): "
+        f"[{avg.lower} = {float(avg.lower):.3f}, {avg.upper} = {float(avg.upper):.3f}]"
+    )
+
+
+if __name__ == "__main__":
+    main()

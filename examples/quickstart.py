@@ -1,0 +1,109 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Figure 2(c) LICM encoding of an uncertain transaction, walks
+through the Figure 3 intersection and the Example 8 count predicate, and
+computes exact aggregate bounds with witness worlds — the core LICM loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LICMModel,
+    cardinality,
+    count_bounds,
+    licm_having_count,
+    licm_intersect,
+    licm_select,
+)
+from repro.relational.predicates import Compare, InSet
+from repro.solver import write_lp
+from repro.solver.model import from_licm
+from repro.core.aggregates import count_objective
+
+
+def figure2c() -> None:
+    print("=== Figure 2(c): LICM encoding of a generalized transaction ===")
+    model = LICMModel()
+    trans = model.relation("TRANSITEM", ["TID", "ItemName"])
+    b1, b2, b3 = model.new_vars(3)
+    trans.insert(("T1", "Beer"), ext=b1)
+    trans.insert(("T1", "Wine"), ext=b2)
+    trans.insert(("T1", "Liquor"), ext=b3)
+    trans.insert(("T1", "Shampoo"))  # certain tuple
+    model.add_all(cardinality([b1, b2, b3], 1, 3))  # b1 + b2 + b3 >= 1
+    print(trans.pretty())
+    print("constraints:", list(model.constraints))
+
+    bounds = count_bounds(trans)
+    print(f"COUNT(*) over all possible worlds: {bounds}")
+    print("a world attaining the maximum:", bounds.upper_witness)
+    print()
+
+
+def figure3() -> None:
+    print("=== Figure 3: intersection in LICM ===")
+    model = LICMModel()
+    r1 = model.relation("R1", ["TID", "ItemName"])
+    b1, b2 = model.new_vars(2)
+    r1.insert(("T1", "wine"), ext=b1)
+    r1.insert(("T1", "liquor"), ext=b2)
+    r1.insert(("T2", "beer"))
+    model.add(b1 + b2 >= 1)
+
+    r2 = model.relation("R2", ["TID", "ItemName"])
+    b3, b4 = model.new_vars(2)
+    r2.insert(("T1", "wine"), ext=b3)
+    r2.insert(("T2", "beer"), ext=b4)
+
+    result = licm_intersect(r1, r2)
+    print(result.pretty())
+    print("lineage constraints added:")
+    for constraint in list(model.constraints)[1:]:
+        print("  ", constraint)
+    print("COUNT(R1 ∩ R2):", count_bounds(result))
+    print()
+
+
+def example8() -> None:
+    print("=== Example 8: transactions with >= 2 Health Care items ===")
+    model = LICMModel()
+    rel = model.relation("R", ["TID", "ItemName"])
+    b1, b2, b3 = model.new_vars(3)
+    rel.insert(("T1", "Pregnancy test"), ext=b1)
+    rel.insert(("T1", "Diapers"), ext=b2)
+    rel.insert(("T1", "Shampoo"), ext=b3)
+    rel.insert(("T2", "Wine"))
+    rel.insert(("T2", "Shampoo"), ext=model.new_var())
+    rel.insert(("T3", "Pregnancy test"), ext=model.new_var())
+
+    health = licm_select(
+        rel, InSet("ItemName", {"Pregnancy test", "Diapers", "Shampoo"})
+    )
+    counted = licm_having_count(health, ["TID"], ">=", 2)
+    print("qualifying TIDs (with their Ext):")
+    print(counted.pretty())
+    print("COUNT:", count_bounds(counted))
+    print()
+
+
+def lp_export() -> None:
+    print("=== Exporting the BIP in CPLEX LP format ===")
+    model = LICMModel()
+    rel = model.relation("R", ["Item"])
+    b1, b2 = model.new_vars(2)
+    rel.insert(("beer",), ext=b1)
+    rel.insert(("wine",), ext=b2)
+    model.add((b1 + b2).eq(1))  # mutual exclusion
+    problem, _ = from_licm(count_objective(rel), list(model.constraints))
+    print(write_lp(problem, sense="max"))
+
+
+def main() -> None:
+    figure2c()
+    figure3()
+    example8()
+    lp_export()
+
+
+if __name__ == "__main__":
+    main()

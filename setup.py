@@ -1,0 +1,6 @@
+"""Legacy setup shim so ``pip install -e . --no-use-pep517`` works offline
+(the sandbox has setuptools 65 without the wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""``python -m repro`` — package banner and pointers.
+
+The experiment harness lives at ``python -m repro.experiments``; this
+entry point just orients a new user.
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> int:
+    print(
+        f"repro {repro.__version__} — LICM reproduction "
+        "(Cormode, Shen, Srivastava, Yu; ICDE 2012)\n"
+        "\n"
+        "  python -m repro.experiments all        regenerate figures 5/6/7\n"
+        "  python -m repro.experiments utility    Section V-D utility table\n"
+        "  python examples/quickstart.py          the paper's running example\n"
+        "  pytest tests/                          the test suite\n"
+        "  pytest benchmarks/ --benchmark-only    benchmark + ablation suite\n"
+        "\n"
+        "Docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Anonymization substrates from the paper's evaluation (Section V + Appendix)."""
+
+from repro.anonymize.base import (
+    BipartiteGrouping,
+    GeneralizedDataset,
+    SuppressedDataset,
+)
+from repro.anonymize.coherence import coherence_suppress, verify_coherence
+from repro.anonymize.encode import (
+    EncodedDatabase,
+    encode_bipartite,
+    encode_generalized,
+    encode_suppressed,
+)
+from repro.anonymize.hierarchy import Hierarchy
+from repro.anonymize.k_anonymity import k_anonymize, verify_k_anonymity
+from repro.anonymize.metrics import compare_schemes, discernibility, query_utility
+from repro.anonymize.microdata import (
+    CoarsenedMicrodata,
+    MicrodataTable,
+    coarsen,
+    encode_microdata,
+    verify_coarsening,
+)
+from repro.anonymize.km_anonymity import km_anonymize, verify_km
+from repro.anonymize.safe_grouping import is_safe, safe_grouping
+
+__all__ = [
+    "BipartiteGrouping",
+    "CoarsenedMicrodata",
+    "MicrodataTable",
+    "coarsen",
+    "compare_schemes",
+    "discernibility",
+    "encode_microdata",
+    "query_utility",
+    "verify_coarsening",
+    "EncodedDatabase",
+    "GeneralizedDataset",
+    "Hierarchy",
+    "SuppressedDataset",
+    "coherence_suppress",
+    "encode_bipartite",
+    "encode_generalized",
+    "encode_suppressed",
+    "is_safe",
+    "k_anonymize",
+    "km_anonymize",
+    "safe_grouping",
+    "verify_coherence",
+    "verify_k_anonymity",
+    "verify_km",
+]

@@ -1,0 +1,211 @@
+"""LICM encodings of anonymized data (the paper's Appendix).
+
+* Generalization (Appendix A): a non-generalized item in transaction ``T``
+  becomes a certain tuple ``(T, I, 1)``; a generalized item ``g`` covering
+  leaves ``I1..Ik`` becomes maybe-tuples ``(T, Ii, bi)`` plus
+  ``b1 + ... + bk >= 1``.  Total size O(N).
+
+* Permutation (Appendix B): the bipartite graph topology is a certain
+  relation ``G(LNodeID, RNodeID)``; each transaction group of size ``k``
+  contributes ``k^2`` maybe-tuples to ``TRANSGROUP(TID, LNodeID, Ext)``
+  under row/column bijection constraints (similarly ``ITEMGROUP`` per item
+  group).  Size O((k + l) N).
+
+* Suppression (Appendix C): each transaction might contain any globally
+  suppressed item, so ``(T, Ii, bi)`` is added per transaction and
+  possibly-suppressed item.  Optionally, revealed per-transaction
+  suppression counts become exact cardinality constraints (an extension).
+
+Every encoder also materializes the public ``TRANS(TID, Location)`` and
+``ITEM(ItemName, Price)`` relations as certain LICM relations, so the
+paper's queries run uniformly over one model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.anonymize.base import BipartiteGrouping, GeneralizedDataset, SuppressedDataset
+from repro.core.correlations import bijection
+from repro.core.database import LICMModel
+from repro.core.linexpr import linear_sum
+from repro.core.relation import LICMRelation
+from repro.core.variables import BoolVar
+from repro.relational.query import NaturalJoin, PlanNode, Project, Scan
+
+
+@dataclass
+class EncodedDatabase:
+    """An anonymized dataset encoded as an LICM model, ready for querying."""
+
+    model: LICMModel
+    kind: str  # 'generalized' | 'bipartite' | 'suppressed'
+    relations: Dict[str, LICMRelation]
+    meta: dict = field(default_factory=dict)
+
+    def transitem_plan(self) -> PlanNode:
+        """The plan subtree producing the uncertain (TID, ItemName) view.
+
+        For generalization/suppression this is a plain scan; for the
+        bipartite encoding it is the TRANSGROUP ⋈ G ⋈ ITEMGROUP join
+        projected back to (TID, ItemName) — exactly the Appendix B
+        reconstruction.
+        """
+        if self.kind == "bipartite":
+            return Project(
+                NaturalJoin(
+                    NaturalJoin(Scan("TRANSGROUP"), Scan("G")), Scan("ITEMGROUP")
+                ),
+                ["TID", "ItemName"],
+            )
+        return Scan("TRANSITEM")
+
+    @property
+    def stats(self) -> dict:
+        return self.model.stats()
+
+
+def _public_relations(model: LICMModel, dataset) -> Dict[str, LICMRelation]:
+    trans = model.relation("TRANS", ["TID", "Location"])
+    for tid, _ in dataset.transactions:
+        trans.insert((tid, dataset.locations.get(tid, 0)))
+    item = model.relation("ITEM", ["ItemName", "Price"])
+    for name in dataset.items:
+        item.insert((name, dataset.prices.get(name, 0)))
+    return {"TRANS": trans, "ITEM": item}
+
+
+def encode_generalized(generalized: GeneralizedDataset) -> EncodedDatabase:
+    """Appendix A: generalization-based anonymization into LICM."""
+    model = LICMModel()
+    relations = _public_relations(model, generalized.source)
+    transitem = model.relation("TRANSITEM", ["TID", "ItemName"])
+    relations["TRANSITEM"] = transitem
+
+    hierarchy = generalized.hierarchy
+    #: meta for the Monte Carlo sampler: (tid, node, [variables]) per group
+    choice_groups: List[Tuple[str, str, List[BoolVar]]] = []
+    for tid, nodes in generalized.transactions:
+        for node in sorted(nodes):
+            if hierarchy.is_leaf(node):
+                transitem.insert((tid, node))
+                continue
+            variables = []
+            for leaf in hierarchy.leaves_under(node):
+                row = transitem.insert_maybe((tid, leaf))
+                variables.append(row.ext)
+            model.add(linear_sum(variables) >= 1)
+            choice_groups.append((tid, node, variables))
+
+    return EncodedDatabase(
+        model=model,
+        kind="generalized",
+        relations=relations,
+        meta={
+            "choice_groups": choice_groups,
+            "method": generalized.method,
+            "params": dict(generalized.params),
+        },
+    )
+
+
+def encode_bipartite(grouping: BipartiteGrouping) -> EncodedDatabase:
+    """Appendix B: permutation-based anonymization into LICM."""
+    model = LICMModel()
+    relations = _public_relations(model, grouping.source)
+
+    graph = model.relation("G", ["LNodeID", "RNodeID"])
+    for lnode in sorted(grouping.edges):
+        for rnode in grouping.edges[lnode]:
+            graph.insert((lnode, rnode))
+    relations["G"] = graph
+
+    lnode_of_tid = {tid: node for node, tid in grouping.tid_of_lnode.items()}
+    rnode_of_item = {item: node for node, item in grouping.item_of_rnode.items()}
+
+    transgroup = model.relation("TRANSGROUP", ["TID", "LNodeID"])
+    relations["TRANSGROUP"] = transgroup
+    trans_matrices: List[Tuple[List[str], List[List[BoolVar]]]] = []
+    for group in grouping.transaction_groups:
+        nodes = [lnode_of_tid[tid] for tid in group]
+        if len(group) == 1:
+            transgroup.insert((group[0], nodes[0]))
+            continue
+        matrix: List[List[BoolVar]] = []
+        for tid in group:
+            row_vars = []
+            for node in nodes:
+                row = transgroup.insert_maybe((tid, node))
+                row_vars.append(row.ext)
+            matrix.append(row_vars)
+        model.add_all(bijection(matrix))
+        trans_matrices.append((list(group), matrix))
+
+    itemgroup = model.relation("ITEMGROUP", ["ItemName", "RNodeID"])
+    relations["ITEMGROUP"] = itemgroup
+    item_matrices: List[Tuple[List[str], List[List[BoolVar]]]] = []
+    for group in grouping.item_groups:
+        nodes = [rnode_of_item[item] for item in group]
+        if len(group) == 1:
+            itemgroup.insert((group[0], nodes[0]))
+            continue
+        matrix = []
+        for item in group:
+            row_vars = []
+            for node in nodes:
+                row = itemgroup.insert_maybe((item, node))
+                row_vars.append(row.ext)
+            matrix.append(row_vars)
+        model.add_all(bijection(matrix))
+        item_matrices.append((list(group), matrix))
+
+    return EncodedDatabase(
+        model=model,
+        kind="bipartite",
+        relations=relations,
+        meta={
+            "transaction_groups": [list(g) for g in grouping.transaction_groups],
+            "item_groups": [list(g) for g in grouping.item_groups],
+            "trans_matrices": trans_matrices,
+            "item_matrices": item_matrices,
+            "params": dict(grouping.params),
+        },
+    )
+
+
+def encode_suppressed(published: SuppressedDataset) -> EncodedDatabase:
+    """Appendix C: suppression-based anonymization into LICM."""
+    model = LICMModel()
+    relations = _public_relations(model, published.source)
+    transitem = model.relation("TRANSITEM", ["TID", "ItemName"])
+    relations["TRANSITEM"] = transitem
+
+    suppressed = sorted(published.suppressed_items)
+    per_tid_vars: Dict[str, List[BoolVar]] = {}
+    for tid, itemset in published.transactions:
+        for item in sorted(itemset):
+            transitem.insert((tid, item))
+        variables = []
+        for item in suppressed:
+            row = transitem.insert_maybe((tid, item))
+            variables.append(row.ext)
+        per_tid_vars[tid] = variables
+
+    if published.revealed_counts is not None:
+        for tid, variables in per_tid_vars.items():
+            count = published.revealed_counts.get(tid, 0)
+            if variables:
+                model.add(linear_sum(variables).eq(count))
+
+    return EncodedDatabase(
+        model=model,
+        kind="suppressed",
+        relations=relations,
+        meta={
+            "suppressed_items": suppressed,
+            "per_tid_vars": per_tid_vars,
+            "revealed_counts": published.revealed_counts,
+            "params": dict(published.params),
+        },
+    )

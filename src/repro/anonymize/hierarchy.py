@@ -1,0 +1,181 @@
+"""Domain generalization hierarchies over item universes.
+
+Generalization-based anonymization (Appendix A) "assumes the existence of a
+domain generalization hierarchy over the whole domain of items" — a tree
+whose leaves are concrete items and whose internal nodes are generalized
+items ("Alcohol" covering {Beer, Wine, Liquor} in Figure 2(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnonymizationError
+
+
+class Hierarchy:
+    """An item generalization tree.
+
+    Nodes are strings; leaves are items.  Construct from an explicit
+    ``parent`` map (child -> parent) with :meth:`from_parent_map`, or as a
+    balanced tree over an ordered item list with :meth:`balanced`.
+    """
+
+    def __init__(self, parent: Dict[str, str], root: str):
+        self.parent = dict(parent)
+        self.root = root
+        self.children: Dict[str, List[str]] = {}
+        for child, par in self.parent.items():
+            self.children.setdefault(par, []).append(child)
+        for kids in self.children.values():
+            kids.sort()
+        self._leaves_cache: Dict[str, Tuple[str, ...]] = {}
+        self._depth_cache: Dict[str, int] = {}
+        self._ancestor_cache: Dict[str, frozenset] = {}
+        self._validate()
+
+    @classmethod
+    def from_parent_map(cls, parent: Dict[str, str]) -> "Hierarchy":
+        """Build from a child -> parent mapping (root is the node with no parent)."""
+        children = set(parent)
+        parents = set(parent.values())
+        roots = parents - children
+        if len(roots) != 1:
+            raise AnonymizationError(f"hierarchy must have exactly one root, found {sorted(roots)}")
+        return cls(parent, roots.pop())
+
+    @classmethod
+    def balanced(cls, items: Sequence[str], fanout: int = 4, root: str = "ALL") -> "Hierarchy":
+        """A balanced tree over the item order with the given fanout.
+
+        Consecutive items share parents, mimicking category structure
+        (nearby item ids behave like one product family).
+        """
+        if fanout < 2:
+            raise AnonymizationError("fanout must be at least 2")
+        if not items:
+            raise AnonymizationError("cannot build a hierarchy over zero items")
+        parent: Dict[str, str] = {}
+        level: List[str] = list(items)
+        depth = 0
+        while len(level) > 1:
+            next_level = []
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                if len(level) <= fanout:
+                    node = root
+                else:
+                    node = f"G{depth}_{start // fanout}"
+                for child in group:
+                    parent[child] = node
+                next_level.append(node)
+            level = next_level
+            depth += 1
+        return cls(parent, level[0])
+
+    def _validate(self) -> None:
+        for node in self.parent:
+            seen = set()
+            current = node
+            while current != self.root:
+                if current in seen:
+                    raise AnonymizationError(f"hierarchy contains a cycle at {current!r}")
+                seen.add(current)
+                if current not in self.parent:
+                    raise AnonymizationError(
+                        f"node {current!r} is disconnected from the root"
+                    )
+                current = self.parent[current]
+
+    # -- structure ----------------------------------------------------------
+    def is_leaf(self, node: str) -> bool:
+        return node not in self.children
+
+    @property
+    def leaves(self) -> Tuple[str, ...]:
+        return self.leaves_under(self.root)
+
+    def leaves_under(self, node: str) -> Tuple[str, ...]:
+        """All concrete items covered by a (possibly generalized) node."""
+        if node in self._leaves_cache:
+            return self._leaves_cache[node]
+        if self.is_leaf(node):
+            result: Tuple[str, ...] = (node,)
+        else:
+            collected: List[str] = []
+            for child in self.children[node]:
+                collected.extend(self.leaves_under(child))
+            result = tuple(collected)
+        self._leaves_cache[node] = result
+        return result
+
+    def parent_of(self, node: str) -> Optional[str]:
+        if node == self.root:
+            return None
+        if node not in self.parent:
+            raise AnonymizationError(f"unknown hierarchy node {node!r}")
+        return self.parent[node]
+
+    def ancestors(self, node: str) -> List[str]:
+        """Path from the node's parent up to the root."""
+        out = []
+        current = self.parent_of(node)
+        while current is not None:
+            out.append(current)
+            current = self.parent_of(current)
+        return out
+
+    def depth(self, node: str) -> int:
+        """Distance from the root (root has depth 0)."""
+        if node in self._depth_cache:
+            return self._depth_cache[node]
+        value = 0 if node == self.root else self.depth(self.parent[node]) + 1
+        self._depth_cache[node] = value
+        return value
+
+    def covers(self, node: str, item: str) -> bool:
+        """Does the node generalize (or equal) the given leaf?"""
+        return node in self.ancestor_set(item)
+
+    def ancestor_set(self, node: str) -> frozenset:
+        """The node plus all its ancestors, cached (hot path for recoding)."""
+        cached = self._ancestor_cache.get(node)
+        if cached is not None:
+            return cached
+        parent = self.parent.get(node)
+        if parent is None:
+            result = frozenset([node])
+        else:
+            result = self.ancestor_set(parent) | {node}
+        self._ancestor_cache[node] = result
+        return result
+
+    def generalize(self, item: str, levels: int = 1) -> str:
+        """Climb ``levels`` steps toward the root (stopping at the root)."""
+        current = item
+        for _ in range(levels):
+            parent = self.parent_of(current)
+            if parent is None:
+                break
+            current = parent
+        return current
+
+    def information_loss(self, node: str) -> float:
+        """Normalized coverage: (|leaves(node)| - 1) / (|all leaves| - 1).
+
+        The standard LM loss metric used by the generalization papers; 0 for
+        a concrete item, 1 for the root.
+        """
+        total = len(self.leaves)
+        if total <= 1:
+            return 0.0
+        return (len(self.leaves_under(node)) - 1) / (total - 1)
+
+    def __contains__(self, node: str) -> bool:
+        return node == self.root or node in self.parent
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy({len(self.leaves)} leaves, "
+            f"{len(self.children)} internal nodes, root={self.root!r})"
+        )

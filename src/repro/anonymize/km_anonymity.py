@@ -1,0 +1,121 @@
+"""k^m-anonymity via global generalization (Terrovitis et al., VLDB 2008).
+
+Requirement: every subset of at most ``m`` (generalized) items that appears
+in the published data must appear in at least ``k`` transactions.  The
+recoding is *global*: when a generalized node is used, every descendant
+item is replaced by it in every transaction.
+
+The published algorithm explores the lattice of global cuts with Apriori
+pruning; this reimplementation keeps the same output contract with a
+greedy ascent — repeatedly find the least-supported violating subset and
+generalize its cheapest node one level — which terminates because every
+step strictly coarsens the global cut and the all-root cut is trivially
+k^m-anonymous whenever the dataset has >= k transactions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.anonymize.base import GeneralizedDataset
+from repro.anonymize.hierarchy import Hierarchy
+from repro.data.transactions import TransactionDataset
+from repro.errors import AnonymizationError
+
+
+def _apply_mapping(
+    dataset: TransactionDataset, mapping: Dict[str, str]
+) -> List[Tuple[str, FrozenSet[str]]]:
+    """Set semantics: duplicate generalizations collapse within a transaction."""
+    return [
+        (tid, frozenset(mapping[item] for item in itemset))
+        for tid, itemset in dataset.transactions
+    ]
+
+
+def _violating_subsets(
+    transactions: List[Tuple[str, FrozenSet[str]]], k: int, m: int
+) -> Counter:
+    """Supports of all <= m-subsets, filtered to those violating k."""
+    supports: Counter = Counter()
+    for _, nodes in transactions:
+        ordered = sorted(nodes)
+        for size in range(1, min(m, len(ordered)) + 1):
+            for subset in combinations(ordered, size):
+                supports[subset] += 1
+    return Counter(
+        {subset: count for subset, count in supports.items() if count < k}
+    )
+
+
+def km_anonymize(
+    dataset: TransactionDataset,
+    hierarchy: Hierarchy,
+    k: int,
+    m: int = 2,
+    max_rounds: int = 10_000,
+) -> GeneralizedDataset:
+    """Globally generalize until the dataset is k^m-anonymous."""
+    if k > dataset.num_transactions:
+        raise AnonymizationError(
+            f"k={k} exceeds the number of transactions ({dataset.num_transactions})"
+        )
+    mapping: Dict[str, str] = {item: item for item in dataset.items}
+
+    def climb(node: str) -> None:
+        """Global recoding: generalize ``node`` to its parent everywhere."""
+        target = hierarchy.parent_of(node)
+        for leaf in hierarchy.leaves_under(target):
+            mapping[leaf] = target
+        # Re-route leaves previously mapped to descendants of the target.
+        for leaf, current in list(mapping.items()):
+            if hierarchy.covers(target, current):
+                mapping[leaf] = target
+
+    for _ in range(max_rounds):
+        transactions = _apply_mapping(dataset, mapping)
+        violations = _violating_subsets(transactions, k, m)
+        if not violations:
+            break
+        # One sweep per round: generalize the cheapest node of every
+        # violating subset.  Applying a whole batch of climbs at once
+        # matches the coarse, cut-at-a-time behavior of the published
+        # apriori anonymization and converges in a handful of rounds.
+        victims = set()
+        for subset in violations:
+            candidates = [node for node in subset if node != hierarchy.root]
+            if not candidates:
+                raise AnonymizationError(
+                    "violation persists at the hierarchy root; dataset too small for k"
+                )
+            victims.add(
+                min(candidates, key=lambda n: (len(hierarchy.leaves_under(n)), n))
+            )
+        def in_cut(node: str) -> bool:
+            """Is the node still the published generalization of its leaves?"""
+            return all(
+                mapping[leaf] == node for leaf in hierarchy.leaves_under(node)
+            )
+
+        for node in sorted(victims, key=lambda n: (len(hierarchy.leaves_under(n)), n)):
+            if in_cut(node):  # skip nodes swallowed by an earlier climb
+                climb(node)
+    else:
+        raise AnonymizationError("k^m generalization did not converge")
+
+    return GeneralizedDataset(
+        source=dataset,
+        hierarchy=hierarchy,
+        transactions=_apply_mapping(dataset, mapping),
+        method="km",
+        params={"k": k, "m": m},
+    )
+
+
+def verify_km(
+    generalized: GeneralizedDataset, k: int, m: int
+) -> bool:
+    """Check the k^m property on a generalized dataset (for tests)."""
+    return not _violating_subsets(generalized.transactions, k, m)

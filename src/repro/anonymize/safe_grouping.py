@@ -1,0 +1,165 @@
+"""Bipartite safe (k, l)-grouping (Cormode et al., VLDB 2008; Appendix B).
+
+Transactions and items are the two sides of a bipartite graph whose
+topology is published exactly; the anonymization hides which entity is
+which node *within* a group.  A grouping is *safe* when each transaction in
+one group is linked to at most one item in any other group (and vice
+versa), which defeats density-based re-identification.
+
+The grouping here is the paper's greedy first-fit: scan entities, place
+each into the first open group whose safety is preserved, close groups at
+size ``k`` (``l`` on the item side).  Entities that fit nowhere open a new
+group; a trailing undersized group is merged into its predecessor
+(producing one group of size up to ``2k - 1``, as the original paper
+allows).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.anonymize.base import BipartiteGrouping
+from repro.data.transactions import TransactionDataset
+from repro.errors import AnonymizationError
+
+
+def _greedy_groups(
+    entities: Sequence[str],
+    neighbors: Dict[str, frozenset],
+    size: int,
+) -> List[List[str]]:
+    """First-fit grouping: no two members of a group may share a neighbor."""
+    groups: List[List[str]] = []
+    group_neighbors: List[set] = []
+    for entity in entities:
+        placed = False
+        for index, members in enumerate(groups):
+            if len(members) >= size:
+                continue
+            if neighbors[entity] & group_neighbors[index]:
+                continue
+            members.append(entity)
+            group_neighbors[index] |= neighbors[entity]
+            placed = True
+            break
+        if not placed:
+            groups.append([entity])
+            group_neighbors.append(set(neighbors[entity]))
+    # Merge a trailing undersized group into the previous one (safety of the
+    # merge is checked; if it fails we walk further back).
+    while len(groups) > 1 and len(groups[-1]) < size:
+        tail = groups.pop()
+        tail_neighbors = group_neighbors.pop()
+        merged = False
+        for index in range(len(groups) - 1, -1, -1):
+            if not (tail_neighbors & group_neighbors[index]):
+                groups[index].extend(tail)
+                group_neighbors[index] |= tail_neighbors
+                merged = True
+                break
+        if not merged:
+            # No safe host: keep it as its own (undersized) group rather
+            # than violate safety; callers can reject via is_safe/k checks.
+            groups.append(tail)
+            group_neighbors.append(tail_neighbors)
+            break
+    return groups
+
+
+def safe_grouping(
+    dataset: TransactionDataset,
+    k: int,
+    l: int = 1,
+) -> BipartiteGrouping:
+    """Compute a safe (k, l)-grouping and the masked bipartite graph.
+
+    ``l = 1`` (the default, and what the paper's experiments use) keeps the
+    item side public: the permutation uncertainty is only over which TID in
+    a group owns which published itemset.
+    """
+    if k < 1 or l < 1:
+        raise AnonymizationError("group sizes must be positive")
+    if k > dataset.num_transactions:
+        raise AnonymizationError(
+            f"k={k} exceeds the number of transactions ({dataset.num_transactions})"
+        )
+
+    trans_neighbors = {tid: itemset for tid, itemset in dataset.transactions}
+    item_neighbors: Dict[str, set] = defaultdict(set)
+    for tid, itemset in dataset.transactions:
+        for item in itemset:
+            item_neighbors[item].add(tid)
+
+    tids = [tid for tid, _ in dataset.transactions]
+    transaction_groups = _greedy_groups(tids, trans_neighbors, k)
+
+    touched_items = sorted(item_neighbors)
+    if l == 1:
+        item_groups = [[item] for item in touched_items]
+    else:
+        item_groups = _greedy_groups(
+            touched_items,
+            {item: frozenset(item_neighbors[item]) for item in touched_items},
+            l,
+        )
+
+    # Assign node ids; the published graph keeps the true edges but the
+    # node <-> entity mapping inside each group is the hidden permutation.
+    tid_of_lnode: Dict[str, str] = {}
+    lnode_of_tid: Dict[str, str] = {}
+    counter = 0
+    for group in transaction_groups:
+        for tid in group:
+            node = f"L{counter}"
+            counter += 1
+            tid_of_lnode[node] = tid
+            lnode_of_tid[tid] = node
+
+    item_of_rnode: Dict[str, str] = {}
+    rnode_of_item: Dict[str, str] = {}
+    counter = 0
+    for group in item_groups:
+        for item in group:
+            node = f"R{counter}"
+            counter += 1
+            item_of_rnode[node] = item
+            rnode_of_item[item] = node
+
+    edges: Dict[str, Tuple[str, ...]] = {
+        lnode_of_tid[tid]: tuple(sorted(rnode_of_item[item] for item in itemset))
+        for tid, itemset in dataset.transactions
+    }
+
+    return BipartiteGrouping(
+        source=dataset,
+        transaction_groups=transaction_groups,
+        item_groups=item_groups,
+        edges=edges,
+        tid_of_lnode=tid_of_lnode,
+        item_of_rnode=item_of_rnode,
+        params={"k": k, "l": l},
+    )
+
+
+def is_safe(grouping: BipartiteGrouping) -> bool:
+    """Check the safety property: within any transaction group no item is
+    shared, and within any item group no transaction is shared."""
+    items_of = dict(grouping.source.transactions)
+    for group in grouping.transaction_groups:
+        seen: set = set()
+        for tid in group:
+            if items_of[tid] & seen:
+                return False
+            seen |= items_of[tid]
+    trans_of_item: Dict[str, set] = defaultdict(set)
+    for tid, itemset in grouping.source.transactions:
+        for item in itemset:
+            trans_of_item[item].add(tid)
+    for group in grouping.item_groups:
+        seen = set()
+        for item in group:
+            if trans_of_item[item] & seen:
+                return False
+            seen |= trans_of_item[item]
+    return True

@@ -1,0 +1,39 @@
+"""Baseline uncertain-data representations the paper compares against."""
+
+from repro.baselines.andxor import (
+    Leaf,
+    Node,
+    cardinality_tree_size,
+    tree_to_licm,
+)
+from repro.baselines.urelations import (
+    URelation,
+    UTuple,
+    encode_generalized_item,
+    to_licm,
+    urelation_row_count,
+)
+from repro.baselines.xtuples import (
+    BIDTable,
+    XRelation,
+    XTuple,
+    bid_to_licm,
+    xrelation_to_licm,
+)
+
+__all__ = [
+    "BIDTable",
+    "Leaf",
+    "Node",
+    "URelation",
+    "UTuple",
+    "XRelation",
+    "XTuple",
+    "bid_to_licm",
+    "cardinality_tree_size",
+    "encode_generalized_item",
+    "to_licm",
+    "tree_to_licm",
+    "urelation_row_count",
+    "xrelation_to_licm",
+]

@@ -1,0 +1,109 @@
+"""Probabilistic and/xor trees (Li & Deshpande, PODS 2009), possibilistically.
+
+Section II: the and/xor tree model "generalizes the Block-Independent
+Disjoint model by considering combinations of two types of correlations
+(co-existence and mutual exclusion)".  This module implements the tree's
+possibilistic semantics and its linear-size translation into LICM —
+co-existence and mutual exclusion are exactly Example 5's constraints —
+while the paper's Example 1 cardinality ("1 or 2 of 5") needs an
+exponential and/xor encoding (one xor branch per admissible subset), which
+:func:`cardinality_tree_size` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.correlations import at_most, exactly
+from repro.core.database import LICMModel
+from repro.core.linexpr import linear_sum
+from repro.core.variables import BoolVar
+from repro.errors import ModelError
+
+
+@dataclass
+class Leaf:
+    """A leaf holds one concrete tuple."""
+
+    values: Tuple
+
+    def __post_init__(self):
+        self.values = tuple(self.values)
+
+
+@dataclass
+class Node:
+    """An internal node: 'and' (all children co-exist) or 'xor' (exactly
+    one child is chosen; with ``optional`` at most one)."""
+
+    kind: str  # 'and' | 'xor'
+    children: List[Union["Node", Leaf]] = field(default_factory=list)
+    optional: bool = False  # xor only: allow choosing nothing
+
+    def __post_init__(self):
+        if self.kind not in ("and", "xor"):
+            raise ModelError(f"unknown node kind {self.kind!r}")
+        if not self.children:
+            raise ModelError("internal nodes need at least one child")
+
+
+def tree_to_licm(
+    root: Union[Node, Leaf], attributes: Sequence[str], name: str = "R"
+) -> LICMModel:
+    """Translate an and/xor tree into LICM (linear size).
+
+    Each node gets an existence variable; the root is certain.  An 'and'
+    node's children co-exist with it (``b_child = b_node``); a 'xor' node
+    chooses exactly (or at most) one child when present.
+    """
+    model = LICMModel()
+    relation = model.relation(name, attributes)
+
+    def walk(node: Union[Node, Leaf], parent_var: BoolVar | None) -> None:
+        if isinstance(node, Leaf):
+            if len(node.values) != len(relation.attributes):
+                raise ModelError("leaf arity mismatch")
+            if parent_var is None:
+                relation.insert(node.values)
+            else:
+                relation.insert(node.values, ext=parent_var)
+            return
+        if node.kind == "and":
+            # Children share the parent's existence.
+            for child in node.children:
+                walk(child, parent_var)
+            return
+        # xor: one selector per child.
+        selectors = model.new_vars(len(node.children))
+        total = linear_sum(selectors)
+        if parent_var is None:
+            if node.optional:
+                model.add_all(at_most(selectors, 1))
+            else:
+                model.add_all(exactly(selectors, 1))
+        else:
+            # Present parent chooses exactly/at-most one child; absent
+            # parent chooses none.
+            if node.optional:
+                model.add(total - parent_var <= 0)
+            else:
+                model.add((total - parent_var).eq(0))
+        for selector, child in zip(selectors, node.children):
+            walk(child, selector)
+
+    walk(root, None)
+    return model
+
+
+def cardinality_tree_size(n: int, lower: int, upper: int) -> int:
+    """Number of xor branches an and/xor tree needs for ``lower <= |S| <=
+    upper`` over ``n`` tuples: one 'and' branch per admissible subset.
+
+    This is the Section II blow-up ("the mutual exclusivity of the 15
+    possibilities" for Example 1) that LICM's two linear constraints avoid.
+    """
+    if not 0 <= lower <= upper <= n:
+        raise ModelError("invalid cardinality range")
+    return sum(comb(n, size) for size in range(lower, upper + 1))

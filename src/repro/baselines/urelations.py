@@ -1,0 +1,139 @@
+"""A miniature U-relations representation (Antova et al., ICDE 2008).
+
+The paper's Figure 1 contrasts LICM with U-relations on one generalized
+item: U-relations attach to each tuple a condition column ``D`` over
+world-set variables, and representing "a non-empty subset of {Beer, Wine,
+Liquor} exists" requires one variable ranging over all 2^n - 1 non-empty
+subsets with ``n * 2^(n-1)`` condition rows — versus LICM's ``n`` rows and
+one constraint.
+
+This module implements enough of the model to quantify that comparison:
+the representation, its possible-world semantics, the Figure 1 encoder for
+generalized items, and a faithfulness converter to LICM.  It exists as a
+*baseline* — see ``benchmarks/bench_representation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.completeness import build_with_selectors
+from repro.core.database import LICMModel
+from repro.errors import ModelError
+
+
+@dataclass
+class UTuple:
+    """One row: values plus its condition (a conjunction ``var -> value``)."""
+
+    values: Tuple
+    condition: Tuple[Tuple[str, int], ...]  # ((variable, required value), ...)
+
+    def satisfied_by(self, assignment: Dict[str, int]) -> bool:
+        return all(assignment.get(var) == value for var, value in self.condition)
+
+
+@dataclass
+class URelation:
+    """A U-relation: tuples with conditions plus the variable domains."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    rows: List[UTuple] = field(default_factory=list)
+    domains: Dict[str, int] = field(default_factory=dict)  # variable -> domain size
+
+    def add_variable(self, name: str, domain_size: int) -> str:
+        if domain_size < 1:
+            raise ModelError(f"domain of {name!r} must be non-empty")
+        if name in self.domains:
+            raise ModelError(f"variable {name!r} already declared")
+        self.domains[name] = domain_size
+        return name
+
+    def insert(self, values: Sequence, condition: Iterable[Tuple[str, int]] = ()) -> UTuple:
+        condition = tuple(condition)
+        for var, value in condition:
+            if var not in self.domains:
+                raise ModelError(f"condition references undeclared variable {var!r}")
+            if not 0 <= value < self.domains[var]:
+                raise ModelError(
+                    f"condition value {value} outside domain of {var!r}"
+                )
+        row = UTuple(tuple(values), condition)
+        self.rows.append(row)
+        return row
+
+    # -- semantics -----------------------------------------------------------
+    def assignments(self) -> Iterable[Dict[str, int]]:
+        """Every total assignment of the world-set variables."""
+        names = sorted(self.domains)
+        for values in product(*(range(self.domains[n]) for n in names)):
+            yield dict(zip(names, values))
+
+    def instantiate(self, assignment: Dict[str, int]) -> frozenset:
+        return frozenset(
+            row.values for row in self.rows if row.satisfied_by(assignment)
+        )
+
+    def possible_worlds(self) -> set[frozenset]:
+        """All distinct worlds (exponential — small inputs only)."""
+        return {self.instantiate(a) for a in self.assignments()}
+
+    # -- size metrics ----------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_condition_entries(self) -> int:
+        return sum(len(row.condition) for row in self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"URelation({self.name!r}, {self.num_rows} rows, "
+            f"{len(self.domains)} variables)"
+        )
+
+
+def encode_generalized_item(
+    tid: str, leaves: Sequence[str], relation: URelation | None = None
+) -> URelation:
+    """Figure 1's encoding: one variable over the non-empty leaf subsets.
+
+    Produces ``len(leaves) * 2^(len(leaves)-1)`` rows — the blow-up LICM's
+    single cardinality constraint avoids.
+    """
+    if relation is None:
+        relation = URelation("TRANSITEM", ("TID", "LNodeID"))
+    leaves = list(leaves)
+    n = len(leaves)
+    if n == 0:
+        raise ModelError("a generalized item must cover at least one leaf")
+    subsets = [
+        subset
+        for size in range(1, n + 1)
+        for subset in combinations(range(n), size)
+    ]
+    variable = relation.add_variable(f"x_{tid}_{len(relation.domains)}", len(subsets))
+    for index, subset in enumerate(subsets):
+        for leaf_position in subset:
+            relation.insert((tid, leaves[leaf_position]), [(variable, index)])
+    return relation
+
+
+def urelation_row_count(num_leaves: int) -> int:
+    """Closed form for the Figure 1 blow-up: n * 2^(n-1)."""
+    return num_leaves * 2 ** (num_leaves - 1)
+
+
+def to_licm(urelation: URelation) -> LICMModel:
+    """Convert a U-relation to an equivalent LICM database.
+
+    Goes through the possible-world set (exponential; small inputs only) —
+    the point is semantic equivalence, demonstrating LICM completeness over
+    the baseline's expressible world sets.
+    """
+    worlds = [sorted(world) for world in urelation.possible_worlds()]
+    return build_with_selectors(worlds, urelation.attributes, urelation.name)

@@ -1,0 +1,129 @@
+"""x-tuples (ULDBs) and block-independent-disjoint tables as LICM inputs.
+
+Section II of the paper surveys models built from two correlation
+primitives — mutual exclusion among a tuple's alternatives (ULDB
+x-tuples [Benjelloun et al.], BID tables) and co-existence — and argues
+they cannot express cardinality constraints compactly.  This module
+implements the *possibilistic* core of those models and their exact
+translation into LICM, demonstrating subsumption (every x-relation is a
+small LICM database) and providing conversion targets for tests.
+
+An x-tuple is a set of mutually exclusive alternatives; a maybe x-tuple
+('?' in ULDB notation) additionally allows none of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.correlations import at_most, exactly
+from repro.core.database import LICMModel
+from repro.errors import ModelError
+
+
+@dataclass
+class XTuple:
+    """One x-tuple: alternatives (distinct value tuples) + maybe flag."""
+
+    alternatives: Tuple[Tuple, ...]
+    maybe: bool = False
+
+    def __post_init__(self):
+        if not self.alternatives:
+            raise ModelError("an x-tuple needs at least one alternative")
+        if len(set(self.alternatives)) != len(self.alternatives):
+            raise ModelError("x-tuple alternatives must be distinct")
+
+
+@dataclass
+class XRelation:
+    """An x-relation: independent x-tuples over one schema."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    xtuples: List[XTuple] = field(default_factory=list)
+
+    def add(self, alternatives: Iterable[Sequence], maybe: bool = False) -> XTuple:
+        xtuple = XTuple(tuple(tuple(a) for a in alternatives), maybe)
+        for alternative in xtuple.alternatives:
+            if len(alternative) != len(self.attributes):
+                raise ModelError(
+                    f"alternative arity {len(alternative)} != schema arity "
+                    f"{len(self.attributes)}"
+                )
+        self.xtuples.append(xtuple)
+        return xtuple
+
+    @property
+    def num_worlds(self) -> int:
+        """Worlds factor across independent x-tuples."""
+        total = 1
+        for xtuple in self.xtuples:
+            total *= len(xtuple.alternatives) + (1 if xtuple.maybe else 0)
+        return total
+
+
+def xrelation_to_licm(xrelation: XRelation) -> LICMModel:
+    """Exact LICM encoding: one variable per alternative, one cardinality
+    constraint per x-tuple (``= 1``, or ``<= 1`` for maybe x-tuples).
+
+    Size is linear in the number of alternatives — LICM subsumes the
+    x-tuple primitives at no blow-up (the converse fails: Example 1's
+    "1 or 2 of 5" has no compact x-tuple form).
+    """
+    model = LICMModel()
+    relation = model.relation(xrelation.name, xrelation.attributes)
+    for xtuple in xrelation.xtuples:
+        variables = []
+        for alternative in xtuple.alternatives:
+            row = relation.insert_maybe(alternative)
+            variables.append(row.ext)
+        if xtuple.maybe:
+            model.add_all(at_most(variables, 1))
+        else:
+            model.add_all(exactly(variables, 1))
+    return model
+
+
+@dataclass
+class BIDTable:
+    """A block-independent-disjoint table, possibilistically.
+
+    Rows are grouped into blocks by a key; within a block at most one row
+    exists (disjoint), and blocks are independent.  This is the x-relation
+    where every x-tuple is a maybe x-tuple keyed by the block id.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    key_position: int = 0
+    rows: List[Tuple] = field(default_factory=list)
+
+    def insert(self, row: Sequence) -> None:
+        row = tuple(row)
+        if len(row) != len(self.attributes):
+            raise ModelError("row arity mismatch")
+        self.rows.append(row)
+
+    def blocks(self) -> dict:
+        grouped: dict = {}
+        for row in self.rows:
+            grouped.setdefault(row[self.key_position], []).append(row)
+        return grouped
+
+
+def bid_to_licm(table: BIDTable, at_least_one: bool = False) -> LICMModel:
+    """LICM encoding of a BID table: ``<= 1`` per block (``= 1`` when
+    ``at_least_one`` models the total-block variant)."""
+    model = LICMModel()
+    relation = model.relation(table.name, table.attributes)
+    for _key, rows in sorted(table.blocks().items()):
+        variables = []
+        for row in rows:
+            variables.append(relation.insert_maybe(row).ext)
+        if at_least_one:
+            model.add_all(exactly(variables, 1))
+        else:
+            model.add_all(at_most(variables, 1))
+    return model

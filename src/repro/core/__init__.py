@@ -1,0 +1,105 @@
+"""The paper's contribution: the Linear Integer Constraint Model (LICM)."""
+
+from repro.core.aggregates import count_objective, sum_objective
+from repro.core.bounds import (
+    AggregateBounds,
+    avg_bounds,
+    count_bounds,
+    group_count_bounds,
+    minmax_bounds,
+    objective_bounds,
+    sum_bounds,
+)
+from repro.core.priors import PriorModel, expected_value, tail_bounds
+from repro.core.completeness import build_naive_cnf, build_with_selectors
+from repro.core.constraints import ConstraintStore, LinearConstraint
+from repro.core.correlations import (
+    at_least,
+    at_most,
+    bijection,
+    cardinality,
+    coexist,
+    exactly,
+    implies,
+    mutually_exclusive,
+)
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.linexpr import LinearExpr, linear_sum
+from repro.core.operators import (
+    licm_dedup,
+    licm_difference,
+    licm_intersect,
+    licm_join,
+    licm_product,
+    licm_project,
+    licm_rename,
+    licm_select,
+    licm_union,
+)
+from repro.core.pruning import prune, prune_fixpoint, prune_lineage, prune_single_pass
+from repro.core.relation import LICMRelation, LICMTuple, is_certain
+from repro.core.variables import BoolVar, VariablePool
+from repro.core.worlds import (
+    enumerate_assignments,
+    enumerate_worlds,
+    extend_assignment,
+    instantiate,
+    instantiate_world,
+    is_valid,
+)
+
+__all__ = [
+    "AggregateBounds",
+    "BoolVar",
+    "PriorModel",
+    "avg_bounds",
+    "expected_value",
+    "extend_assignment",
+    "group_count_bounds",
+    "prune_lineage",
+    "tail_bounds",
+    "ConstraintStore",
+    "LICMModel",
+    "LICMRelation",
+    "LICMTuple",
+    "LinearConstraint",
+    "LinearExpr",
+    "VariablePool",
+    "at_least",
+    "at_most",
+    "bijection",
+    "build_naive_cnf",
+    "build_with_selectors",
+    "cardinality",
+    "coexist",
+    "count_bounds",
+    "count_objective",
+    "enumerate_assignments",
+    "enumerate_worlds",
+    "exactly",
+    "implies",
+    "instantiate",
+    "instantiate_world",
+    "is_certain",
+    "is_valid",
+    "licm_dedup",
+    "licm_difference",
+    "licm_having_count",
+    "licm_intersect",
+    "licm_join",
+    "licm_product",
+    "licm_project",
+    "licm_rename",
+    "licm_select",
+    "licm_union",
+    "linear_sum",
+    "minmax_bounds",
+    "mutually_exclusive",
+    "objective_bounds",
+    "prune",
+    "prune_fixpoint",
+    "prune_single_pass",
+    "sum_bounds",
+    "sum_objective",
+]

@@ -1,0 +1,116 @@
+"""Theorem 1: LICM is complete for finite sets of possible worlds.
+
+Two constructions are provided:
+
+* :func:`build_naive_cnf` — the proof's verbatim construction: write the
+  world set in DNF over existence literals, distribute to CNF, and encode
+  each clause as one ``>= 1`` linear constraint.  Exponential (it is a
+  proof device), so only usable on tiny inputs, and exercised that way in
+  tests.
+
+* :func:`build_with_selectors` — a polynomial-size construction using one
+  *world-selector* variable per world: exactly one selector is on, and each
+  tuple's existence variable is forced equal to the sum of the selectors of
+  the worlds containing it.  This realizes the same semantics compactly and
+  is what a practical loader would use.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence, Tuple
+
+from repro.core.correlations import exactly
+from repro.core.database import LICMModel
+from repro.core.linexpr import linear_sum
+from repro.errors import ModelError
+
+WorldSet = Sequence[Sequence[Tuple]]
+
+
+def _collect_tuples(worlds: WorldSet) -> list[Tuple]:
+    """All distinct tuples across the world set, in first-seen order."""
+    seen: dict[Tuple, None] = {}
+    for world in worlds:
+        for row in world:
+            seen.setdefault(tuple(row), None)
+    return list(seen)
+
+
+def _check_worlds(worlds: WorldSet) -> list[frozenset]:
+    normalized = [frozenset(tuple(row) for row in world) for world in worlds]
+    if not normalized:
+        raise ModelError("Theorem 1 requires a non-empty set of worlds")
+    return normalized
+
+
+def build_naive_cnf(
+    worlds: WorldSet, attributes: Sequence[str], name: str = "R"
+) -> LICMModel:
+    """Theorem 1's DNF-to-CNF construction, verbatim.
+
+    DNF: one conjunct per world ``D_j``, conjoining ``b_i`` for tuples in
+    ``D_j`` and ``not b_i`` for tuples absent from it.  Distributing to CNF
+    yields one clause per element of the cross product of the conjuncts;
+    each clause ``l_1 or ... or l_n`` becomes the linear constraint
+    ``sum(b_i for positive l_i) + sum(1 - b_i for negated l_i) >= 1``.
+    Clause count is ``|T|^|D|`` — use only on tiny world sets.
+    """
+    world_sets = _check_worlds(worlds)
+    tuples = _collect_tuples(worlds)
+    model = LICMModel()
+    relation = model.relation(name, attributes)
+    variables = [model.new_var() for _ in tuples]
+    for row, var in zip(tuples, variables):
+        relation.insert(row, ext=var)
+
+    index_of = {row: i for i, row in enumerate(tuples)}
+    # Literals per world-conjunct: (var_index, positive?)
+    conjuncts = []
+    for world in world_sets:
+        literals = []
+        for row, i in index_of.items():
+            literals.append((i, row in world))
+        conjuncts.append(literals)
+
+    seen_clauses = set()
+    for picks in product(*conjuncts):
+        clause = frozenset(picks)
+        # A clause containing both b and not-b is a tautology; skip it.
+        positives = {i for i, pos in clause if pos}
+        negatives = {i for i, pos in clause if not pos}
+        if positives & negatives:
+            continue
+        if clause in seen_clauses:
+            continue
+        seen_clauses.add(clause)
+        expr = linear_sum(
+            [variables[i] for i in positives] + [1 - variables[i] for i in negatives]
+        )
+        model.add(expr >= 1)
+    return model
+
+
+def build_with_selectors(
+    worlds: WorldSet, attributes: Sequence[str], name: str = "R"
+) -> LICMModel:
+    """Polynomial-size complete construction via world-selector variables.
+
+    Adds ``w_1..w_n`` with ``sum w_j = 1`` and, per tuple ``t_i``,
+    ``b_i = sum(w_j for worlds j containing t_i)``.  Every valid assignment
+    selects exactly one world and forces each tuple's existence to match it.
+    """
+    world_sets = _check_worlds(worlds)
+    tuples = _collect_tuples(worlds)
+    model = LICMModel()
+    relation = model.relation(name, attributes)
+    tuple_vars = [model.new_var() for _ in tuples]
+    for row, var in zip(tuples, tuple_vars):
+        relation.insert(row, ext=var)
+
+    selectors = model.new_vars(len(world_sets), prefix="w")
+    model.add_all(exactly(selectors, 1))
+    for row, var in zip(tuples, tuple_vars):
+        members = [selectors[j] for j, world in enumerate(world_sets) if row in world]
+        model.add((var - linear_sum(members)).eq(0))
+    return model

@@ -1,0 +1,91 @@
+"""Constraint builders for the correlations the paper highlights.
+
+Cardinality constraints (Definition 1) and the Example 5 correlations
+(mutual exclusion, co-existence, material implication), plus the
+permutation/bijection constraints of Example 3 and the Appendix.
+
+All helpers return lists of :class:`LinearConstraint`; callers add them to a
+model with :meth:`LICMModel.add_all`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.constraints import LinearConstraint
+from repro.core.linexpr import linear_sum
+from repro.core.variables import BoolVar
+from repro.errors import ConstraintError
+
+
+def at_least(variables: Sequence[BoolVar], k: int) -> list[LinearConstraint]:
+    """``|S~| >= k``: at least ``k`` of the maybe-tuples exist."""
+    return [linear_sum(variables) >= k]
+
+
+def at_most(variables: Sequence[BoolVar], k: int) -> list[LinearConstraint]:
+    """``|S~| <= k``: at most ``k`` of the maybe-tuples exist."""
+    return [linear_sum(variables) <= k]
+
+
+def cardinality(
+    variables: Sequence[BoolVar], lower: int, upper: int
+) -> list[LinearConstraint]:
+    """The paper's Definition 1: ``Z1 <= |S~| <= Z2``.
+
+    Example 1 ("at least one and at most two of the five address records
+    are correct") is ``cardinality([b1..b5], 1, 2)``.
+    """
+    if lower > upper:
+        raise ConstraintError(f"empty cardinality range [{lower}, {upper}]")
+    if lower < 0 or upper > len(variables):
+        raise ConstraintError(
+            f"cardinality range [{lower}, {upper}] impossible over "
+            f"{len(variables)} variables"
+        )
+    constraints = []
+    if lower > 0:
+        constraints += at_least(variables, lower)
+    if upper < len(variables):
+        constraints += at_most(variables, upper)
+    return constraints
+
+
+def exactly(variables: Sequence[BoolVar], k: int) -> list[LinearConstraint]:
+    """``|S~| = k`` as a single equality constraint."""
+    if not 0 <= k <= len(variables):
+        raise ConstraintError(f"cannot pick exactly {k} of {len(variables)} tuples")
+    return [linear_sum(variables).eq(k)]
+
+
+def mutually_exclusive(b1: BoolVar, b2: BoolVar) -> list[LinearConstraint]:
+    """Example 5: exactly one of two tuples exists (``b1 + b2 = 1``)."""
+    return [(b1 + b2).eq(1)]
+
+
+def coexist(b1: BoolVar, b2: BoolVar) -> list[LinearConstraint]:
+    """Example 5: the tuples exist together or not at all (``b1 - b2 = 0``)."""
+    return [(b1 - b2).eq(0)]
+
+
+def implies(b1: BoolVar, b2: BoolVar) -> list[LinearConstraint]:
+    """Example 5: material implication ``t1 -> t2`` (``b1 - b2 <= 0``)."""
+    return [b1 - b2 <= 0]
+
+
+def bijection(matrix: Sequence[Sequence[BoolVar]]) -> list[LinearConstraint]:
+    """Permutation constraints (Example 3 / Appendix B).
+
+    ``matrix[i][j]`` is the variable for "entity i maps to slot j".  The
+    matrix must be square; each row and each column sums to exactly 1,
+    encoding the hidden one-to-one mapping of a safe-grouping group.
+    """
+    k = len(matrix)
+    if any(len(row) != k for row in matrix):
+        raise ConstraintError("bijection requires a square variable matrix")
+    constraints = []
+    for row in matrix:
+        constraints += exactly(list(row), 1)
+    for j in range(k):
+        constraints += exactly([matrix[i][j] for i in range(k)], 1)
+    return constraints

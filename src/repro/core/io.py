@@ -1,0 +1,104 @@
+"""Serialization of LICM databases to/from JSON.
+
+An LICM database is fully determined by its relations (rows + Ext
+variable indices), its constraint store, and the lineage registry; this
+module round-trips all three so uncertain databases can be persisted,
+shipped, or diffed.  Values are restricted to JSON scalars (str, int,
+float, bool, None) — the types the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.constraints import LinearConstraint
+from repro.core.database import LICMModel
+from repro.errors import ModelError
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: LICMModel) -> dict:
+    """A JSON-ready dictionary capturing the whole database."""
+    constraints = [
+        {"terms": [[c, i] for c, i in constraint.terms], "op": constraint.op, "rhs": constraint.rhs}
+        for constraint in model.constraints
+    ]
+    constraint_position = {id(c): pos for pos, c in enumerate(model.constraints)}
+    lineage = {
+        str(var): {
+            "parents": parents,
+            "constraints": [
+                constraint_position[id(c)]
+                for c in model.lineage_constraints[var]
+                if id(c) in constraint_position
+            ],
+        }
+        for var, parents in model.lineage_parents.items()
+    }
+    relations = {}
+    for name, relation in model.relations.items():
+        rows = []
+        for row in relation.rows:
+            ext: Any = 1 if row.certain else {"var": row.ext.index}
+            rows.append({"values": list(row.values), "ext": ext})
+        relations[name] = {"attributes": list(relation.attributes), "rows": rows}
+    return {
+        "format": FORMAT_VERSION,
+        "num_variables": len(model.pool),
+        "variable_names": [var.name for var in model.pool],
+        "constraints": constraints,
+        "lineage": lineage,
+        "relations": relations,
+    }
+
+
+def model_from_dict(payload: dict) -> LICMModel:
+    """Rebuild a model serialized by :func:`model_to_dict`."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported LICM serialization format {payload.get('format')!r}"
+        )
+    model = LICMModel()
+    names = payload.get("variable_names") or []
+    for index in range(payload["num_variables"]):
+        model.new_var(names[index] if index < len(names) else None)
+
+    constraints = []
+    for spec in payload["constraints"]:
+        constraint = LinearConstraint(
+            [(int(c), int(i)) for c, i in spec["terms"]], spec["op"], int(spec["rhs"])
+        )
+        constraints.append(constraint)
+        model.constraints.add(constraint)
+
+    for var_text, entry in payload.get("lineage", {}).items():
+        var = model.pool.get(int(var_text))
+        model.register_lineage(
+            var,
+            [model.pool.get(p) for p in entry["parents"]],
+            [constraints[pos] for pos in entry["constraints"]],
+        )
+
+    for name, spec in payload["relations"].items():
+        relation = model.relation(name, spec["attributes"])
+        for row in spec["rows"]:
+            ext = row["ext"]
+            if ext == 1:
+                relation.insert(tuple(row["values"]))
+            else:
+                relation.insert(tuple(row["values"]), ext=model.pool.get(ext["var"]))
+    return model
+
+
+def dump_model(model: LICMModel, path) -> None:
+    """Write a model to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(model_to_dict(model), handle)
+
+
+def load_model(path) -> LICMModel:
+    """Read a model from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return model_from_dict(json.load(handle))

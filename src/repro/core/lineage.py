@@ -1,0 +1,88 @@
+"""Lineage tracing through the constraint graph.
+
+The paper: "lineage is implicitly encoded in LICM through addition of new
+variables and constraints ... and can be traced when necessary."  Because
+operators create derived variables *after* the variables they depend on,
+the constraint store induces a DAG: a derived variable's parents are the
+earlier-created variables sharing a constraint with it.  Tracing back to
+variables with no parents recovers the base tuples a result tuple depends
+on — without any explicit lineage column.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintStore
+from repro.core.database import LICMModel
+from repro.core.relation import LICMRelation
+from repro.core.variables import BoolVar
+
+
+@dataclass
+class Lineage:
+    """The transitive lineage of one variable."""
+
+    variable: int
+    parents: dict[int, set[int]] = field(default_factory=dict)  # var -> direct parents
+    base_variables: set[int] = field(default_factory=set)
+
+    @property
+    def all_variables(self) -> set[int]:
+        out = {self.variable} | self.base_variables
+        for var, parents in self.parents.items():
+            out.add(var)
+            out |= parents
+        return out
+
+
+def direct_parents(store: ConstraintStore, var_index: int) -> set[int]:
+    """Variables the given variable was derived from.
+
+    Every constraint emitted by an LICM operator links one freshly created
+    variable to its inputs, and the fresh variable is necessarily the
+    highest-indexed one in the constraint.  So the parents of ``v`` are the
+    other variables of exactly those constraints where ``v`` is the maximum
+    index; a variable that is never the maximum is a base variable (its
+    constraints are input correlations, not lineage).
+    """
+    parents: set[int] = set()
+    for constraint in store.constraints_on(var_index):
+        variables = constraint.variables
+        if variables and max(variables) == var_index:
+            parents.update(v for v in variables if v != var_index)
+    return parents
+
+
+def trace(store: ConstraintStore, variable: BoolVar | int) -> Lineage:
+    """Trace a variable's lineage back to base (parentless) variables."""
+    start = variable.index if isinstance(variable, BoolVar) else variable
+    lineage = Lineage(start)
+    queue = deque([start])
+    visited = {start}
+    while queue:
+        current = queue.popleft()
+        parents = direct_parents(store, current)
+        if not parents:
+            lineage.base_variables.add(current)
+            continue
+        lineage.parents[current] = parents
+        for parent in parents:
+            if parent not in visited:
+                visited.add(parent)
+                queue.append(parent)
+    return lineage
+
+
+def base_tuples(
+    model: LICMModel, relation_row_ext: BoolVar, base_relations: list[LICMRelation]
+) -> list:
+    """The base-relation maybe-tuples a result tuple's existence depends on."""
+    lineage = trace(model.constraints, relation_row_ext)
+    out = []
+    for relation in base_relations:
+        for row in relation.maybe_rows:
+            if row.ext.index in lineage.all_variables:
+                out.append((relation.name, row))
+    return out

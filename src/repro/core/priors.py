@@ -1,0 +1,198 @@
+"""Probabilistic priors over LICM variables (the paper's open problem).
+
+The Concluding Remarks sketch an extension: "a user may have beliefs about
+the likelihood of these different possibilities, encoded as probabilistic
+priors ... perhaps as (independent) distributions over the binary
+variables.  The goal of query answering is then to find the expected value
+of an aggregate, or tail bounds on its value."
+
+This module implements that extension:
+
+* :class:`PriorModel` attaches an independent Bernoulli prior to each base
+  variable; the induced distribution over possible worlds is the prior
+  *conditioned on* the constraint set (invalid assignments get zero mass).
+* :func:`expected_value` computes the exact conditional expectation of an
+  aggregate objective by world enumeration (small models), or estimates it
+  by rejection sampling (large models).
+* :func:`tail_bounds` gives distribution-free Hoeffding bounds on how far
+  the aggregate can deviate from its estimated mean, truncated to the
+  exact [lower, upper] range from the BIP — LICM "provides exact
+  upper/lower bounds on queries over probabilistic data, by dropping the
+  probability values", and the priors tighten what lies between.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.bounds import objective_bounds
+from repro.core.database import LICMModel
+from repro.core.linexpr import LinearExpr
+from repro.core.worlds import enumerate_assignments, is_valid
+from repro.errors import ModelError, SamplingError
+
+
+@dataclass
+class ExpectationResult:
+    """Expected value of an aggregate under a conditioned prior."""
+
+    mean: float
+    method: str  # 'exact' or 'sampled'
+    world_mass: float  # prior probability mass of the valid region (exact only)
+    samples: int = 0
+
+    def __repr__(self) -> str:
+        return f"E[agg] = {self.mean:.3f} ({self.method})"
+
+
+class PriorModel:
+    """Independent Bernoulli priors over a model's base variables.
+
+    Variables without an explicit prior default to probability ``default``
+    (0.5, the uniform-over-assignments choice the paper warns is an
+    *assumption*, not knowledge — this class makes the assumption explicit
+    and overridable).
+    """
+
+    def __init__(self, model: LICMModel, default: float = 0.5):
+        if not 0.0 <= default <= 1.0:
+            raise ModelError(f"default probability {default} outside [0, 1]")
+        self.model = model
+        self.default = default
+        self.probabilities: Dict[int, float] = {}
+
+    def set_probability(self, variable, probability: float) -> None:
+        """Attach a prior to one variable (accepts BoolVar or index)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ModelError(f"probability {probability} outside [0, 1]")
+        index = variable if isinstance(variable, int) else variable.index
+        self.probabilities[index] = probability
+
+    def probability(self, index: int) -> float:
+        return self.probabilities.get(index, self.default)
+
+    def assignment_mass(self, assignment: Dict[int, int]) -> float:
+        """Prior probability of one complete assignment (pre-conditioning)."""
+        mass = 1.0
+        for index, value in assignment.items():
+            p = self.probability(index)
+            mass *= p if value else (1.0 - p)
+        return mass
+
+    def sample_assignment(self, rng: random.Random) -> Dict[int, int]:
+        """One draw from the *unconditioned* prior over all variables."""
+        return {
+            index: 1 if rng.random() < self.probability(index) else 0
+            for index in range(len(self.model.pool))
+        }
+
+
+def _scope_variables(model: LICMModel) -> list[int]:
+    seen = {idx for c in model.constraints for idx in c.variables}
+    for relation in model.relations.values():
+        for row in relation.maybe_rows:
+            seen.add(row.ext.index)
+    return sorted(seen)
+
+
+def expected_value(
+    prior: PriorModel,
+    objective: LinearExpr,
+    exact_limit: int = 22,
+    samples: int = 2_000,
+    seed: int = 0,
+) -> ExpectationResult:
+    """Conditional expectation of the objective given the constraints.
+
+    Uses exact enumeration when at most ``exact_limit`` variables are in
+    scope, otherwise rejection sampling from the prior (valid draws kept).
+    """
+    model = prior.model
+    variables = sorted(set(_scope_variables(model)) | set(objective.coeffs))
+    if len(variables) <= exact_limit:
+        total_mass = 0.0
+        weighted = 0.0
+        for assignment in enumerate_assignments(model.constraints, variables):
+            mass = prior.assignment_mass(assignment)
+            total_mass += mass
+            weighted += mass * objective.value(assignment)
+        if total_mass == 0.0:
+            raise SamplingError("the prior places zero mass on every valid world")
+        return ExpectationResult(
+            mean=weighted / total_mass, method="exact", world_mass=total_mass
+        )
+
+    rng = random.Random(seed)
+    kept = []
+    for _ in range(samples):
+        assignment = prior.sample_assignment(rng)
+        if is_valid(model.constraints, assignment):
+            kept.append(objective.value(assignment))
+    if not kept:
+        raise SamplingError(
+            "rejection sampling found no valid world; constraints too tight "
+            "for the prior (raise `samples` or use exact enumeration)"
+        )
+    return ExpectationResult(
+        mean=sum(kept) / len(kept),
+        method="sampled",
+        world_mass=len(kept) / samples,
+        samples=len(kept),
+    )
+
+
+@dataclass
+class TailBounds:
+    """Hoeffding tail bounds on the aggregate, truncated to the exact range."""
+
+    mean: float
+    lower: int
+    upper: int
+    deviation: float  # Hoeffding deviation at the requested confidence
+    confidence: float
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """[mean - dev, mean + dev] clipped to the exact LICM bounds."""
+        return (
+            max(self.mean - self.deviation, self.lower),
+            min(self.mean + self.deviation, self.upper),
+        )
+
+
+def tail_bounds(
+    prior: PriorModel,
+    objective: LinearExpr,
+    confidence: float = 0.95,
+    samples: int = 2_000,
+    seed: int = 0,
+    options=None,
+) -> TailBounds:
+    """Combine sampled expectation with the exact LICM range.
+
+    The Hoeffding deviation uses the exact range width as the bounded
+    support — exactly the synergy the paper anticipates: priors give a
+    center, the BIP gives the certain envelope.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence {confidence} outside (0, 1)")
+    model = prior.model
+    exact = objective_bounds(model, objective, options)
+    estimate = expected_value(prior, objective, samples=samples, seed=seed)
+    width = exact.upper - exact.lower
+    if estimate.method == "exact" or estimate.samples == 0:
+        deviation = 0.0 if estimate.method == "exact" else float(width)
+    else:
+        deviation = width * math.sqrt(
+            math.log(2.0 / (1.0 - confidence)) / (2.0 * estimate.samples)
+        )
+    return TailBounds(
+        mean=estimate.mean,
+        lower=exact.lower,
+        upper=exact.upper,
+        deviation=deviation,
+        confidence=confidence,
+    )

@@ -1,0 +1,209 @@
+"""Possible-world semantics: assignments, validity, instantiation, enumeration.
+
+Section III of the paper: a possible world is obtained by assigning 0/1 to
+every binary variable; an assignment is *valid* when it satisfies all
+constraints; instantiating a relation keeps exactly the rows whose Ext
+evaluates to 1.
+
+Enumeration is exponential in general (that is the paper's point), but the
+backtracking enumerator here, with activity-based propagation, comfortably
+handles the few dozen variables used by tests and by the property-based
+oracle that checks operator correctness against brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.core.constraints import ConstraintStore
+from repro.core.database import LICMModel
+from repro.core.relation import LICMRelation
+from repro.errors import ModelError
+
+Assignment = Dict[int, int]
+World = Tuple[Tuple, ...]
+
+
+def is_valid(store: ConstraintStore, assignment: Mapping[int, int]) -> bool:
+    """True when the assignment satisfies every constraint in the store."""
+    return all(c.satisfied_by(assignment) for c in store)
+
+
+def instantiate(relation: LICMRelation, assignment: Mapping[int, int]) -> list[Tuple]:
+    """The rows of one relation present in the world given by ``assignment``.
+
+    Certain rows always appear; a maybe-row appears iff its variable is 1.
+    Duplicate value-tuples may appear (LICM relations are bags of possible
+    tuples); callers wanting set semantics should project first.
+    """
+    out = []
+    for row in relation.rows:
+        if row.certain or assignment[row.ext.index] == 1:
+            out.append(row.values)
+    return out
+
+
+def instantiate_world(relation: LICMRelation, assignment: Mapping[int, int]) -> World:
+    """Like :func:`instantiate` but canonical: a world is a *set* of tuples,
+    so duplicates collapse and the result is sorted for comparability."""
+    return tuple(sorted(set(instantiate(relation, assignment))))
+
+
+def _referenced_variables(model: LICMModel) -> list[int]:
+    seen: set[int] = set()
+    for rel in model.relations.values():
+        for row in rel.maybe_rows:
+            seen.add(row.ext.index)
+    for constraint in model.constraints:
+        seen.update(constraint.variables)
+    return sorted(seen)
+
+
+def enumerate_assignments(
+    store: ConstraintStore,
+    variables: Sequence[int],
+    limit: int | None = 1_000_000,
+) -> Iterator[Assignment]:
+    """Yield every valid complete 0/1 assignment over ``variables``.
+
+    Uses depth-first search with activity pruning: a partial assignment is
+    abandoned as soon as some constraint can no longer be satisfied by any
+    completion.  ``limit`` bounds the number of *solutions* yielded as a
+    safety net for misuse on large models.
+    """
+    variables = list(variables)
+    var_pos = {v: i for i, v in enumerate(variables)}
+
+    # Pre-split each constraint into the coefficient vector over our ordering.
+    compiled = []
+    for constraint in store:
+        terms = [(coef, var_pos[idx]) for coef, idx in constraint.terms if idx in var_pos]
+        foreign = [idx for _, idx in constraint.terms if idx not in var_pos]
+        if foreign:
+            raise ModelError(
+                f"constraint {constraint!r} mentions variables {foreign} outside "
+                "the enumeration scope"
+            )
+        compiled.append((terms, constraint.op, constraint.rhs))
+
+    # For pruning: per position, which compiled constraints gain a term there.
+    n = len(variables)
+    values = [0] * n
+    yielded = 0
+
+    def feasible(prefix_len: int) -> bool:
+        """Can some completion of values[:prefix_len] satisfy everything?"""
+        for terms, op, rhs in compiled:
+            fixed = 0
+            free_pos, free_neg = 0, 0
+            for coef, pos in terms:
+                if pos < prefix_len:
+                    fixed += coef * values[pos]
+                elif coef > 0:
+                    free_pos += coef
+                else:
+                    free_neg += coef
+            lo, hi = fixed + free_neg, fixed + free_pos
+            if op == "<=" and lo > rhs:
+                return False
+            if op == ">=" and hi < rhs:
+                return False
+            if op == "==" and (rhs < lo or rhs > hi):
+                return False
+        return True
+
+    def search(pos: int) -> Iterator[Assignment]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if pos == n:
+            yielded += 1
+            yield {v: values[i] for i, v in enumerate(variables)}
+            return
+        for value in (0, 1):
+            values[pos] = value
+            if feasible(pos + 1):
+                yield from search(pos + 1)
+
+    yield from search(0)
+
+
+def enumerate_worlds(
+    model: LICMModel,
+    relation: LICMRelation | None = None,
+    limit: int | None = 1_000_000,
+) -> set[World]:
+    """All distinct possible worlds of one relation (default: sole relation).
+
+    Distinct valid assignments that instantiate to the same tuple set are
+    collapsed, matching the paper's semantics where a world is a database
+    instance, not an assignment.
+    """
+    if relation is None:
+        if len(model.relations) != 1:
+            raise ModelError("specify the relation when the model has several")
+        relation = next(iter(model.relations.values()))
+    variables = _referenced_variables(model)
+    worlds: set[World] = set()
+    for assignment in enumerate_assignments(model.constraints, variables, limit=limit):
+        worlds.add(instantiate_world(relation, assignment))
+    return worlds
+
+
+def extend_assignment(
+    model: LICMModel, base_assignment: Mapping[int, int], default: int = 0
+) -> Assignment | None:
+    """Complete a partial assignment into a full valid assignment.
+
+    The LICM operators are deterministic: once the base (input) variables
+    are fixed, every lineage variable's value is forced, so propagation
+    alone usually finishes the job.  Variables that remain genuinely free
+    (e.g. other groups' permutations untouched by the partial assignment)
+    are completed by a small backtracking search preferring ``default``.
+    Returns ``None`` if the base assignment violates the constraints.
+
+    Typical use: sample or choose the base tuples of an uncertain database
+    (or take a solver witness over a pruned subproblem), then instantiate
+    any derived relation in the resulting world.
+    """
+    from repro.solver.model import BIPConstraint, BIPProblem
+    from repro.solver.propagation import FREE, CompiledConstraints, propagate
+
+    num_vars = len(model.pool)
+    constraints = [
+        BIPConstraint(c.terms, c.op, c.rhs) for c in model.constraints
+    ]
+    problem = BIPProblem(num_vars=num_vars, constraints=constraints, objective={})
+    compiled = CompiledConstraints(problem)
+    domains = [FREE] * num_vars
+    for index, value in base_assignment.items():
+        domains[index] = int(value)
+    domains = propagate(compiled, domains)
+    if domains is None:
+        return None
+
+    # Iterative backtracking over the remaining FREE variables (propagation
+    # collapses forced chains, so the stack stays shallow in practice).
+    order = (default, 1 - default)
+    stack: list[tuple[list[int], int]] = [(list(domains), 0)]
+    while stack:
+        state, tried = stack.pop()
+        try:
+            position = state.index(FREE)
+        except ValueError:
+            return dict(enumerate(state))
+        if tried >= len(order):
+            continue
+        stack.append((state, tried + 1))
+        child = list(state)
+        child[position] = order[tried]
+        child = propagate(compiled, child, dirty=compiled.by_var[position])
+        if child is not None:
+            stack.append((child, 0))
+    return None
+
+
+def count_valid_assignments(model: LICMModel, limit: int | None = 1_000_000) -> int:
+    """Number of valid assignments (not collapsed to worlds)."""
+    variables = _referenced_variables(model)
+    return sum(1 for _ in enumerate_assignments(model.constraints, variables, limit=limit))

@@ -1,0 +1,6 @@
+"""Dataset substrate: transaction containers and the synthetic generator."""
+
+from repro.data.generator import generate
+from repro.data.transactions import TransactionDataset
+
+__all__ = ["TransactionDataset", "generate"]

@@ -1,0 +1,86 @@
+"""Persistence for transaction datasets.
+
+Two formats:
+
+* **JSON** — one self-contained file with transactions, universe,
+  locations and prices (lossless round-trip).
+* **basket CSV** — the classic one-line-per-transaction format of public
+  basket datasets like BMS-POS (``tid,item1 item2 ...``); attributes are
+  stored in a sidecar JSON when requested, or regenerated synthetically.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.data.transactions import TransactionDataset
+from repro.errors import SchemaError
+
+
+def save_json(dataset: TransactionDataset, path) -> None:
+    """Lossless single-file JSON dump."""
+    payload = {
+        "items": list(dataset.items),
+        "transactions": [
+            {"tid": tid, "items": sorted(itemset)}
+            for tid, itemset in dataset.transactions
+        ],
+        "locations": dataset.locations,
+        "prices": dataset.prices,
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_json(path) -> TransactionDataset:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return TransactionDataset(
+        transactions=[
+            (entry["tid"], frozenset(entry["items"]))
+            for entry in payload["transactions"]
+        ],
+        items=tuple(payload["items"]),
+        locations={k: int(v) for k, v in payload.get("locations", {}).items()},
+        prices={k: int(v) for k, v in payload.get("prices", {}).items()},
+    )
+
+
+def save_basket_csv(dataset: TransactionDataset, path) -> None:
+    """``tid,item1 item2 ...`` rows (interoperable basket format)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        for tid, itemset in dataset.transactions:
+            writer.writerow([tid, " ".join(sorted(itemset))])
+
+
+def load_basket_csv(
+    path,
+    items=None,
+    locations=None,
+    prices=None,
+) -> TransactionDataset:
+    """Read basket CSV; the item universe defaults to the items seen.
+
+    ``locations``/``prices`` default to empty (callers may attach the
+    paper's synthetic attributes afterwards).
+    """
+    transactions = []
+    seen: set[str] = set()
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.reader(handle):
+            if not row:
+                continue
+            if len(row) < 2:
+                raise SchemaError(f"malformed basket row: {row!r}")
+            tid, item_text = row[0], row[1]
+            itemset = frozenset(item_text.split())
+            seen.update(itemset)
+            transactions.append((tid, itemset))
+    universe = tuple(items) if items is not None else tuple(sorted(seen))
+    return TransactionDataset(
+        transactions=transactions,
+        items=universe,
+        locations=dict(locations or {}),
+        prices=dict(prices or {}),
+    )

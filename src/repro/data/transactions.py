@@ -1,0 +1,105 @@
+"""Transaction (set-valued) dataset container.
+
+The paper's evaluation domain: "each logical entity is associated with a
+set of values" — retail transactions over an item universe, with a synthetic
+``Location`` attribute per transaction and a synthetic ``Price`` attribute
+per item (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.relation import Database, Relation
+
+
+@dataclass
+class TransactionDataset:
+    """An exact (pre-anonymization) transaction database."""
+
+    transactions: List[Tuple[str, FrozenSet[str]]]
+    items: Tuple[str, ...]
+    locations: Dict[str, int] = field(default_factory=dict)
+    prices: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        universe = set(self.items)
+        for tid, itemset in self.transactions:
+            unknown = itemset - universe
+            if unknown:
+                raise SchemaError(
+                    f"transaction {tid} uses items outside the universe: "
+                    f"{sorted(unknown)[:5]}"
+                )
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def average_size(self) -> float:
+        if not self.transactions:
+            return 0.0
+        return sum(len(s) for _, s in self.transactions) / len(self.transactions)
+
+    @property
+    def max_size(self) -> int:
+        return max((len(s) for _, s in self.transactions), default=0)
+
+    def item_supports(self) -> Dict[str, int]:
+        """Number of transactions containing each item."""
+        supports: Dict[str, int] = {}
+        for _, itemset in self.transactions:
+            for item in itemset:
+                supports[item] = supports.get(item, 0) + 1
+        return supports
+
+    # -- relational views ----------------------------------------------------
+    def trans_relation(self) -> Relation:
+        """TRANS(TID, Location) — public, certain."""
+        return Relation(
+            "TRANS",
+            ["TID", "Location"],
+            ((tid, self.locations.get(tid, 0)) for tid, _ in self.transactions),
+        )
+
+    def item_relation(self) -> Relation:
+        """ITEM(ItemName, Price) — public, certain."""
+        return Relation(
+            "ITEM",
+            ["ItemName", "Price"],
+            ((item, self.prices.get(item, 0)) for item in self.items),
+        )
+
+    def transitem_relation(self) -> Relation:
+        """TRANSITEM(TID, ItemName) — the sensitive relation, exact."""
+        rows = [
+            (tid, item)
+            for tid, itemset in self.transactions
+            for item in sorted(itemset)
+        ]
+        return Relation("TRANSITEM", ["TID", "ItemName"], rows)
+
+    def exact_database(self) -> Database:
+        """The ground-truth deterministic database (for oracle checks)."""
+        return Database(
+            [self.trans_relation(), self.item_relation(), self.transitem_relation()]
+        )
+
+    def subset(self, count: int) -> "TransactionDataset":
+        """The first ``count`` transactions (for scaled-down experiments)."""
+        kept = self.transactions[:count]
+        tids = {tid for tid, _ in kept}
+        return TransactionDataset(
+            transactions=kept,
+            items=self.items,
+            locations={t: l for t, l in self.locations.items() if t in tids},
+            prices=dict(self.prices),
+        )

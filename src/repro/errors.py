@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation was used with an incompatible or malformed schema."""
+
+
+class ModelError(ReproError):
+    """An LICM model was constructed or combined inconsistently.
+
+    Raised, for example, when mixing relations that belong to different
+    :class:`~repro.core.database.LICMModel` instances, or when a
+    constraint references a variable from a foreign pool.
+    """
+
+
+class ConstraintError(ReproError):
+    """A linear constraint is malformed (bad operator, non-integer bound)."""
+
+
+class InfeasibleError(ReproError):
+    """The constraint system admits no valid assignment (no possible world)."""
+
+
+class UnboundedError(ReproError):
+    """An optimization problem is unbounded.
+
+    Cannot occur for pure-binary programs produced by LICM, but the solver
+    stack is usable standalone and reports it faithfully.
+    """
+
+
+class SolverError(ReproError):
+    """The solver failed for a reason other than infeasibility."""
+
+
+class SolverLimitReached(SolverError):
+    """A node/time limit stopped the solver before optimality was proven.
+
+    The attached :class:`~repro.solver.interface.Solution` (if any) carries
+    the best incumbent and the proven bound, mirroring how the paper reports
+    "quite tight approximate bounds" for the hardest bipartite query.
+    """
+
+    def __init__(self, message: str, solution=None):
+        super().__init__(message)
+        self.solution = solution
+
+
+class QueryError(ReproError):
+    """A query plan is malformed or applied to an incompatible relation."""
+
+
+class AnonymizationError(ReproError):
+    """An anonymization routine received parameters it cannot satisfy."""
+
+
+class SamplingError(ReproError):
+    """Monte Carlo sampling could not produce a valid possible world."""

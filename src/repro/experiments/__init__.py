@@ -1,0 +1,21 @@
+"""Experiment harnesses reproducing every figure in the paper's evaluation."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure5 import Figure5Row, render_figure5, run_figure5
+from repro.experiments.figure6 import Figure6Row, render_figure6, run_figure6
+from repro.experiments.figure7 import Figure7Row, render_figure7, run_figure7
+from repro.experiments.runner import ExperimentContext
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "Figure5Row",
+    "Figure6Row",
+    "Figure7Row",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+]

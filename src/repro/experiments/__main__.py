@@ -1,0 +1,49 @@
+"""CLI: regenerate the paper's figures.
+
+    python -m repro.experiments figure5
+    python -m repro.experiments figure6
+    python -m repro.experiments figure7
+    python -m repro.experiments all
+
+Scale with the ``REPRO_SCALE`` environment variable (default workload is
+2000 transactions over 256 items; see repro.experiments.config).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure5 import render_figure5, run_figure5
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.experiments.runner import ExperimentContext
+
+
+def main(argv: list[str]) -> int:
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(message)s", stream=sys.stderr
+    )
+    target = argv[0] if argv else "all"
+    config = ExperimentConfig()
+    context = ExperimentContext(config)
+    print(f"# workload: {config.label}")
+    if target in ("figure5", "all"):
+        print(render_figure5(run_figure5(context)))
+    if target in ("figure6", "all"):
+        print(render_figure6(run_figure6(context)))
+    if target in ("figure7", "all"):
+        print(render_figure7(run_figure7(context)))
+    if target == "utility":
+        from repro.experiments.utility import render_utility, run_utility
+
+        print(render_utility(run_utility(context)))
+    if target not in ("figure5", "figure6", "figure7", "utility", "all"):
+        print(__doc__)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

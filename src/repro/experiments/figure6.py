@@ -1,0 +1,86 @@
+"""Figure 6: timing breakdown at k = 8.
+
+Per query and anonymization scheme, the paper splits LICM into L-model
+(anonymized data -> LICM database), L-query (operators + pruning) and
+L-solve (both BIP optimizations), against the MC baseline's total time for
+20 sampled worlds.  The reproduced claims: LICM total ≪ MC total for the
+generalization schemes, and solve time dominates as query complexity grows
+(Query 3, especially on permutation-constrained data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.reporting import format_table, section
+from repro.experiments.runner import QUERIES, SCHEMES, ExperimentContext
+
+
+@dataclass
+class Figure6Row:
+    query: str
+    scheme: str
+    model_time: float
+    query_time: float
+    solve_time: float
+    mc_time: float
+
+    @property
+    def licm_total(self) -> float:
+        return self.model_time + self.query_time + self.solve_time
+
+    @property
+    def speedup(self) -> float:
+        return self.mc_time / self.licm_total if self.licm_total else float("inf")
+
+
+def run_figure6(
+    context: ExperimentContext | None = None,
+    k: int = 8,
+    schemes=SCHEMES,
+    queries=QUERIES,
+) -> List[Figure6Row]:
+    context = context or ExperimentContext()
+    rows: List[Figure6Row] = []
+    for query in queries:
+        for scheme in schemes:
+            record = context.encoding(scheme, k)
+            licm = context.licm_answer(query, scheme, k)
+            mc = context.mc_answer(query, scheme, k)
+            rows.append(
+                Figure6Row(
+                    query=query,
+                    scheme=scheme,
+                    model_time=record.model_time,
+                    query_time=licm.query_time,
+                    solve_time=licm.solve_time,
+                    mc_time=mc.total_time,
+                )
+            )
+    return rows
+
+
+def render_figure6(rows: List[Figure6Row], k: int = 8) -> str:
+    out = [section(f"Figure 6: timing (seconds, k={k})")]
+    for query in sorted({r.query for r in rows}):
+        subset = [r for r in rows if r.query == query]
+        out.append(f"\n-- {query} --")
+        out.append(
+            format_table(
+                ["scheme", "L-model", "L-query", "L-solve", "LICM total", "MC", "MC/LICM"],
+                [
+                    (
+                        r.scheme,
+                        r.model_time,
+                        r.query_time,
+                        r.solve_time,
+                        r.licm_total,
+                        r.mc_time,
+                        f"{r.speedup:.1f}x",
+                    )
+                    for r in subset
+                ],
+            )
+        )
+    return "\n".join(out)

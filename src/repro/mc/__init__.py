@@ -1,0 +1,12 @@
+"""Monte Carlo baseline: world samplers and per-world query evaluation."""
+
+from repro.mc.evaluate import MCResult, run_monte_carlo
+from repro.mc.sampler import sample_assignment, sample_generic, sample_world
+
+__all__ = [
+    "MCResult",
+    "run_monte_carlo",
+    "sample_assignment",
+    "sample_generic",
+    "sample_world",
+]

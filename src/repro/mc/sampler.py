@@ -1,0 +1,176 @@
+"""Possible-world samplers for the Monte Carlo baseline.
+
+The paper's "naive Monte Carlo" comparison samples possible worlds and runs
+the query per world on a classical DBMS.  Each encoding kind gets a direct
+sampler that draws a valid assignment cheaply:
+
+* generalized — per generalized item, a uniform non-empty subset of the
+  covered leaves;
+* bipartite — per group, a uniform random permutation;
+* suppressed — per transaction, a uniform subset of the suppressed items
+  (of the revealed size when counts were published).
+
+A generic randomized-backtracking sampler covers arbitrary LICM models
+(used in tests).  As the paper stresses, any such sampling "makes
+independent choices across tuples" and therefore explores a narrow band of
+the answer distribution — that is precisely the effect Figure 5 shows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.anonymize.encode import EncodedDatabase
+from repro.core.database import LICMModel
+from repro.core.worlds import instantiate, is_valid
+from repro.errors import SamplingError
+from repro.relational.relation import Database, Relation
+
+Assignment = Dict[int, int]
+
+
+def _nonempty_subset(variables, rng: random.Random) -> Dict[int, int]:
+    """Uniform over the non-empty subsets of the variables."""
+    while True:
+        bits = {var.index: rng.randint(0, 1) for var in variables}
+        if any(bits.values()):
+            return bits
+
+
+def sample_assignment(encoded: EncodedDatabase, rng: random.Random) -> Assignment:
+    """Draw one valid assignment for an encoded database."""
+    assignment: Assignment = {index: 0 for index in range(len(encoded.model.pool))}
+    if encoded.kind == "generalized":
+        for _tid, _node, variables in encoded.meta["choice_groups"]:
+            assignment.update(_nonempty_subset(variables, rng))
+        return assignment
+    if encoded.kind == "bipartite":
+        for matrices_key in ("trans_matrices", "item_matrices"):
+            for _entities, matrix in encoded.meta[matrices_key]:
+                size = len(matrix)
+                permutation = list(range(size))
+                rng.shuffle(permutation)
+                for row, column in enumerate(permutation):
+                    assignment[matrix[row][column].index] = 1
+        return assignment
+    if encoded.kind == "suppressed":
+        revealed = encoded.meta.get("revealed_counts")
+        for tid, variables in encoded.meta["per_tid_vars"].items():
+            if not variables:
+                continue
+            if revealed is not None:
+                count = revealed.get(tid, 0)
+                chosen = rng.sample(range(len(variables)), count)
+                for position in chosen:
+                    assignment[variables[position].index] = 1
+            else:
+                for var in variables:
+                    assignment[var.index] = rng.randint(0, 1)
+        return assignment
+    raise SamplingError(f"no direct sampler for encoding kind {encoded.kind!r}")
+
+
+def sample_world(
+    encoded: EncodedDatabase, rng: random.Random, check: bool = False
+) -> Database:
+    """Instantiate one sampled possible world as a deterministic database."""
+    assignment = sample_assignment(encoded, rng)
+    if check and not is_valid(encoded.model.constraints, assignment):
+        raise SamplingError("sampler produced an invalid assignment")
+    db = Database()
+    for name, relation in encoded.relations.items():
+        db.add(Relation(name, relation.attributes, instantiate(relation, assignment)))
+    return db
+
+
+def sample_generic(
+    model: LICMModel,
+    rng: random.Random,
+    max_restarts: int = 100,
+) -> Optional[Assignment]:
+    """Randomized backtracking sampler for arbitrary LICM constraint sets.
+
+    Visits variables in random order, tries values in random order, prunes
+    with activity bounds.  Complete (finds a world if one exists, given
+    enough restarts) but *not* uniform — which is fine, because no sampler
+    over these constraint sets is: the paper's argument against MC does not
+    depend on the sampling distribution.
+    """
+    variables = sorted(
+        {index for constraint in model.constraints for index in constraint.variables}
+        | {row.ext.index for rel in model.relations.values() for row in rel.maybe_rows}
+    )
+    compiled = [(list(c.terms), c.op, c.rhs) for c in model.constraints]
+    by_var: Dict[int, list[tuple[int, int]]] = {}  # var -> [(constraint pos, coef)]
+    for pos, (terms, _op, _rhs) in enumerate(compiled):
+        for coef, index in terms:
+            by_var.setdefault(index, []).append((pos, coef))
+
+    for _ in range(max_restarts):
+        # Visit variables in creation order: LICM lineage variables are
+        # created after their inputs and are *determined* by them, so this
+        # order makes the search near-backtrack-free.  Randomness comes
+        # from the per-variable value choice.
+        order = list(variables)
+        values: Dict[int, int] = {}
+        # Incremental activity bounds per constraint: [min, max] achievable
+        # given the current partial assignment.
+        lo = [sum(min(c, 0) for c, _ in terms) for terms, _, _ in compiled]
+        hi = [sum(max(c, 0) for c, _ in terms) for terms, _, _ in compiled]
+
+        def consistent(pos: int) -> bool:
+            _terms, op, rhs = compiled[pos]
+            if op == "<=":
+                return lo[pos] <= rhs
+            if op == ">=":
+                return hi[pos] >= rhs
+            return lo[pos] <= rhs <= hi[pos]
+
+        def assign(var: int, value: int) -> bool:
+            """Fix a variable; returns False if some constraint broke."""
+            values[var] = value
+            ok = True
+            for pos, coef in by_var.get(var, ()):
+                if coef > 0:
+                    if value:
+                        lo[pos] += coef
+                    else:
+                        hi[pos] -= coef
+                else:
+                    if value:
+                        hi[pos] += coef
+                    else:
+                        lo[pos] -= coef
+                if not consistent(pos):
+                    ok = False
+            return ok
+
+        def unassign(var: int) -> None:
+            value = values.pop(var)
+            for pos, coef in by_var.get(var, ()):
+                if coef > 0:
+                    if value:
+                        lo[pos] -= coef
+                    else:
+                        hi[pos] += coef
+                else:
+                    if value:
+                        hi[pos] -= coef
+                    else:
+                        lo[pos] += coef
+
+        def search(position: int) -> bool:
+            if position == len(order):
+                return True
+            var = order[position]
+            first = rng.randint(0, 1)
+            for value in (first, 1 - first):
+                if assign(var, value) and search(position + 1):
+                    return True
+                unassign(var)
+            return False
+
+        if search(0):
+            return {var: values.get(var, 0) for var in variables}
+    return None

@@ -1,0 +1,293 @@
+"""Interval cardinality and cost estimation for LICM query plans.
+
+The paper's Concluding Remarks call out that full DBMS integration needs
+"notions of plan cost and selectivity estimation ... extended to the LICM
+setting".  The LICM twist: a relation's cardinality is not a number but an
+*interval* — at least the certain rows, at most every possible row — and an
+operator's cost includes the lineage variables and constraints it will add
+(which later become solver work).
+
+:func:`estimate_plan` walks a plan bottom-up with classical textbook rules
+lifted to intervals, without touching the model; :func:`estimate_cost`
+aggregates per-node work plus lineage growth.  Estimates are heuristics in
+the usual optimizer sense — guaranteed cheap, not guaranteed tight — but
+the *max* side is a true upper bound for base scans and monotone operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relation import LICMRelation
+from repro.errors import QueryError
+from repro.relational.predicates import (
+    And,
+    Between,
+    Compare,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+)
+
+DEFAULT_COMPARE_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.25
+DEFAULT_JOIN_KEY_DISTINCT = 100
+
+
+@dataclass
+class CardinalityInterval:
+    """Estimated [certain, possible] output cardinality of a plan node."""
+
+    lo: float
+    hi: float
+
+    def scaled(self, factor: float) -> "CardinalityInterval":
+        return CardinalityInterval(self.lo * factor, self.hi * factor)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:.0f}, {self.hi:.0f}]"
+
+
+@dataclass
+class PlanEstimate:
+    """Cardinality plus the cost components of evaluating the plan in LICM."""
+
+    cardinality: CardinalityInterval
+    rows_processed: float  # classical work: rows flowing through operators
+    new_variables: float  # LICM-specific: lineage variables created
+    new_constraints: float  # LICM-specific: constraints appended
+
+    @property
+    def total_cost(self) -> float:
+        """A single comparable scalar: row work plus solver-feeding growth.
+
+        Constraints are weighted heavier than rows — they are what the BIP
+        solver pays for.
+        """
+        return self.rows_processed + 2.0 * self.new_variables + 4.0 * self.new_constraints
+
+
+def predicate_selectivity(predicate: Predicate) -> float:
+    """Crude static selectivity, in the classical System-R spirit."""
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, Compare):
+        if predicate.op == "==":
+            return DEFAULT_COMPARE_SELECTIVITY
+        if predicate.op == "!=":
+            return 1.0 - DEFAULT_COMPARE_SELECTIVITY
+        return 1 / 3  # inequality
+    if isinstance(predicate, Between):
+        return DEFAULT_RANGE_SELECTIVITY
+    if isinstance(predicate, InSet):
+        return min(1.0, DEFAULT_COMPARE_SELECTIVITY * len(predicate.values))
+    if isinstance(predicate, And):
+        out = 1.0
+        for part in predicate.parts:
+            out *= predicate_selectivity(part)
+        return out
+    if isinstance(predicate, Or):
+        out = 0.0
+        for part in predicate.parts:
+            out = out + predicate_selectivity(part) - out * predicate_selectivity(part)
+        return out
+    if isinstance(predicate, Not):
+        return 1.0 - predicate_selectivity(predicate.inner)
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def _scan_interval(relation: LICMRelation) -> CardinalityInterval:
+    certain = sum(1 for row in relation.rows if row.certain)
+    return CardinalityInterval(float(certain), float(len(relation.rows)))
+
+
+def estimate_plan(
+    plan: PlanNode,
+    relations: dict[str, LICMRelation],
+    catalog=None,
+) -> PlanEstimate:
+    """Bottom-up interval cardinality + cost estimate of a plan.
+
+    Pass a :class:`repro.queries.stats.StatsCatalog` as ``catalog`` to use
+    histogram/distinct-count selectivities instead of the built-in
+    System-R-style defaults; column statistics are propagated up through
+    the plan so selections above joins also benefit.
+    """
+    estimate, _columns = _estimate(plan, relations, catalog)
+    return estimate
+
+
+def _estimate(plan, relations, catalog):
+    if isinstance(plan, Scan):
+        try:
+            relation = relations[plan.table]
+        except KeyError:
+            raise QueryError(f"no relation {plan.table!r} to estimate over") from None
+        columns = {}
+        if catalog is not None:
+            columns = dict(catalog.table(plan.table).columns)
+        return PlanEstimate(_scan_interval(relation), 0.0, 0.0, 0.0), columns
+
+    if isinstance(plan, Select):
+        child, columns = _estimate(plan.child, relations, catalog)
+        if columns:
+            from repro.queries.stats import stats_selectivity
+
+            s = stats_selectivity(plan.predicate, columns)
+        else:
+            s = predicate_selectivity(plan.predicate)
+        return (
+            PlanEstimate(
+                child.cardinality.scaled(s),
+                child.rows_processed + child.cardinality.hi,
+                child.new_variables,
+                child.new_constraints,
+            ),
+            columns,
+        )
+
+    if isinstance(plan, (Project, Rename)):
+        child, columns = _estimate(plan.child, relations, catalog)
+        if isinstance(plan, Rename):
+            columns = {
+                plan.mapping.get(name, name): stats for name, stats in columns.items()
+            }
+        else:
+            columns = {
+                name: stats for name, stats in columns.items() if name in plan.attributes
+            }
+        card = child.cardinality
+        if isinstance(plan, Project):
+            # Duplicate elimination can only shrink; the OR-merge may create
+            # one variable + (group size + 1) constraints per merged group.
+            merged = max(card.hi - card.lo, 0.0) * 0.5
+            return (
+                PlanEstimate(
+                    CardinalityInterval(min(card.lo, card.hi), card.hi),
+                    child.rows_processed + card.hi,
+                    child.new_variables + merged,
+                    child.new_constraints + 3.0 * merged,
+                ),
+                columns,
+            )
+        return (
+            PlanEstimate(
+                card, child.rows_processed + card.hi, child.new_variables, child.new_constraints
+            ),
+            columns,
+        )
+
+    if isinstance(plan, (Intersect, Union, Difference, Product, NaturalJoin)):
+        left, left_columns = _estimate(plan.left, relations, catalog)
+        right, right_columns = _estimate(plan.right, relations, catalog)
+        columns = {**right_columns, **left_columns}
+        rows = left.rows_processed + right.rows_processed
+        variables = left.new_variables + right.new_variables
+        constraints = left.new_constraints + right.new_constraints
+        lcard, rcard = left.cardinality, right.cardinality
+        if isinstance(plan, Intersect):
+            hi = min(lcard.hi, rcard.hi)
+            card = CardinalityInterval(0.0, hi)
+            new_vars = hi  # one AND variable per overlapping pair, worst case
+        elif isinstance(plan, Union):
+            card = CardinalityInterval(max(lcard.lo, rcard.lo), lcard.hi + rcard.hi)
+            new_vars = min(lcard.hi, rcard.hi)
+        elif isinstance(plan, Difference):
+            card = CardinalityInterval(max(lcard.lo - rcard.hi, 0.0), lcard.hi)
+            new_vars = min(lcard.hi, rcard.hi)
+        elif isinstance(plan, Product):
+            card = CardinalityInterval(lcard.lo * rcard.lo, lcard.hi * rcard.hi)
+            new_vars = card.hi
+        else:  # NaturalJoin: containment assumption over the key domain
+            key_distinct = DEFAULT_JOIN_KEY_DISTINCT
+            shared = set(left_columns) & set(right_columns)
+            if shared:
+                key_distinct = max(
+                    max(left_columns[a].distinct, right_columns[a].distinct)
+                    for a in shared
+                ) or DEFAULT_JOIN_KEY_DISTINCT
+            hi = lcard.hi * rcard.hi / key_distinct
+            hi = min(hi, lcard.hi * rcard.hi)
+            card = CardinalityInterval(0.0, hi)
+            new_vars = hi
+        return (
+            PlanEstimate(
+                card,
+                rows + lcard.hi + rcard.hi,
+                variables + new_vars,
+                constraints + 3.0 * new_vars,
+            ),
+            columns,
+        )
+
+    if isinstance(plan, HavingCount):
+        child, columns = _estimate(plan.child, relations, catalog)
+        # Group count: distinct key count when known, else sqrt heuristic.
+        groups = max(child.cardinality.hi ** 0.5, 1.0)
+        known = [columns[a].distinct for a in plan.group_by if a in columns]
+        if known and all(k > 0 for k in known):
+            product_keys = 1.0
+            for k in known:
+                product_keys *= k
+            groups = min(product_keys, child.cardinality.hi) or groups
+        columns = {a: s for a, s in columns.items() if a in plan.group_by}
+        return (
+            PlanEstimate(
+                CardinalityInterval(0.0, groups),
+                child.rows_processed + child.cardinality.hi,
+                child.new_variables + groups,
+                child.new_constraints + 2.0 * groups,
+            ),
+            columns,
+        )
+
+    if isinstance(plan, (CountStar, SumAttr)):
+        child, columns = _estimate(plan.child, relations, catalog)
+        return (
+            PlanEstimate(
+                child.cardinality,
+                child.rows_processed + child.cardinality.hi,
+                child.new_variables,
+                child.new_constraints,
+            ),
+            columns,
+        )
+
+    raise QueryError(f"cannot estimate plan node {type(plan).__name__}")
+
+
+def estimate_cost(
+    plan: PlanNode, relations: dict[str, LICMRelation], catalog=None
+) -> float:
+    """Scalar cost for plan comparison (see :class:`PlanEstimate`)."""
+    return estimate_plan(plan, relations, catalog).total_cost
+
+
+def choose_plan(
+    candidates: list[PlanNode], relations: dict[str, LICMRelation], catalog=None
+) -> PlanNode:
+    """Pick the estimated-cheapest among equivalent plans.
+
+    The paper guarantees equivalent query trees give equivalent answers
+    (deterministic operators), so choosing by estimate is safe.
+    """
+    if not candidates:
+        raise QueryError("no candidate plans")
+    return min(candidates, key=lambda plan: estimate_cost(plan, relations, catalog))

@@ -1,0 +1,139 @@
+"""A fluent builder over the shared plan IR.
+
+Sugar for composing queries readably::
+
+    from repro.queries.fluent import Q
+    from repro.relational.predicates import Between
+
+    plan = (
+        Q.scan("TRANS")
+        .where(Between("Location", 0, 49))
+        .join(Q.scan("TRANSITEM"))
+        .project("TID")
+        .count()
+    )
+
+The result is an ordinary :class:`~repro.relational.query.PlanNode`, so it
+runs on the deterministic engine, the LICM evaluator, the cost estimator
+and the Monte Carlo baseline alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import QueryError
+from repro.relational.predicates import Predicate
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+)
+
+Buildable = Union["Query", PlanNode]
+
+
+def _plan_of(other: Buildable) -> PlanNode:
+    if isinstance(other, Query):
+        return other.plan
+    if isinstance(other, PlanNode):
+        return other
+    raise QueryError(f"cannot combine a query with {type(other).__name__}")
+
+
+class Query:
+    """An immutable plan-under-construction; every method returns a new one."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: PlanNode):
+        self.plan = plan
+
+    # -- unary operators -----------------------------------------------------
+    def where(self, predicate: Predicate) -> "Query":
+        """σ — filter rows (alias: :meth:`select`)."""
+        return Query(Select(self.plan, predicate))
+
+    select = where
+
+    def project(self, *attributes: str) -> "Query":
+        """π — keep the named attributes, set semantics."""
+        if len(attributes) == 1 and isinstance(attributes[0], (list, tuple)):
+            attributes = tuple(attributes[0])
+        return Query(Project(self.plan, attributes))
+
+    def rename(self, **mapping: str) -> "Query":
+        """ρ — rename attributes via keyword pairs ``old=new``."""
+        return Query(Rename(self.plan, dict(mapping)))
+
+    def having_count(self, group_by: Sequence[str] | str, op: str, threshold: int) -> "Query":
+        """The intermediate ``COUNT θ d`` predicate (Algorithm 4)."""
+        if isinstance(group_by, str):
+            group_by = [group_by]
+        return Query(HavingCount(self.plan, group_by, op, threshold))
+
+    # -- binary operators ------------------------------------------------------
+    def join(self, other: Buildable) -> "Query":
+        return Query(NaturalJoin(self.plan, _plan_of(other)))
+
+    def product(self, other: Buildable) -> "Query":
+        return Query(Product(self.plan, _plan_of(other)))
+
+    def intersect(self, other: Buildable) -> "Query":
+        return Query(Intersect(self.plan, _plan_of(other)))
+
+    def union(self, other: Buildable) -> "Query":
+        return Query(Union_(self.plan, _plan_of(other)))
+
+    def difference(self, other: Buildable) -> "Query":
+        return Query(Difference(self.plan, _plan_of(other)))
+
+    # -- terminal aggregates -----------------------------------------------------
+    def count(self) -> PlanNode:
+        """Finish the query with COUNT(*): returns the plan node."""
+        return CountStar(self.plan)
+
+    def sum(self, attribute: str) -> PlanNode:
+        """Finish the query with SUM(attribute)."""
+        return SumAttr(self.plan, attribute)
+
+    def min(self, attribute: str) -> PlanNode:
+        """Finish the query with MIN(attribute)."""
+        from repro.relational.query import MinAttr
+
+        return MinAttr(self.plan, attribute)
+
+    def max(self, attribute: str) -> PlanNode:
+        """Finish the query with MAX(attribute)."""
+        from repro.relational.query import MaxAttr
+
+        return MaxAttr(self.plan, attribute)
+
+    # -- introspection -------------------------------------------------------------
+    def explain(self) -> str:
+        """EXPLAIN-style rendering of the plan built so far."""
+        return self.plan.describe()
+
+    def __repr__(self) -> str:
+        return f"Query({self.plan!r})"
+
+    # -- constructors ---------------------------------------------------------------
+    @staticmethod
+    def scan(table: str) -> "Query":
+        """Start a query from a base table."""
+        return Query(Scan(table))
+
+
+# Avoid shadowing the builtin set-union name used above.
+from repro.relational.query import Union as Union_  # noqa: E402
+
+Q = Query

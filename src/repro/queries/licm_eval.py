@@ -1,0 +1,100 @@
+"""Evaluate the shared plan IR against an LICM model.
+
+This is the paper's translation ``Q -> Q'``: the *same* logical plan that
+the deterministic engine runs per-world is interpreted here with the LICM
+operators, producing an LICM relation (for relational plans) or a linear
+objective expression (for terminal aggregates) in one pass over the
+representation — never per possible world.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregates import count_objective, sum_objective
+from repro.core.count_predicate import licm_having_count
+from repro.core.operators import (
+    licm_difference,
+    licm_intersect,
+    licm_join,
+    licm_product,
+    licm_project,
+    licm_rename,
+    licm_select,
+    licm_union,
+)
+from repro.core.relation import LICMRelation
+from repro.errors import QueryError
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    MaxAttr,
+    MinAttr,
+    NaturalJoin,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+)
+
+
+def evaluate_licm(plan: PlanNode, relations: dict[str, LICMRelation]):
+    """Run a plan over LICM base relations.
+
+    :param relations: base-table name -> LICM relation (all in one model).
+    :return: an :class:`LICMRelation` for relational plans, or a
+        :class:`LinearExpr` objective for the terminal ``CountStar`` /
+        ``SumAttr`` aggregates (feed it to
+        :func:`repro.core.bounds.objective_bounds`).
+    """
+    if isinstance(plan, Scan):
+        try:
+            return relations[plan.table]
+        except KeyError:
+            raise QueryError(
+                f"no LICM relation {plan.table!r}; have {sorted(relations)}"
+            ) from None
+    if isinstance(plan, Select):
+        return licm_select(evaluate_licm(plan.child, relations), plan.predicate)
+    if isinstance(plan, Project):
+        return licm_project(evaluate_licm(plan.child, relations), plan.attributes)
+    if isinstance(plan, Rename):
+        return licm_rename(evaluate_licm(plan.child, relations), plan.mapping)
+    if isinstance(plan, Intersect):
+        return licm_intersect(
+            evaluate_licm(plan.left, relations), evaluate_licm(plan.right, relations)
+        )
+    if isinstance(plan, Union):
+        return licm_union(
+            evaluate_licm(plan.left, relations), evaluate_licm(plan.right, relations)
+        )
+    if isinstance(plan, Difference):
+        return licm_difference(
+            evaluate_licm(plan.left, relations), evaluate_licm(plan.right, relations)
+        )
+    if isinstance(plan, Product):
+        return licm_product(
+            evaluate_licm(plan.left, relations), evaluate_licm(plan.right, relations)
+        )
+    if isinstance(plan, NaturalJoin):
+        return licm_join(
+            evaluate_licm(plan.left, relations), evaluate_licm(plan.right, relations)
+        )
+    if isinstance(plan, HavingCount):
+        return licm_having_count(
+            evaluate_licm(plan.child, relations), plan.group_by, plan.op, plan.threshold
+        )
+    if isinstance(plan, CountStar):
+        return count_objective(evaluate_licm(plan.child, relations))
+    if isinstance(plan, SumAttr):
+        return sum_objective(evaluate_licm(plan.child, relations), plan.attribute)
+    if isinstance(plan, (MinAttr, MaxAttr)):
+        raise QueryError(
+            "MIN/MAX are not linear objectives; use repro.queries.answer_licm, "
+            "which resolves them with feasibility probes (minmax_bounds)"
+        )
+    raise QueryError(f"unknown plan node {type(plan).__name__}")

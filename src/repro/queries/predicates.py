@@ -1,0 +1,46 @@
+"""Selectivity-targeted predicates for the paper's workload (Section V-B).
+
+Locations are uniform in ``[0, location_range)`` and prices uniform in
+``[0, price_range)``, so a contiguous range hits a predictable fraction of
+transactions/items.  ``Pa`` is always a location predicate; ``Pb``/``Pc``
+are price predicates for Query 1/2 and location predicates for Query 3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.relational.predicates import Between
+
+
+def location_predicate(
+    selectivity: float, location_range: int = 1000, offset: int = 0
+) -> Between:
+    """A location range covering ``selectivity`` of the location domain."""
+    width = _width(selectivity, location_range)
+    lo = offset
+    hi = offset + width - 1
+    if hi >= location_range:
+        raise QueryError(
+            f"predicate [{lo}, {hi}] exceeds the location range {location_range}"
+        )
+    return Between("Location", lo, hi)
+
+
+def price_predicate(
+    selectivity: float, price_range: int = 40, offset: int = 0
+) -> Between:
+    """A price range covering ``selectivity`` of the price domain."""
+    width = _width(selectivity, price_range)
+    lo = offset
+    hi = offset + width - 1
+    if hi >= price_range:
+        raise QueryError(
+            f"predicate [{lo}, {hi}] exceeds the price range {price_range}"
+        )
+    return Between("Price", lo, hi)
+
+
+def _width(selectivity: float, domain: int) -> int:
+    if not 0 < selectivity <= 1:
+        raise QueryError(f"selectivity must be in (0, 1], got {selectivity}")
+    return max(1, round(selectivity * domain))

@@ -1,0 +1,177 @@
+"""Table statistics for the LICM plan estimator.
+
+The defaults in :mod:`repro.queries.estimate` are System-R-style magic
+constants; this module computes real statistics from LICM relations —
+per-column distinct counts, value ranges and equi-width histograms over
+the *possible* rows, plus the certain/possible row interval — and exposes
+a statistics-aware selectivity function and join-key distinct counts the
+estimator consumes when given a :class:`StatsCatalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.relation import LICMRelation
+from repro.errors import QueryError
+from repro.relational.predicates import (
+    And,
+    Between,
+    Compare,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+HISTOGRAM_BUCKETS = 16
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one attribute over a relation's possible rows."""
+
+    distinct: int
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    #: equi-width bucket counts over [minimum, maximum] (numeric columns)
+    histogram: Optional[list[int]] = None
+    total: int = 0
+
+    def range_fraction(self, lo, hi) -> float:
+        """Estimated fraction of rows with value in [lo, hi]."""
+        if self.total == 0:
+            return 0.0
+        if self.histogram is None or self.minimum is None or self.maximum is None:
+            return 1 / 3  # non-numeric fallback
+        if hi < self.minimum or lo > self.maximum:
+            return 0.0
+        if self.maximum == self.minimum:
+            return 1.0 if lo <= self.minimum <= hi else 0.0
+        width = (self.maximum - self.minimum) / len(self.histogram)
+        count = 0.0
+        for bucket, bucket_count in enumerate(self.histogram):
+            b_lo = self.minimum + bucket * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if overlap > 0 or (b_lo <= lo <= b_hi and lo == hi):
+                fraction = overlap / width if width else 1.0
+                if lo == hi:
+                    fraction = min(1.0, 1.0 / max(width, 1.0))
+                count += bucket_count * min(1.0, fraction)
+        return min(1.0, count / self.total)
+
+    def equality_fraction(self) -> float:
+        """Estimated fraction matched by ``attr == value`` (uniform)."""
+        return 1.0 / self.distinct if self.distinct else 0.0
+
+
+@dataclass
+class TableStats:
+    """Statistics for one relation."""
+
+    certain_rows: int
+    possible_rows: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+
+def collect_stats(relation: LICMRelation, buckets: int = HISTOGRAM_BUCKETS) -> TableStats:
+    """Scan one LICM relation and build its statistics."""
+    certain = sum(1 for row in relation.rows if row.certain)
+    columns: Dict[str, ColumnStats] = {}
+    for position, attribute in enumerate(relation.attributes):
+        values = [row.values[position] for row in relation.rows]
+        distinct = len(set(values))
+        numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if numeric and len(numeric) == len(values):
+            lo, hi = min(numeric), max(numeric)
+            histogram = [0] * buckets
+            span = (hi - lo) or 1.0
+            for value in numeric:
+                bucket = min(buckets - 1, int((value - lo) / span * buckets))
+                histogram[bucket] += 1
+            columns[attribute] = ColumnStats(
+                distinct=distinct,
+                minimum=float(lo),
+                maximum=float(hi),
+                histogram=histogram,
+                total=len(values),
+            )
+        else:
+            columns[attribute] = ColumnStats(distinct=distinct, total=len(values))
+    return TableStats(
+        certain_rows=certain, possible_rows=len(relation.rows), columns=columns
+    )
+
+
+class StatsCatalog:
+    """Per-table statistics, built lazily from LICM relations."""
+
+    def __init__(self, relations: Dict[str, LICMRelation]):
+        self._relations = relations
+        self._cache: Dict[str, TableStats] = {}
+
+    def table(self, name: str) -> TableStats:
+        if name not in self._cache:
+            try:
+                relation = self._relations[name]
+            except KeyError:
+                raise QueryError(f"no relation {name!r} in the catalog") from None
+            self._cache[name] = collect_stats(relation)
+        return self._cache[name]
+
+    def column(self, table: str, attribute: str) -> Optional[ColumnStats]:
+        return self.table(table).columns.get(attribute)
+
+
+def stats_selectivity(
+    predicate: Predicate, columns: Dict[str, ColumnStats]
+) -> float:
+    """Selectivity of a predicate using the available column statistics;
+    falls back to the estimator's defaults for unknown columns."""
+    from repro.queries.estimate import predicate_selectivity
+
+    if isinstance(predicate, Compare):
+        stats = columns.get(predicate.attribute)
+        if stats is None:
+            return predicate_selectivity(predicate)
+        if predicate.op == "==":
+            return stats.equality_fraction()
+        if predicate.op == "!=":
+            return 1.0 - stats.equality_fraction()
+        if stats.minimum is not None and isinstance(predicate.value, (int, float)):
+            value = float(predicate.value)
+            if predicate.op in ("<", "<="):
+                return stats.range_fraction(stats.minimum, value)
+            return stats.range_fraction(value, stats.maximum)
+        return predicate_selectivity(predicate)
+    if isinstance(predicate, Between):
+        stats = columns.get(predicate.attribute)
+        if stats is None or stats.minimum is None:
+            return predicate_selectivity(predicate)
+        return stats.range_fraction(float(predicate.lo), float(predicate.hi))
+    if isinstance(predicate, InSet):
+        stats = columns.get(predicate.attribute)
+        if stats is None:
+            return predicate_selectivity(predicate)
+        return min(1.0, len(predicate.values) * stats.equality_fraction())
+    if isinstance(predicate, And):
+        out = 1.0
+        for part in predicate.parts:
+            out *= stats_selectivity(part, columns)
+        return out
+    if isinstance(predicate, Or):
+        out = 0.0
+        for part in predicate.parts:
+            s = stats_selectivity(part, columns)
+            out = out + s - out * s
+        return out
+    if isinstance(predicate, Not):
+        return 1.0 - stats_selectivity(predicate.inner, columns)
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    from repro.queries.estimate import predicate_selectivity as fallback
+
+    return fallback(predicate)

@@ -1,0 +1,58 @@
+"""Deterministic in-memory relational engine (the classical-DBMS substitute)."""
+
+from repro.relational.predicates import (
+    And,
+    Between,
+    Compare,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+    evaluate,
+)
+from repro.relational.relation import Database, Relation
+from repro.relational.schema import Schema
+
+__all__ = [
+    "And",
+    "Between",
+    "Compare",
+    "CountStar",
+    "Database",
+    "Difference",
+    "HavingCount",
+    "InSet",
+    "Intersect",
+    "NaturalJoin",
+    "Not",
+    "Or",
+    "PlanNode",
+    "Predicate",
+    "Product",
+    "Project",
+    "Relation",
+    "Rename",
+    "Scan",
+    "Schema",
+    "Select",
+    "SumAttr",
+    "TruePredicate",
+    "Union",
+    "evaluate",
+]

@@ -1,0 +1,171 @@
+"""Relational algebra over deterministic relations.
+
+These are the classical counterparts of the LICM operators in
+``repro.core.operators``; the Monte Carlo baseline runs them on each
+sampled world, and the test-suite oracle compares LICM results against them
+world by world.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from repro.errors import SchemaError
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def select(relation: Relation, predicate: Predicate, name: str | None = None) -> Relation:
+    """σ: keep rows matching the predicate."""
+    fn = predicate.compile(relation.schema.position)
+    return Relation(
+        name or f"select({relation.name})",
+        relation.schema,
+        (row for row in relation.rows if fn(row)),
+    )
+
+
+def project(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
+    """π with set semantics, as in the paper's Algorithm 1 counterpart."""
+    positions = relation.schema.positions(attributes)
+    seen: dict[tuple, None] = {}
+    for row in relation.rows:
+        seen.setdefault(tuple(row[p] for p in positions), None)
+    return Relation(name or f"project({relation.name})", Schema(attributes), seen.keys())
+
+
+def intersect(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """∩ over identically-schemed relations (set semantics)."""
+    if left.schema != right.schema:
+        raise SchemaError("intersection requires identical schemas")
+    right_rows = set(right.rows)
+    seen: dict[tuple, None] = {}
+    for row in left.rows:
+        if row in right_rows:
+            seen.setdefault(row, None)
+    return Relation(name or f"({left.name} ∩ {right.name})", left.schema, seen.keys())
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """∪ with set semantics."""
+    if left.schema != right.schema:
+        raise SchemaError("union requires identical schemas")
+    seen: dict[tuple, None] = {}
+    for row in left.rows:
+        seen.setdefault(row, None)
+    for row in right.rows:
+        seen.setdefault(row, None)
+    return Relation(name or f"({left.name} ∪ {right.name})", left.schema, seen.keys())
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set difference."""
+    if left.schema != right.schema:
+        raise SchemaError("difference requires identical schemas")
+    right_rows = set(right.rows)
+    seen: dict[tuple, None] = {}
+    for row in left.rows:
+        if row not in right_rows:
+            seen.setdefault(row, None)
+    return Relation(name or f"({left.name} - {right.name})", left.schema, seen.keys())
+
+
+def product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """× Cartesian product; clashing attribute names must be renamed first."""
+    schema = left.schema.concat(right.schema)
+    rows = (lrow + rrow for lrow in left.rows for rrow in right.rows)
+    return Relation(name or f"({left.name} × {right.name})", schema, rows)
+
+
+def rename(relation: Relation, mapping: dict[str, str], name: str | None = None) -> Relation:
+    """ρ: rename attributes (needed before self-joins)."""
+    attributes = [mapping.get(a, a) for a in relation.schema.attributes]
+    return Relation(name or relation.name, Schema(attributes), relation.rows)
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """⋈ hash join on the shared attributes."""
+    shared = [a for a in left.schema.attributes if a in right.schema]
+    if not shared:
+        return product(left, right, name)
+    left_pos = left.schema.positions(shared)
+    right_pos = right.schema.positions(shared)
+    right_rest = [
+        i for i, a in enumerate(right.schema.attributes) if a not in set(shared)
+    ]
+    schema = Schema(
+        left.schema.attributes
+        + tuple(right.schema.attributes[i] for i in right_rest)
+    )
+    buckets: dict[tuple, list[tuple]] = defaultdict(list)
+    for rrow in right.rows:
+        buckets[tuple(rrow[p] for p in right_pos)].append(rrow)
+    rows = []
+    for lrow in left.rows:
+        key = tuple(lrow[p] for p in left_pos)
+        for rrow in buckets.get(key, ()):
+            rows.append(lrow + tuple(rrow[i] for i in right_rest))
+    return Relation(name or f"({left.name} ⋈ {right.name})", schema, rows)
+
+
+def group_count(
+    relation: Relation, group_by: Sequence[str], name: str | None = None
+) -> Relation:
+    """γ: distinct-row count per group key (matches LICM's set semantics).
+
+    Output schema is ``group_by + ('count',)``.
+    """
+    positions = relation.schema.positions(group_by)
+    counts: Counter = Counter()
+    seen: set[tuple] = set()
+    for row in relation.rows:
+        if row in seen:
+            continue
+        seen.add(row)
+        counts[tuple(row[p] for p in positions)] += 1
+    schema = Schema(tuple(group_by) + ("count",))
+    return Relation(
+        name or f"group_count({relation.name})",
+        schema,
+        (key + (count,) for key, count in counts.items()),
+    )
+
+
+def having_count(
+    relation: Relation,
+    group_by: Sequence[str],
+    op: str,
+    threshold: int,
+    name: str | None = None,
+) -> Relation:
+    """Group keys whose distinct-member count satisfies ``count op threshold``.
+
+    This is the deterministic counterpart of the paper's intermediate
+    ``COUNT θ d`` predicate (Algorithm 4): the output contains just the
+    group-by attributes of qualifying groups.
+    """
+    import operator as _op
+
+    cmp = {"<=": _op.le, ">=": _op.ge, "==": _op.eq, "<": _op.lt, ">": _op.gt}[op]
+    counted = group_count(relation, group_by)
+    count_pos = counted.schema.position("count")
+    key_positions = counted.schema.positions(group_by)
+    rows = (
+        tuple(row[p] for p in key_positions)
+        for row in counted.rows
+        if cmp(row[count_pos], threshold)
+    )
+    return Relation(name or f"having({relation.name})", Schema(group_by), rows)
+
+
+def count_rows(relation: Relation) -> int:
+    """COUNT(*) with set semantics (distinct rows)."""
+    return len(set(relation.rows))
+
+
+def sum_attribute(relation: Relation, attribute: str) -> int:
+    """SUM over distinct rows, mirroring LICM's set-semantics aggregation."""
+    pos = relation.schema.position(attribute)
+    return sum(row[pos] for row in set(relation.rows))

@@ -1,0 +1,120 @@
+"""Logical plan rewrites.
+
+The paper stresses (Section IV-B) that LICM "does not require a new
+approach to query optimization, since it does not introduce new operators"
+— the same space of plans exists, e.g. selections can be pushed down.  This
+module implements the classical pushdown rewrite on the shared plan IR, so
+both engines benefit identically, and equivalent plans can be tested to
+produce equivalent answers (the paper's determinism claim).
+"""
+
+from __future__ import annotations
+
+from repro.relational.predicates import And, Predicate, attributes_of
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+    _Binary,
+)
+
+
+def _split_conjuncts(predicate: Predicate) -> list[Predicate]:
+    if isinstance(predicate, And):
+        out: list[Predicate] = []
+        for part in predicate.parts:
+            out.extend(_split_conjuncts(part))
+        return out
+    return [predicate]
+
+
+def _schema_attrs(plan: PlanNode, base_schemas: dict[str, tuple[str, ...]]) -> set[str]:
+    """Best-effort attribute set a plan produces (for pushdown legality)."""
+    if isinstance(plan, Scan):
+        return set(base_schemas.get(plan.table, ()))
+    if isinstance(plan, Project):
+        return set(plan.attributes)
+    if isinstance(plan, Rename):
+        inner = _schema_attrs(plan.child, base_schemas)
+        return {plan.mapping.get(a, a) for a in inner}
+    if isinstance(plan, Select):
+        return _schema_attrs(plan.child, base_schemas)
+    if isinstance(plan, (Product, NaturalJoin)):
+        return _schema_attrs(plan.left, base_schemas) | _schema_attrs(
+            plan.right, base_schemas
+        )
+    if isinstance(plan, (Intersect, Union, Difference)):
+        return _schema_attrs(plan.left, base_schemas)
+    if isinstance(plan, HavingCount):
+        return set(plan.group_by)
+    return set()
+
+
+def push_down_selections(
+    plan: PlanNode, base_schemas: dict[str, tuple[str, ...]]
+) -> PlanNode:
+    """Push selection predicates below products/joins where legal.
+
+    ``base_schemas`` maps base-table names to their attribute tuples, which
+    is all the information needed to decide which side of a join can absorb
+    a conjunct.
+    """
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, Select):
+            child = rewrite(node.child)
+            conjuncts = _split_conjuncts(node.predicate)
+            if isinstance(child, (Product, NaturalJoin)):
+                left_attrs = _schema_attrs(child.left, base_schemas)
+                right_attrs = _schema_attrs(child.right, base_schemas)
+                to_left, to_right, keep = [], [], []
+                for conj in conjuncts:
+                    needed = attributes_of(conj)
+                    if needed <= left_attrs:
+                        to_left.append(conj)
+                    elif needed <= right_attrs:
+                        to_right.append(conj)
+                    else:
+                        keep.append(conj)
+                left = child.left
+                right = child.right
+                if to_left:
+                    left = Select(left, _conjoin(to_left))
+                if to_right:
+                    right = Select(right, _conjoin(to_right))
+                new_child = type(child)(rewrite(left), rewrite(right))
+                if keep:
+                    return Select(new_child, _conjoin(keep))
+                return new_child
+            return Select(child, node.predicate)
+        if isinstance(node, _Binary):
+            return type(node)(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, Project):
+            return Project(rewrite(node.child), node.attributes)
+        if isinstance(node, Rename):
+            return Rename(rewrite(node.child), node.mapping)
+        if isinstance(node, HavingCount):
+            return HavingCount(rewrite(node.child), node.group_by, node.op, node.threshold)
+        if isinstance(node, CountStar):
+            return CountStar(rewrite(node.child))
+        if isinstance(node, SumAttr):
+            return SumAttr(rewrite(node.child), node.attribute)
+        return node
+
+    return rewrite(plan)
+
+
+def _conjoin(parts: list[Predicate]) -> Predicate:
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)

@@ -1,0 +1,157 @@
+"""Predicates over named attributes, shared by both query engines.
+
+A :class:`Predicate` is symbolic — it names attributes rather than
+positions — and is *compiled* against a schema's positions into a fast
+row-level function.  Both the deterministic engine and the LICM selection
+operator (which filters rows while leaving constraints untouched, per
+Section IV-B) use the same compiled form.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Sequence
+
+from repro.errors import QueryError
+
+_COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+RowFn = Callable[[tuple], bool]
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`compile`."""
+
+    def compile(self, position_of: Callable[[str], int]) -> RowFn:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Compare(Predicate):
+    """``attribute op constant`` for op in ==, !=, <, <=, >, >=."""
+
+    def __init__(self, attribute: str, op: str, value):
+        if op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.attribute = attribute
+        self.op = op
+        self.value = value
+
+    def compile(self, position_of) -> RowFn:
+        pos = position_of(self.attribute)
+        cmp = _COMPARATORS[self.op]
+        value = self.value
+        return lambda row: cmp(row[pos], value)
+
+    def __repr__(self) -> str:
+        return f"({self.attribute} {self.op} {self.value!r})"
+
+
+class Between(Predicate):
+    """``lo <= attribute <= hi`` — the paper's range predicates (Pa, Pb, Pc)."""
+
+    def __init__(self, attribute: str, lo, hi):
+        self.attribute = attribute
+        self.lo = lo
+        self.hi = hi
+
+    def compile(self, position_of) -> RowFn:
+        pos = position_of(self.attribute)
+        lo, hi = self.lo, self.hi
+        return lambda row: lo <= row[pos] <= hi
+
+    def __repr__(self) -> str:
+        return f"({self.lo!r} <= {self.attribute} <= {self.hi!r})"
+
+
+class InSet(Predicate):
+    """``attribute IN {values}``."""
+
+    def __init__(self, attribute: str, values):
+        self.attribute = attribute
+        self.values = frozenset(values)
+
+    def compile(self, position_of) -> RowFn:
+        pos = position_of(self.attribute)
+        values = self.values
+        return lambda row: row[pos] in values
+
+    def __repr__(self) -> str:
+        return f"({self.attribute} IN {sorted(self.values)!r})"
+
+
+class And(Predicate):
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = list(parts)
+
+    def compile(self, position_of) -> RowFn:
+        fns = [p.compile(position_of) for p in self.parts]
+        return lambda row: all(fn(row) for fn in fns)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = list(parts)
+
+    def compile(self, position_of) -> RowFn:
+        fns = [p.compile(position_of) for p in self.parts]
+        return lambda row: any(fn(row) for fn in fns)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def compile(self, position_of) -> RowFn:
+        fn = self.inner.compile(position_of)
+        return lambda row: not fn(row)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+class TruePredicate(Predicate):
+    """Matches every row; useful as a neutral element."""
+
+    def compile(self, position_of) -> RowFn:
+        return lambda row: True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+def attributes_of(predicate: Predicate) -> set[str]:
+    """The attribute names a predicate reads (for pushdown decisions)."""
+    if isinstance(predicate, (Compare, Between, InSet)):
+        return {predicate.attribute}
+    if isinstance(predicate, (And, Or)):
+        out: set[str] = set()
+        for part in predicate.parts:
+            out |= attributes_of(part)
+        return out
+    if isinstance(predicate, Not):
+        return attributes_of(predicate.inner)
+    if isinstance(predicate, TruePredicate):
+        return set()
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")

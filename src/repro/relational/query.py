@@ -1,0 +1,226 @@
+"""Logical query plans shared by both engines.
+
+A plan is a small tree of operator nodes.  ``evaluate`` runs it on a
+deterministic :class:`~repro.relational.relation.Database` (the Monte Carlo
+path); ``repro.queries.licm_eval`` runs the *same tree* against an LICM
+model (the paper's path).  Keeping one plan IR guarantees that the two
+approaches answer literally the same query — the property the paper's
+Figure 5 comparison relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.relational import algebra
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Database
+
+
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        """A readable multi-line plan rendering (EXPLAIN-style)."""
+        lines = ["  " * indent + repr(self)]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+class Scan(PlanNode):
+    """Leaf: read a named base relation."""
+
+    def __init__(self, table: str):
+        self.table = table
+
+    def __repr__(self) -> str:
+        return f"Scan({self.table})"
+
+
+class Select(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select[{self.predicate!r}]"
+
+
+class Project(PlanNode):
+    def __init__(self, child: PlanNode, attributes: Sequence[str]):
+        self.child = child
+        self.attributes = tuple(attributes)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Project[{list(self.attributes)}]"
+
+
+class Rename(PlanNode):
+    def __init__(self, child: PlanNode, mapping: dict[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Rename[{self.mapping}]"
+
+
+class _Binary(PlanNode):
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class Intersect(_Binary):
+    pass
+
+
+class Union(_Binary):
+    pass
+
+
+class Difference(_Binary):
+    pass
+
+
+class Product(_Binary):
+    pass
+
+
+class NaturalJoin(_Binary):
+    pass
+
+
+class HavingCount(PlanNode):
+    """The paper's intermediate ``COUNT θ d``: group keys whose group size
+    (distinct members) satisfies the comparison.  Output schema is the
+    group-by attributes."""
+
+    def __init__(self, child: PlanNode, group_by: Sequence[str], op: str, threshold: int):
+        if op not in ("<=", ">=", "==", "<", ">"):
+            raise QueryError(f"unsupported count comparison {op!r}")
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.op = op
+        self.threshold = threshold
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"HavingCount[{list(self.group_by)}: COUNT {self.op} {self.threshold}]"
+
+
+class CountStar(PlanNode):
+    """Terminal aggregate: COUNT(*) over distinct rows of the child."""
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "CountStar"
+
+
+class SumAttr(PlanNode):
+    """Terminal aggregate: SUM(attribute) over distinct rows of the child."""
+
+    def __init__(self, child: PlanNode, attribute: str):
+        self.child = child
+        self.attribute = attribute
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Sum[{self.attribute}]"
+
+
+class MinAttr(PlanNode):
+    """Terminal aggregate: MIN(attribute); None on an empty child."""
+
+    def __init__(self, child: PlanNode, attribute: str):
+        self.child = child
+        self.attribute = attribute
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Min[{self.attribute}]"
+
+
+class MaxAttr(PlanNode):
+    """Terminal aggregate: MAX(attribute); None on an empty child."""
+
+    def __init__(self, child: PlanNode, attribute: str):
+        self.child = child
+        self.attribute = attribute
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Max[{self.attribute}]"
+
+
+def evaluate(plan: PlanNode, db: Database):
+    """Run a plan on a deterministic database.
+
+    Returns a :class:`Relation` for relational nodes and an ``int`` for the
+    terminal aggregates.
+    """
+    if isinstance(plan, Scan):
+        return db.table(plan.table)
+    if isinstance(plan, Select):
+        return algebra.select(evaluate(plan.child, db), plan.predicate)
+    if isinstance(plan, Project):
+        return algebra.project(evaluate(plan.child, db), plan.attributes)
+    if isinstance(plan, Rename):
+        return algebra.rename(evaluate(plan.child, db), plan.mapping)
+    if isinstance(plan, Intersect):
+        return algebra.intersect(evaluate(plan.left, db), evaluate(plan.right, db))
+    if isinstance(plan, Union):
+        return algebra.union(evaluate(plan.left, db), evaluate(plan.right, db))
+    if isinstance(plan, Difference):
+        return algebra.difference(evaluate(plan.left, db), evaluate(plan.right, db))
+    if isinstance(plan, Product):
+        return algebra.product(evaluate(plan.left, db), evaluate(plan.right, db))
+    if isinstance(plan, NaturalJoin):
+        return algebra.natural_join(evaluate(plan.left, db), evaluate(plan.right, db))
+    if isinstance(plan, HavingCount):
+        return algebra.having_count(
+            evaluate(plan.child, db), plan.group_by, plan.op, plan.threshold
+        )
+    if isinstance(plan, CountStar):
+        return algebra.count_rows(evaluate(plan.child, db))
+    if isinstance(plan, SumAttr):
+        return algebra.sum_attribute(evaluate(plan.child, db), plan.attribute)
+    if isinstance(plan, (MinAttr, MaxAttr)):
+        child = evaluate(plan.child, db)
+        values = child.column(plan.attribute)
+        if not values:
+            return None
+        return min(values) if isinstance(plan, MinAttr) else max(values)
+    raise QueryError(f"unknown plan node {type(plan).__name__}")

@@ -1,0 +1,91 @@
+"""In-memory deterministic relations (sets/bags of plain tuples)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+
+
+class Relation:
+    """A deterministic relation: a schema plus a list of value tuples.
+
+    Rows are stored as a list (bag semantics); ``distinct()`` produces the
+    set-semantics view that relational-algebra projection requires.
+    """
+
+    __slots__ = ("name", "schema", "rows")
+
+    def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[Tuple] = ()):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        self.rows: list[Tuple] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Sequence) -> None:
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"{self.name} expects {len(self.schema)} values, got {len(row)}"
+            )
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def column(self, attribute: str) -> list:
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self.rows]
+
+    def distinct(self) -> "Relation":
+        """Set-semantics copy preserving first-seen order."""
+        seen: dict[Tuple, None] = {}
+        for row in self.rows:
+            seen.setdefault(row, None)
+        return Relation(self.name, self.schema, seen.keys())
+
+    def as_set(self) -> frozenset:
+        return frozenset(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {list(self.schema.attributes)}, {len(self.rows)} rows)"
+
+
+class Database:
+    """A named collection of deterministic relations (one possible world)."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self.relations: dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: Relation) -> Relation:
+        if relation.name in self.relations:
+            raise SchemaError(f"relation {relation.name!r} already present")
+        self.relations[relation.name] = relation
+        return relation
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"no relation {name!r}; have {sorted(self.relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __repr__(self) -> str:
+        return f"Database({sorted(self.relations)})"

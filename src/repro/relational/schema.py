@@ -1,0 +1,66 @@
+"""Schemas for the deterministic relational engine.
+
+This engine is the reproduction's stand-in for the paper's use of a
+classical DBMS (Microsoft SQL Server) in the Monte Carlo baseline: it
+evaluates queries over *certain* relations, one sampled possible world at a
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An ordered list of attribute names."""
+
+    __slots__ = ("attributes", "_positions")
+
+    def __init__(self, attributes: Sequence[str]):
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attribute names in {list(attributes)}")
+        self.attributes = attributes
+        self._positions = {attr: i for i, attr in enumerate(attributes)}
+
+    def position(self, attribute: str) -> int:
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute {attribute!r} in schema {list(self.attributes)}"
+            ) from None
+
+    def positions(self, attributes: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.position(a) for a in attributes)
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Schema of a projection (validates attribute names)."""
+        self.positions(attributes)
+        return Schema(attributes)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a Cartesian product; name clashes raise SchemaError."""
+        return Schema(self.attributes + other.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Schema):
+            return self.attributes == other.attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.attributes)})"

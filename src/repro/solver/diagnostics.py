@@ -1,0 +1,73 @@
+"""Infeasibility diagnostics: minimal conflicting constraint sets.
+
+When an LICM database admits no possible world — a modeling bug, or
+inconsistent side information — the useful answer is *which constraints
+conflict*.  This implements the classical deletion filter: repeatedly try
+dropping each constraint; if the rest stays infeasible the constraint is
+redundant to the conflict and is removed, otherwise it is pinned.  The
+result is an irreducible infeasible subsystem (IIS): every constraint in
+it is necessary for the infeasibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.propagation import FREE, CompiledConstraints, propagate
+
+
+def _feasible(constraints: List[BIPConstraint], num_vars: int) -> bool:
+    """Cheap feasibility: propagation, then exhaustive search on small
+    residues, else LP + a few branchings via the solve facade."""
+    problem = BIPProblem(num_vars=num_vars, constraints=list(constraints), objective={})
+    domains = propagate(CompiledConstraints(problem), [FREE] * num_vars)
+    if domains is None:
+        return False
+    from repro.solver.interface import solve
+    from repro.solver.result import SolverOptions
+
+    solution = solve(problem, "max", SolverOptions(backend="bb", cut_rounds=0))
+    return solution.status != "infeasible"
+
+
+def find_iis(problem: BIPProblem) -> Optional[List[BIPConstraint]]:
+    """An irreducible infeasible subsystem, or ``None`` if feasible.
+
+    Deletion filter: O(m) feasibility checks.  Binary variables' implicit
+    bounds are always part of the system (never reported).
+    """
+    constraints = list(problem.constraints)
+    if _feasible(constraints, problem.num_vars):
+        return None
+    kept = list(constraints)
+    index = 0
+    while index < len(kept):
+        trial = kept[:index] + kept[index + 1 :]
+        if not _feasible(trial, problem.num_vars):
+            kept = trial  # still infeasible without it: not needed
+        else:
+            index += 1  # necessary for the conflict: pin it
+    return kept
+
+
+def explain_infeasibility(model, names: bool = True) -> Optional[List[str]]:
+    """IIS over an LICM model's constraint store, rendered as strings.
+
+    Returns ``None`` when the model has at least one possible world.
+    """
+    from repro.solver.model import from_licm
+    from repro.core.linexpr import LinearExpr
+
+    problem, _dense = from_licm(LinearExpr({}, 0), list(model.constraints))
+    iis = find_iis(problem)
+    if iis is None:
+        return None
+    rendered = []
+    for constraint in iis:
+        label = " + ".join(
+            f"{coef}*{problem.names[idx]}" for coef, idx in constraint.terms
+        )
+        op = "=" if constraint.op == "==" else constraint.op
+        rendered.append(f"{label} {op} {constraint.rhs}")
+    return rendered

@@ -1,0 +1,59 @@
+"""The solver facade: one entry point over all backends.
+
+    from repro.solver import solve, SolverOptions
+    solution = solve(problem, sense="max", options=SolverOptions(backend="bb"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SolverError
+from repro.solver.model import BIPProblem
+from repro.solver.result import Solution, SolverOptions
+
+
+def _resolve_backend(name: str) -> str:
+    if name != "auto":
+        return name
+    try:
+        from scipy.optimize import milp  # noqa: F401
+
+        return "scipy"
+    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+        return "bb"
+
+
+def solve(
+    problem: BIPProblem,
+    sense: str = "max",
+    options: Optional[SolverOptions] = None,
+) -> Solution:
+    """Optimize a binary program.
+
+    :param sense: ``'max'`` or ``'min'``.
+    :param options: backend and limits; see :class:`SolverOptions`.
+    """
+    if sense not in ("max", "min"):
+        raise SolverError(f"sense must be 'max' or 'min', got {sense!r}")
+    options = options or SolverOptions()
+    backend = _resolve_backend(options.backend)
+    if backend == "bb":
+        from repro.solver.branch_and_bound import solve_bip
+
+        return solve_bip(problem, sense, options)
+    if backend == "scipy":
+        from repro.solver.scipy_backend import solve_bip_scipy
+
+        return solve_bip_scipy(problem, sense, options)
+    raise SolverError(f"unknown backend {backend!r}")
+
+
+def maximize(problem: BIPProblem, options: Optional[SolverOptions] = None) -> Solution:
+    """Shorthand for ``solve(problem, 'max', options)``."""
+    return solve(problem, "max", options)
+
+
+def minimize(problem: BIPProblem, options: Optional[SolverOptions] = None) -> Solution:
+    """Shorthand for ``solve(problem, 'min', options)``."""
+    return solve(problem, "min", options)

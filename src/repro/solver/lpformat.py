@@ -1,0 +1,171 @@
+"""CPLEX LP file format writer and reader.
+
+The paper encodes its constraints "in the LP file format" before invoking
+CPLEX; this module provides the same interchange surface so problems built
+by LICM can be inspected, archived, or fed to an external solver, and the
+parser makes the representation round-trippable in tests.
+
+Only the subset needed for pure-binary programs is supported: an objective
+section, ``Subject To``, an optional ``Bounds`` section (ignored — binaries
+are bounded by definition), ``Binary``/``Binaries`` declarations and ``End``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SolverError
+from repro.solver.model import BIPConstraint, BIPProblem
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_\[\]\.]*"
+
+
+def _format_terms(terms, names) -> str:
+    parts = []
+    for coef, idx in terms:
+        sign = "+" if coef >= 0 else "-"
+        magnitude = abs(coef)
+        coef_text = "" if magnitude == 1 else f"{magnitude} "
+        parts.append(f"{sign} {coef_text}{names[idx]}")
+    if not parts:
+        return "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def write_lp(problem: BIPProblem, sense: str = "max") -> str:
+    """Serialize a BIP to LP format with the given optimization sense."""
+    if sense not in ("max", "min"):
+        raise SolverError(f"sense must be 'max' or 'min', got {sense!r}")
+    names = [_sanitize(n) for n in problem.names]
+    lines = ["Maximize" if sense == "max" else "Minimize"]
+    objective_terms = sorted(problem.objective.items())
+    lines.append(
+        " obj: "
+        + _format_terms([(c, i) for i, c in objective_terms], names)
+        + (
+            f" + {problem.objective_constant}"
+            if problem.objective_constant > 0
+            else f" - {-problem.objective_constant}"
+            if problem.objective_constant < 0
+            else ""
+        )
+    )
+    lines.append("Subject To")
+    for k, constraint in enumerate(problem.constraints):
+        op = "=" if constraint.op == "==" else constraint.op
+        lines.append(
+            f" c{k}: {_format_terms(constraint.terms, names)} {op} {constraint.rhs}"
+        )
+    lines.append("Binary")
+    for name in names:
+        lines.append(f" {name}")
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_\[\]\.]", "_", name)
+    if not re.match(r"^[A-Za-z_]", cleaned):
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+_TERM_RE = re.compile(rf"([+-])?\s*(\d+)?\s*({_NAME})")
+_REL_RE = re.compile(r"(<=|>=|=)\s*([+-]?\d+)\s*$")
+
+
+def _parse_terms(text: str, index_of: dict[str, int], grow: bool):
+    terms = []
+    constant = 0
+    pos = 0
+    text = text.strip()
+    while pos < len(text):
+        chunk = text[pos:].lstrip()
+        offset = len(text) - len(chunk)
+        match = _TERM_RE.match(chunk)
+        if match:
+            sign, coef_text, name = match.groups()
+            coef = int(coef_text) if coef_text else 1
+            if sign == "-":
+                coef = -coef
+            if name not in index_of:
+                if not grow:
+                    raise SolverError(f"unknown variable {name!r} in LP text")
+                index_of[name] = len(index_of)
+            terms.append((coef, index_of[name]))
+            pos = offset + match.end()
+            continue
+        const_match = re.match(r"([+-]?)\s*(\d+)", chunk)
+        if const_match:
+            sign, value = const_match.groups()
+            constant += int(value) * (-1 if sign == "-" else 1)
+            pos = offset + const_match.end()
+            continue
+        raise SolverError(f"cannot parse LP terms near {chunk[:30]!r}")
+    return terms, constant
+
+
+def read_lp(text: str) -> tuple[BIPProblem, str]:
+    """Parse LP text back into a :class:`BIPProblem` and its sense."""
+    lines = [line.split("\\")[0].strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
+    section = None
+    sense = "max"
+    objective_text = ""
+    constraint_texts: list[str] = []
+    binaries: list[str] = []
+    for line in lines:
+        lowered = line.lower()
+        if lowered in ("maximize", "maximise", "max"):
+            section, sense = "objective", "max"
+            continue
+        if lowered in ("minimize", "minimise", "min"):
+            section, sense = "objective", "min"
+            continue
+        if lowered in ("subject to", "st", "s.t.", "such that"):
+            section = "constraints"
+            continue
+        if lowered in ("binary", "binaries", "bin"):
+            section = "binary"
+            continue
+        if lowered in ("bounds", "general", "generals"):
+            section = "skip"
+            continue
+        if lowered == "end":
+            break
+        if section == "objective":
+            objective_text += " " + line
+        elif section == "constraints":
+            constraint_texts.append(line)
+        elif section == "binary":
+            binaries.extend(line.split())
+
+    index_of: dict[str, int] = {name: i for i, name in enumerate(binaries)}
+    grow = not binaries
+
+    objective_text = re.sub(rf"^\s*{_NAME}\s*:", "", objective_text).strip()
+    objective_terms, objective_constant = _parse_terms(objective_text, index_of, grow)
+
+    constraints = []
+    for text_line in constraint_texts:
+        body = re.sub(rf"^\s*{_NAME}\s*:", "", text_line).strip()
+        rel = _REL_RE.search(body)
+        if not rel:
+            raise SolverError(f"constraint without relation: {text_line!r}")
+        op, rhs = rel.groups()
+        op = "==" if op == "=" else op
+        terms, constant = _parse_terms(body[: rel.start()], index_of, grow)
+        constraints.append(BIPConstraint(tuple(terms), op, int(rhs) - constant))
+
+    names = [None] * len(index_of)
+    for name, idx in index_of.items():
+        names[idx] = name
+    problem = BIPProblem(
+        num_vars=len(index_of),
+        constraints=constraints,
+        objective={idx: coef for coef, idx in objective_terms},
+        objective_constant=objective_constant,
+        names=list(names),
+    )
+    return problem, sense

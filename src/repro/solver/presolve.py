@@ -1,0 +1,98 @@
+"""Presolve: shrink a BIP before optimization.
+
+Mirrors the paper's description of the CPLEX pipeline — "a pre-solve stage
+which removes redundant constraints and variables".  Steps:
+
+1. root bound propagation fixes forced variables (or proves infeasibility);
+2. fixed variables are substituted away (folded into each constraint's rhs
+   and the objective constant);
+3. constraints that are trivially satisfied under 0/1 activity bounds are
+   removed; a trivially violated one proves infeasibility.
+
+The result records how to lift a reduced solution back to the full space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InfeasibleError
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.propagation import FREE, CompiledConstraints, propagate
+
+
+@dataclass
+class PresolveResult:
+    """A reduced problem plus the bookkeeping to undo the reduction."""
+
+    problem: BIPProblem
+    fixed: dict[int, int]  # original index -> value
+    kept: list[int]  # original index per reduced index
+
+    def lift(self, x_reduced: Sequence[int]) -> list[int]:
+        """Expand a reduced-space solution to the original variable space."""
+        full = [0] * (len(self.fixed) + len(self.kept))
+        for idx, value in self.fixed.items():
+            full[idx] = value
+        for reduced_idx, original_idx in enumerate(self.kept):
+            full[original_idx] = int(x_reduced[reduced_idx])
+        return full
+
+
+def presolve(problem: BIPProblem) -> PresolveResult:
+    """Reduce the problem; raises :class:`InfeasibleError` when unsatisfiable."""
+    compiled = CompiledConstraints(problem)
+    domains = propagate(compiled, [FREE] * problem.num_vars)
+    if domains is None:
+        raise InfeasibleError("presolve proved the constraint system infeasible")
+
+    fixed = {idx: value for idx, value in enumerate(domains) if value != FREE}
+    kept = [idx for idx, value in enumerate(domains) if value == FREE]
+    dense = {original: reduced for reduced, original in enumerate(kept)}
+
+    reduced_constraints: list[BIPConstraint] = []
+    for constraint in problem.constraints:
+        terms = []
+        rhs = constraint.rhs
+        for coef, idx in constraint.terms:
+            if idx in fixed:
+                rhs -= coef * fixed[idx]
+            else:
+                terms.append((coef, dense[idx]))
+        reduced = BIPConstraint(tuple(terms), constraint.op, rhs)
+        lo = sum(coef for coef, _ in terms if coef < 0)
+        hi = sum(coef for coef, _ in terms if coef > 0)
+        if reduced.op == "<=":
+            if lo > rhs:
+                raise InfeasibleError(f"constraint {constraint} unsatisfiable after fixing")
+            if hi <= rhs:
+                continue  # redundant
+        elif reduced.op == ">=":
+            if hi < rhs:
+                raise InfeasibleError(f"constraint {constraint} unsatisfiable after fixing")
+            if lo >= rhs:
+                continue
+        else:
+            if rhs < lo or rhs > hi:
+                raise InfeasibleError(f"constraint {constraint} unsatisfiable after fixing")
+            if lo == hi == rhs:
+                continue
+        reduced_constraints.append(reduced)
+
+    objective = {}
+    objective_constant = problem.objective_constant
+    for idx, coef in problem.objective.items():
+        if idx in fixed:
+            objective_constant += coef * fixed[idx]
+        else:
+            objective[dense[idx]] = coef
+
+    reduced_problem = BIPProblem(
+        num_vars=len(kept),
+        constraints=reduced_constraints,
+        objective=objective,
+        objective_constant=objective_constant,
+        names=[problem.names[idx] for idx in kept],
+    )
+    return PresolveResult(problem=reduced_problem, fixed=fixed, kept=kept)

@@ -1,0 +1,109 @@
+"""LP relaxation of a BIP under branch fixings.
+
+Two engines: SciPy's HiGHS ``linprog`` (default, fast, sparse) and the
+from-scratch dense simplex in :mod:`repro.solver.simplex` (ablation and
+cross-check).  Both maximize; the branch-and-bound negates for minimization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.model import BIPProblem
+from repro.solver.propagation import ONE, ZERO
+
+
+def _bounds_from_domains(domains: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    lower = np.zeros(len(domains))
+    upper = np.ones(len(domains))
+    for idx, state in enumerate(domains):
+        if state == ZERO:
+            upper[idx] = 0.0
+        elif state == ONE:
+            lower[idx] = 1.0
+    return lower, upper
+
+
+def solve_relaxation(
+    problem: BIPProblem,
+    domains: Sequence[int],
+    engine: str = "highs",
+) -> Tuple[str, float, Optional[np.ndarray]]:
+    """Maximize the LP relaxation with variables boxed by branch domains.
+
+    Returns ``(status, objective_value, x)`` — objective value *includes*
+    the problem's objective constant.
+    """
+    lower, upper = _bounds_from_domains(domains)
+    if engine == "simplex":
+        return _solve_simplex(problem, lower, upper)
+    if engine == "highs":
+        return _solve_highs(problem, lower, upper)
+    raise SolverError(f"unknown LP engine {engine!r}")
+
+
+def _objective_vector(problem: BIPProblem) -> np.ndarray:
+    c = np.zeros(problem.num_vars)
+    for idx, coef in problem.objective.items():
+        c[idx] = coef
+    return c
+
+
+def _solve_simplex(problem, lower, upper):
+    from repro.solver import simplex
+
+    constraints = [(list(c.terms), c.op, float(c.rhs)) for c in problem.constraints]
+    status, value, x = simplex.solve_lp(
+        _objective_vector(problem), constraints, problem.num_vars, lower, upper
+    )
+    if status != "optimal":
+        return status, 0.0, None
+    return status, value + problem.objective_constant, x
+
+
+def _solve_highs(problem, lower, upper):
+    from scipy.optimize import linprog
+    from scipy.sparse import csr_matrix
+
+    n = problem.num_vars
+    ub_rows, ub_cols, ub_data, ub_rhs = [], [], [], []
+    eq_rows, eq_cols, eq_data, eq_rhs = [], [], [], []
+    for constraint in problem.constraints:
+        if constraint.op == "==":
+            row_idx = len(eq_rhs)
+            for coef, idx in constraint.terms:
+                eq_rows.append(row_idx)
+                eq_cols.append(idx)
+                eq_data.append(float(coef))
+            eq_rhs.append(float(constraint.rhs))
+        else:
+            sign = 1.0 if constraint.op == "<=" else -1.0
+            row_idx = len(ub_rhs)
+            for coef, idx in constraint.terms:
+                ub_rows.append(row_idx)
+                ub_cols.append(idx)
+                ub_data.append(sign * float(coef))
+            ub_rhs.append(sign * float(constraint.rhs))
+
+    kwargs = {}
+    if ub_rhs:
+        kwargs["A_ub"] = csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(len(ub_rhs), n))
+        kwargs["b_ub"] = np.array(ub_rhs)
+    if eq_rhs:
+        kwargs["A_eq"] = csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(len(eq_rhs), n))
+        kwargs["b_eq"] = np.array(eq_rhs)
+
+    result = linprog(
+        -_objective_vector(problem),  # linprog minimizes
+        bounds=np.column_stack([lower, upper]),
+        method="highs",
+        **kwargs,
+    )
+    if result.status == 2:
+        return "infeasible", 0.0, None
+    if not result.success:
+        raise SolverError(f"HiGHS LP failed: {result.message}")
+    return "optimal", -result.fun + problem.objective_constant, result.x

@@ -1,0 +1,61 @@
+"""Solver result and option types shared by all backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Solution:
+    """Outcome of one optimization run.
+
+    ``status`` is one of:
+
+    * ``'optimal'`` — ``objective`` is proven optimal and ``x`` attains it;
+    * ``'limit'``   — a node/time limit stopped the search; ``objective`` is
+      the best incumbent (may be ``None``) and ``bound`` the proven dual
+      bound, mirroring the paper's "quite tight approximate bounds" regime;
+    * ``'infeasible'`` — no possible world satisfies the constraints.
+    """
+
+    status: str
+    objective: Optional[int] = None
+    x: Optional[list[int]] = None
+    bound: Optional[float] = None
+    nodes: int = 0
+    solve_time: float = 0.0
+    backend: str = ""
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Absolute gap between incumbent and proven bound (0 at optimality)."""
+        if self.objective is None or self.bound is None:
+            return None
+        return abs(self.bound - self.objective)
+
+
+@dataclass
+class SolverOptions:
+    """Tuning knobs for :func:`repro.solver.interface.solve`.
+
+    ``backend``:
+      * ``'auto'``  — SciPy HiGHS MILP when available, else own B&B;
+      * ``'bb'``    — the from-scratch branch-and-bound;
+      * ``'scipy'`` — SciPy HiGHS MILP.
+
+    ``lp_engine`` (B&B only): ``'highs'`` or the from-scratch ``'simplex'``.
+    ``branching``: ``'most_fractional'``, ``'pseudocost'`` or ``'first'``.
+    ``node_selection``: ``'best_bound'`` or ``'dfs'``.
+    """
+
+    backend: str = "auto"
+    lp_engine: str = "highs"
+    branching: str = "most_fractional"
+    node_selection: str = "best_bound"
+    node_limit: int = 200_000
+    time_limit: float = 600.0  # the paper's observed CPLEX budget on Query 3
+    use_presolve: bool = True
+    use_heuristics: bool = True
+    cut_rounds: int = 3  # rounds of root cover-cut separation (0 disables)
+    integrality_tol: float = 1e-6

@@ -1,0 +1,176 @@
+"""A from-scratch dense two-phase simplex solver.
+
+This is the reproduction's self-contained LP engine: it solves the linear
+relaxation ``max c.x  s.t.  A x θ b, 0 <= x <= 1`` without any external
+solver.  It is deliberately simple — dense tableau, Bland's anti-cycling
+rule — and is used as the fallback/ablation LP engine and as a correctness
+cross-check against SciPy's HiGHS in the tests.  For the large benchmark
+instances the branch-and-bound defaults to HiGHS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_EPS = 1e-9
+
+
+def solve_lp(
+    objective: Sequence[float],
+    constraints: Sequence[Tuple[Sequence[Tuple[float, int]], str, float]],
+    num_vars: int,
+    lower: Optional[Sequence[float]] = None,
+    upper: Optional[Sequence[float]] = None,
+) -> Tuple[str, float, Optional[np.ndarray]]:
+    """Maximize ``objective . x`` subject to sparse constraints and box bounds.
+
+    :param constraints: list of ``(terms, op, rhs)`` with ``terms`` a list of
+        ``(coefficient, var_index)`` and ``op`` in ``{'<=', '>=', '=='}``.
+    :param lower, upper: per-variable bounds, default 0 and 1.
+    :return: ``(status, objective_value, x)`` with status ``'optimal'`` or
+        ``'infeasible'``.  (Bounded boxes make unboundedness impossible.)
+
+    Implementation: variables are shifted by their lower bounds, upper
+    bounds become explicit rows, all rows get slack/surplus variables, and
+    a phase-1 artificial objective establishes feasibility before phase 2
+    optimizes the true objective.  Bland's rule guarantees termination.
+    """
+    lower = np.zeros(num_vars) if lower is None else np.asarray(lower, dtype=float)
+    upper = np.ones(num_vars) if upper is None else np.asarray(upper, dtype=float)
+    if np.any(lower > upper + _EPS):
+        return "infeasible", 0.0, None
+
+    # Shift x = lower + y with 0 <= y <= upper - lower.
+    rows: list[np.ndarray] = []
+    senses: list[str] = []
+    rhs_list: list[float] = []
+    for terms, op, rhs in constraints:
+        row = np.zeros(num_vars)
+        shift = 0.0
+        for coef, idx in terms:
+            row[idx] += coef
+            shift += coef * lower[idx]
+        rows.append(row)
+        senses.append(op)
+        rhs_list.append(rhs - shift)
+    span = upper - lower
+    for idx in range(num_vars):
+        row = np.zeros(num_vars)
+        row[idx] = 1.0
+        rows.append(row)
+        senses.append("<=")
+        rhs_list.append(span[idx])
+
+    a_matrix = np.array(rows) if rows else np.zeros((0, num_vars))
+    b_vector = np.array(rhs_list)
+
+    # Normalize to b >= 0 by flipping rows.
+    for i in range(len(b_vector)):
+        if b_vector[i] < 0:
+            a_matrix[i] *= -1
+            b_vector[i] *= -1
+            if senses[i] == "<=":
+                senses[i] = ">="
+            elif senses[i] == ">=":
+                senses[i] = "<="
+
+    m = len(b_vector)
+    slack_count = sum(1 for s in senses if s in ("<=", ">="))
+    artificial_count = sum(1 for s in senses if s in (">=", "=="))
+    total = num_vars + slack_count + artificial_count
+
+    tableau = np.zeros((m, total + 1))
+    tableau[:, :num_vars] = a_matrix
+    tableau[:, -1] = b_vector
+    basis = [-1] * m
+    slack_pos = num_vars
+    artificial_pos = num_vars + slack_count
+    artificials = []
+    for i, sense in enumerate(senses):
+        if sense == "<=":
+            tableau[i, slack_pos] = 1.0
+            basis[i] = slack_pos
+            slack_pos += 1
+        elif sense == ">=":
+            tableau[i, slack_pos] = -1.0
+            slack_pos += 1
+            tableau[i, artificial_pos] = 1.0
+            basis[i] = artificial_pos
+            artificials.append(artificial_pos)
+            artificial_pos += 1
+        else:
+            tableau[i, artificial_pos] = 1.0
+            basis[i] = artificial_pos
+            artificials.append(artificial_pos)
+            artificial_pos += 1
+
+    def pivot(tab: np.ndarray, row: int, col: int) -> None:
+        tab[row] /= tab[row, col]
+        for r in range(tab.shape[0]):
+            if r != row and abs(tab[r, col]) > _EPS:
+                tab[r] -= tab[r, col] * tab[row]
+
+    def run_simplex(tab: np.ndarray, costs: np.ndarray) -> float:
+        """Maximize costs.x over the tableau; returns the objective value."""
+        # Reduced cost row: z_j - c_j maintained explicitly.
+        z_row = np.zeros(total + 1)
+        for i, b_col in enumerate(basis):
+            if abs(costs[b_col]) > _EPS:
+                z_row += costs[b_col] * tab[i]
+        z_row[:total] -= costs
+        while True:
+            entering = -1
+            for j in range(total):
+                if z_row[j] < -_EPS:
+                    entering = j  # Bland: smallest index
+                    break
+            if entering < 0:
+                return z_row[-1]
+            ratios = []
+            for i in range(m):
+                if tab[i, entering] > _EPS:
+                    ratios.append((tab[i, -1] / tab[i, entering], basis[i], i))
+            if not ratios:
+                raise SolverError("LP relaxation unbounded (cannot happen for boxed vars)")
+            __, __, leave_row = min(ratios, key=lambda t: (t[0], t[1]))
+            pivot(tab, leave_row, entering)
+            factor = z_row[entering]
+            z_row -= factor * tab[leave_row]
+            basis[leave_row] = entering
+
+    # Phase 1: drive artificials to zero.
+    if artificials:
+        phase1_costs = np.zeros(total)
+        for idx in artificials:
+            phase1_costs[idx] = -1.0
+        value = run_simplex(tableau, phase1_costs)
+        if value < -1e-7:
+            return "infeasible", 0.0, None
+        # Pivot lingering artificials out of the basis where possible.
+        for i in range(m):
+            if basis[i] in artificials:
+                for j in range(num_vars + slack_count):
+                    if abs(tableau[i, j]) > _EPS:
+                        pivot(tableau, i, j)
+                        basis[i] = j
+                        break
+        # Freeze artificial columns at zero.
+        for idx in artificials:
+            tableau[:, idx] = 0.0
+
+    # Phase 2.
+    costs = np.zeros(total)
+    costs[:num_vars] = np.asarray(objective, dtype=float)
+    value = run_simplex(tableau, costs)
+
+    y = np.zeros(num_vars)
+    for i, b_col in enumerate(basis):
+        if 0 <= b_col < num_vars:
+            y[b_col] = tableau[i, -1]
+    x = lower + y
+    objective_value = float(np.dot(np.asarray(objective, dtype=float), x))
+    return "optimal", objective_value, x

@@ -1,0 +1,115 @@
+"""Shared test utilities: small-model builders and brute-force oracles."""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+from repro.core.database import LICMModel
+from repro.core.relation import LICMRelation
+from repro.core.worlds import enumerate_assignments, instantiate
+from repro.relational.relation import Database, Relation
+
+
+def all_valid_assignments(model: LICMModel):
+    """Every valid complete assignment over all pool variables."""
+    variables = list(range(len(model.pool)))
+    return list(enumerate_assignments(model.constraints, variables))
+
+
+def brute_force_objective_range(model: LICMModel, objective):
+    """(min, max) of a LinearExpr over all valid assignments."""
+    values = [objective.value(a) for a in all_valid_assignments(model)]
+    return min(values), max(values)
+
+
+def fig2c_model():
+    """Figure 2(c): transaction T1 with a generalized Alcohol item.
+
+    Returns (model, relation, [b1, b2, b3]).
+    """
+    model = LICMModel()
+    trans = model.relation("TRANSITEM", ["TID", "ItemName"])
+    b1, b2, b3 = model.new_vars(3)
+    trans.insert(("T1", "Beer"), ext=b1)
+    trans.insert(("T1", "Wine"), ext=b2)
+    trans.insert(("T1", "Liquor"), ext=b3)
+    trans.insert(("T1", "Shampoo"))
+    model.add((b1 + b2 + b3) >= 1)
+    return model, trans, [b1, b2, b3]
+
+
+def fig3_models():
+    """Figure 3: the two relations of the intersection example.
+
+    Returns (model, r1, r2, vars_dict).
+    """
+    model = LICMModel()
+    r1 = model.relation("R1", ["TID", "ItemName"])
+    b1, b2 = model.new_vars(2)
+    r1.insert(("T1", "wine"), ext=b1)
+    r1.insert(("T1", "liquor"), ext=b2)
+    r1.insert(("T2", "beer"))
+    model.add((b1 + b2) >= 1)
+    r2 = model.relation("R2", ["TID", "ItemName"])
+    b3, b4 = model.new_vars(2)
+    r2.insert(("T1", "wine"), ext=b3)
+    r2.insert(("T2", "beer"), ext=b4)
+    return model, r1, r2, {"b1": b1, "b2": b2, "b3": b3, "b4": b4}
+
+
+def fig4b_model():
+    """Figure 4(b): the health-care count-predicate example."""
+    model = LICMModel()
+    rel = model.relation("R", ["TID", "ItemName"])
+    b1, b2, b3 = model.new_vars(3)
+    rel.insert(("T1", "Pregnancy test"), ext=b1)
+    rel.insert(("T1", "Diapers"), ext=b2)
+    rel.insert(("T1", "Shampoo"), ext=b3)
+    rel.insert(("T2", "Wine"))
+    b6 = model.new_var("b6")
+    rel.insert(("T2", "Shampoo"), ext=b6)
+    b7 = model.new_var("b7")
+    rel.insert(("T3", "Pregnancy test"), ext=b7)
+    return model, rel, [b1, b2, b3, b6, b7]
+
+
+def worlds_of_relation(model: LICMModel, relation: LICMRelation):
+    """Set of frozensets: distinct instantiations of one relation."""
+    return {
+        frozenset(instantiate(relation, assignment))
+        for assignment in all_valid_assignments(model)
+    }
+
+
+def per_world_results(model: LICMModel, relations: dict[str, LICMRelation], plan):
+    """Evaluate a plan on every possible world with the deterministic engine.
+
+    Returns the sorted list of distinct results: frozensets for relational
+    plans, ints for aggregate plans.
+    """
+    from repro.relational.query import evaluate
+
+    results = []
+    for assignment in all_valid_assignments(model):
+        db = Database()
+        for name, relation in relations.items():
+            db.add(
+                Relation(name, relation.attributes, instantiate(relation, assignment))
+            )
+        outcome = evaluate(plan, db)
+        if isinstance(outcome, int):
+            results.append(outcome)
+        else:
+            results.append(frozenset(outcome.rows))
+    return results
+
+
+def licm_result_worlds(model: LICMModel, result: LICMRelation):
+    """Distinct instantiations of an operator output under valid assignments.
+
+    Set semantics: each world is a frozenset of value tuples.
+    """
+    return {
+        frozenset(instantiate(result, assignment))
+        for assignment in all_valid_assignments(model)
+    }

@@ -1,0 +1,177 @@
+"""Aggregate objectives and exact bounds, checked against brute force."""
+
+import pytest
+
+from repro.core import correlations
+from repro.core.aggregates import count_objective, sum_objective
+from repro.core.bounds import count_bounds, minmax_bounds, objective_bounds, sum_bounds
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_select
+from repro.errors import InfeasibleError, QueryError
+from repro.relational.predicates import Compare, InSet
+from repro.solver.result import SolverOptions
+from helpers import (
+    all_valid_assignments,
+    brute_force_objective_range,
+    fig2c_model,
+    fig4b_model,
+)
+
+BACKENDS = [SolverOptions(backend="scipy"), SolverOptions(backend="bb")]
+
+
+@pytest.mark.parametrize("options", BACKENDS, ids=["scipy", "bb"])
+def test_count_bounds_fig2c(options):
+    model, trans, _ = fig2c_model()
+    bounds = count_bounds(trans, options=options)
+    expected = brute_force_objective_range(model, count_objective(trans))
+    assert (bounds.lower, bounds.upper) == expected == (2, 4)
+    assert bounds.exact
+    assert bounds.width == 2
+
+
+@pytest.mark.parametrize("options", BACKENDS, ids=["scipy", "bb"])
+def test_count_bounds_after_count_predicate(options):
+    model, rel, _ = fig4b_model()
+    selected = licm_select(
+        rel, InSet("ItemName", {"Pregnancy test", "Diapers", "Shampoo"})
+    )
+    counted = licm_having_count(selected, ["TID"], ">=", 2)
+    bounds = count_bounds(counted, options=options)
+    expected = brute_force_objective_range(model, count_objective(counted))
+    assert (bounds.lower, bounds.upper) == expected
+
+
+def test_witness_worlds_attain_the_bounds():
+    model, trans, _ = fig2c_model()
+    objective = count_objective(trans)
+    bounds = objective_bounds(model, objective)
+    # Witnesses only fix the pruned subproblem's variables; complete them.
+    assert objective.value({**{i: 0 for i in objective.coeffs}, **bounds.lower_witness}) == bounds.lower
+    assert objective.value({**{i: 0 for i in objective.coeffs}, **bounds.upper_witness}) == bounds.upper
+
+
+def test_sum_bounds():
+    """The paper's SUM over a constant numeric attribute."""
+    model = LICMModel()
+    rel = model.relation("ITEMS", ["Item", "Price"])
+    b1, b2 = model.new_vars(2)
+    rel.insert(("beer", 6), ext=b1)
+    rel.insert(("wine", 9), ext=b2)
+    rel.insert(("bread", 2))
+    model.add_all(correlations.mutually_exclusive(b1, b2))
+    bounds = sum_bounds(rel, "Price")
+    expected = brute_force_objective_range(model, sum_objective(rel, "Price"))
+    assert (bounds.lower, bounds.upper) == expected == (8, 11)
+
+
+def test_sum_requires_integer_values():
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    rel.insert(("oops",))
+    with pytest.raises(QueryError):
+        sum_objective(rel, "V")
+
+
+def test_count_objective_set_semantics():
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    a, b = model.new_vars(2)
+    rel.insert(("x",), ext=a)
+    rel.insert(("x",), ext=b)  # duplicate possible tuple
+    bounds = count_bounds(rel)
+    assert (bounds.lower, bounds.upper) == (0, 1)
+    raw = count_bounds(rel, dedup=False)
+    assert (raw.lower, raw.upper) == (0, 2)
+
+
+def test_infeasible_model_raises():
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    var = model.new_var()
+    rel.insert(("x",), ext=var)
+    model.add(var >= 1)
+    model.add(var <= 0)
+    with pytest.raises(InfeasibleError):
+        count_bounds(rel)
+
+
+def test_objective_bounds_with_correlated_negation():
+    """Bounds where maximizing requires setting some variables to 0."""
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    rel = model.relation("R", ["A"])
+    rel.insert(("x",), ext=a)
+    rel.insert(("y",), ext=b)
+    model.add_all(correlations.mutually_exclusive(a, b))
+    objective = 2 * a - b + 1
+    bounds = objective_bounds(model, objective)
+    expected = brute_force_objective_range(model, objective)
+    assert (bounds.lower, bounds.upper) == expected == (0, 3)
+
+
+def test_minmax_bounds_max():
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    b1, b2 = model.new_vars(2)
+    rel.insert((10,), ext=b1)
+    rel.insert((20,), ext=b2)
+    rel.insert((5,))
+    model.add_all(correlations.mutually_exclusive(b1, b2))
+    bounds = minmax_bounds(rel, "V", "max")
+    # MAX is 10 or 20 depending on which maybe-tuple exists; 5 is certain.
+    assert (bounds.lower, bounds.upper) == (10, 20)
+
+
+def test_minmax_bounds_min():
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    b1, b2 = model.new_vars(2)
+    rel.insert((10,), ext=b1)
+    rel.insert((20,), ext=b2)
+    rel.insert((50,))
+    model.add_all(correlations.mutually_exclusive(b1, b2))
+    bounds = minmax_bounds(rel, "V", "min")
+    assert (bounds.lower, bounds.upper) == (10, 20)
+
+
+def test_minmax_bounds_brute_force_cross_check():
+    model, trans, _ = fig2c_model()
+    priced = model.derived(["Item", "Price"])
+    prices = {"Beer": 6, "Wine": 9, "Liquor": 12, "Shampoo": 3}
+    for row in trans.rows:
+        priced.insert((row.values[1], prices[row.values[1]]), row.ext)
+    bounds = minmax_bounds(priced, "Price", "max")
+    maxima = set()
+    for assignment in all_valid_assignments(model):
+        from repro.core.worlds import instantiate
+
+        values = [r[1] for r in instantiate(priced, assignment)]
+        if values:
+            maxima.add(max(values))
+    assert bounds.lower == min(maxima)
+    assert bounds.upper == max(maxima)
+
+
+def test_minmax_rejects_bad_agg():
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    with pytest.raises(QueryError):
+        minmax_bounds(rel, "V", "avg")
+
+
+def test_empty_relation_minmax():
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    bounds = minmax_bounds(rel, "V", "max")
+    assert bounds.lower is None and bounds.upper is None
+
+
+def test_bounds_stats_expose_problem_sizes():
+    model, trans, _ = fig2c_model()
+    bounds = count_bounds(trans)
+    stats = bounds.stats
+    assert stats["problem_variables"] == 3
+    assert stats["variables_before"] >= stats["variables_after"]
+    assert "solve_time" in stats and "backend" in stats

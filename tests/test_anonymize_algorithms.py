@@ -1,0 +1,185 @@
+"""Unit tests for the anonymization algorithms' privacy guarantees."""
+
+import pytest
+
+from repro.anonymize.coherence import coherence_suppress, verify_coherence
+from repro.anonymize.hierarchy import Hierarchy
+from repro.anonymize.k_anonymity import k_anonymize, verify_k_anonymity
+from repro.anonymize.km_anonymity import km_anonymize, verify_km
+from repro.anonymize.safe_grouping import is_safe, safe_grouping
+from repro.data.generator import generate
+from repro.data.transactions import TransactionDataset
+from repro.errors import AnonymizationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(200, num_items=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(dataset):
+    return Hierarchy.balanced(dataset.items, fanout=4)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_km_guarantee(dataset, hierarchy, k):
+    generalized = km_anonymize(dataset, hierarchy, k, m=2)
+    assert verify_km(generalized, k, 2)
+    assert generalized.method == "km"
+    assert generalized.params == {"k": k, "m": 2}
+
+
+def test_km_m1(dataset, hierarchy):
+    generalized = km_anonymize(dataset, hierarchy, 4, m=1)
+    assert verify_km(generalized, 4, 1)
+
+
+def test_km_monotone_loss(dataset, hierarchy):
+    """More privacy (larger k) should never reduce information loss."""
+    losses = [
+        km_anonymize(dataset, hierarchy, k, m=2).information_loss()
+        for k in (2, 8)
+    ]
+    assert losses[0] <= losses[1] + 1e-9
+
+
+def test_km_k_too_large(dataset, hierarchy):
+    with pytest.raises(AnonymizationError):
+        km_anonymize(dataset, hierarchy, dataset.num_transactions + 1)
+
+
+def test_km_preserves_itemset_semantics(dataset, hierarchy):
+    """Every original item is covered by some published node of its transaction."""
+    generalized = km_anonymize(dataset, hierarchy, 4, m=2)
+    published = dict(generalized.transactions)
+    for tid, itemset in dataset.transactions:
+        nodes = published[tid]
+        for item in itemset:
+            assert any(hierarchy.covers(node, item) for node in nodes)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_k_anonymity_guarantee(dataset, hierarchy, k):
+    generalized = k_anonymize(dataset, hierarchy, k)
+    assert verify_k_anonymity(generalized, k)
+    assert generalized.equivalence_classes is not None
+    assert all(len(group) >= k for group in generalized.equivalence_classes)
+    covered = {tid for group in generalized.equivalence_classes for tid in group}
+    assert covered == {tid for tid, _ in dataset.transactions}
+
+
+def test_k_anonymity_is_local(dataset, hierarchy):
+    """Local recoding: some item should appear concrete in one transaction
+    and generalized in another (with high probability on skewed data)."""
+    generalized = k_anonymize(dataset, hierarchy, 2)
+    concrete_items = set()
+    generalized_covering = set()
+    for _, nodes in generalized.transactions:
+        for node in nodes:
+            if hierarchy.is_leaf(node):
+                concrete_items.add(node)
+            else:
+                generalized_covering.update(hierarchy.leaves_under(node))
+    assert concrete_items & generalized_covering, "expected local recoding"
+
+
+def test_k_anonymity_covers_items(dataset, hierarchy):
+    generalized = k_anonymize(dataset, hierarchy, 4)
+    published = dict(generalized.transactions)
+    for tid, itemset in dataset.transactions:
+        for item in itemset:
+            assert any(hierarchy.covers(node, item) for node in published[tid])
+
+
+def test_k_anonymity_k_too_large(dataset, hierarchy):
+    with pytest.raises(AnonymizationError):
+        k_anonymize(dataset, hierarchy, dataset.num_transactions + 1)
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_safe_grouping_properties(dataset, k):
+    grouping = safe_grouping(dataset, k)
+    assert is_safe(grouping)
+    # All tids covered exactly once.
+    seen = [tid for group in grouping.transaction_groups for tid in group]
+    assert sorted(seen) == sorted(tid for tid, _ in dataset.transactions)
+    # Graph degree structure preserved exactly.
+    items_of = dict(dataset.transactions)
+    for lnode, rnodes in grouping.edges.items():
+        tid = grouping.tid_of_lnode[lnode]
+        assert len(rnodes) == len(items_of[tid])
+
+
+def test_safe_grouping_l_greater_one(dataset):
+    grouping = safe_grouping(dataset, 2, l=2)
+    assert is_safe(grouping)
+    sizes = [len(g) for g in grouping.item_groups]
+    assert max(sizes) >= 2
+
+
+def test_safe_grouping_validation(dataset):
+    with pytest.raises(AnonymizationError):
+        safe_grouping(dataset, 0)
+    with pytest.raises(AnonymizationError):
+        safe_grouping(dataset, dataset.num_transactions + 1)
+
+
+def test_coherence_suppresses_rare_public_items():
+    # 'rare' appears once with a private item -> must be suppressed for k=2.
+    ds = TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"common", "rare", "secret"})),
+            ("T2", frozenset({"common", "secret"})),
+            ("T3", frozenset({"common"})),
+            ("T4", frozenset({"common"})),
+        ],
+        items=("common", "rare", "secret"),
+    )
+    published = coherence_suppress(ds, private_items={"secret"}, h=0.9, k=2, p=1)
+    assert "rare" in published.suppressed_items
+    assert verify_coherence(published, {"secret"}, 0.9, 2, 1)
+    for _, itemset in published.transactions:
+        assert "rare" not in itemset
+
+
+def test_coherence_h_constraint():
+    # 'flag' always co-occurs with the private item -> violates h=0.5.
+    ds = TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"flag", "secret"})),
+            ("T2", frozenset({"flag", "secret"})),
+            ("T3", frozenset({"other"})),
+            ("T4", frozenset({"other"})),
+        ],
+        items=("flag", "other", "secret"),
+    )
+    published = coherence_suppress(ds, private_items={"secret"}, h=0.5, k=2, p=1)
+    assert "flag" in published.suppressed_items
+
+
+def test_coherence_reveal_counts():
+    ds = TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"rare1", "a"})),
+            ("T2", frozenset({"a"})),
+            ("T3", frozenset({"a"})),
+        ],
+        items=("rare1", "a", "secret"),
+    )
+    published = coherence_suppress(
+        ds, private_items={"secret"}, h=0.9, k=2, p=1, reveal_counts=True
+    )
+    assert published.revealed_counts is not None
+    total_suppressed = sum(published.revealed_counts.values())
+    assert total_suppressed == sum(
+        len(dict(ds.transactions)[tid]) - len(itemset)
+        for tid, itemset in published.transactions
+    )
+
+
+def test_coherence_validation(dataset):
+    with pytest.raises(AnonymizationError):
+        coherence_suppress(dataset, private_items={"nonexistent"}, h=0.5)
+    with pytest.raises(AnonymizationError):
+        coherence_suppress(dataset, private_items=set(), h=0.0)

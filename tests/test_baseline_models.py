@@ -1,0 +1,127 @@
+"""x-tuples / BID / and-xor baselines and their LICM translations."""
+
+import pytest
+
+from repro.baselines.andxor import Leaf, Node, cardinality_tree_size, tree_to_licm
+from repro.baselines.xtuples import BIDTable, XRelation, bid_to_licm, xrelation_to_licm
+from repro.core.worlds import enumerate_worlds
+from repro.errors import ModelError
+
+
+def test_xtuple_validation():
+    with pytest.raises(ModelError):
+        XRelation("R", ("A",)).add([])
+    with pytest.raises(ModelError):
+        XRelation("R", ("A",)).add([("x",), ("x",)])
+    with pytest.raises(ModelError):
+        XRelation("R", ("A",)).add([("x", "extra")])
+
+
+def test_xrelation_world_count_and_licm_equivalence():
+    xrel = XRelation("R", ("A",))
+    xrel.add([("a1",), ("a2",)])            # exactly one of two
+    xrel.add([("b1",)], maybe=True)          # maybe-tuple
+    assert xrel.num_worlds == 4
+
+    model = xrelation_to_licm(xrel)
+    relation = model.relations["R"]
+    worlds = enumerate_worlds(model, relation)
+    assert len(worlds) == 4
+    expected = {
+        (("a1",),),
+        (("a2",),),
+        tuple(sorted([("a1",), ("b1",)])),
+        tuple(sorted([("a2",), ("b1",)])),
+    }
+    assert worlds == expected
+
+
+def test_uldb_three_valued_maybe():
+    """A '?' x-tuple admits the empty choice."""
+    xrel = XRelation("R", ("A",))
+    xrel.add([("only",)], maybe=True)
+    model = xrelation_to_licm(xrel)
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {(), (("only",),)}
+
+
+def test_bid_blocks_and_licm():
+    table = BIDTable("T", ("Key", "Val"))
+    table.insert(("k1", 1))
+    table.insert(("k1", 2))
+    table.insert(("k2", 9))
+    assert set(table.blocks()) == {"k1", "k2"}
+
+    model = bid_to_licm(table)
+    worlds = enumerate_worlds(model, model.relations["T"])
+    # k1 in {none, 1, 2} x k2 in {none, 9} = 6 worlds
+    assert len(worlds) == 6
+
+    total = bid_to_licm(table, at_least_one=True)
+    worlds = enumerate_worlds(total, total.relations["T"])
+    assert len(worlds) == 2  # k1 choice x k2 forced
+
+
+def test_andxor_xor_root():
+    tree = Node("xor", [Leaf(("a",)), Leaf(("b",))])
+    model = tree_to_licm(tree, ("V",))
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {(("a",),), (("b",),)}
+
+
+def test_andxor_nested_and_under_xor():
+    """xor( and(a, b), c ): either both a and b, or just c."""
+    tree = Node(
+        "xor",
+        [Node("and", [Leaf(("a",)), Leaf(("b",))]), Leaf(("c",))],
+    )
+    model = tree_to_licm(tree, ("V",))
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {tuple(sorted([("a",), ("b",)])), (("c",),)}
+
+
+def test_andxor_optional_xor():
+    tree = Node("xor", [Leaf(("a",)), Leaf(("b",))], optional=True)
+    model = tree_to_licm(tree, ("V",))
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {(), (("a",),), (("b",),)}
+
+
+def test_andxor_and_root_is_certain():
+    tree = Node("and", [Leaf(("a",)), Leaf(("b",))])
+    model = tree_to_licm(tree, ("V",))
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {tuple(sorted([("a",), ("b",)]))}
+
+
+def test_andxor_deep_nesting():
+    """xor under xor: a 2-level choice tree."""
+    tree = Node(
+        "xor",
+        [
+            Node("xor", [Leaf(("a",)), Leaf(("b",))]),
+            Leaf(("c",)),
+        ],
+    )
+    model = tree_to_licm(tree, ("V",))
+    worlds = enumerate_worlds(model, model.relations["R"])
+    assert worlds == {(("a",),), (("b",),), (("c",),)}
+
+
+def test_andxor_validation():
+    with pytest.raises(ModelError):
+        Node("nand", [Leaf(("a",))])
+    with pytest.raises(ModelError):
+        Node("xor", [])
+    with pytest.raises(ModelError):
+        tree_to_licm(Node("xor", [Leaf(("too", "wide"))]), ("V",))
+
+
+def test_cardinality_tree_blowup():
+    """Example 1: '1 or 2 of 5' needs 15 and/xor branches; LICM needs 2
+    linear constraints."""
+    assert cardinality_tree_size(5, 1, 2) == 15
+    assert cardinality_tree_size(20, 1, 2) == 210
+    assert cardinality_tree_size(3, 0, 3) == 8
+    with pytest.raises(ModelError):
+        cardinality_tree_size(3, 2, 1)

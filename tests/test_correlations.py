@@ -1,0 +1,104 @@
+"""Unit tests for correlation constraint builders, checked against
+brute-force world enumeration (the Example 5 semantics)."""
+
+import pytest
+
+from repro.core import correlations
+from repro.core.database import LICMModel
+from repro.errors import ConstraintError
+from helpers import all_valid_assignments
+
+
+def _survivors(model, variables):
+    """Set of tuples of values the variables take across valid assignments."""
+    return {
+        tuple(a[v.index] for v in variables) for a in all_valid_assignments(model)
+    }
+
+
+def test_cardinality_example1():
+    """Example 1: at least 1 and at most 2 of 5 address records are correct."""
+    model = LICMModel()
+    addresses = model.new_vars(5)
+    rel = model.relation("ADDR", ["Addr"])
+    for i, var in enumerate(addresses):
+        rel.insert((f"addr{i}",), ext=var)
+    model.add_all(correlations.cardinality(addresses, 1, 2))
+    counts = {sum(values) for values in _survivors(model, addresses)}
+    assert counts == {1, 2}
+
+
+def test_at_least_at_most():
+    model = LICMModel()
+    variables = model.new_vars(3)
+    model.add_all(correlations.at_least(variables, 2))
+    model.add_all(correlations.at_most(variables, 2))
+    counts = {sum(v) for v in _survivors(model, variables)}
+    assert counts == {2}
+
+
+def test_exactly():
+    model = LICMModel()
+    variables = model.new_vars(4)
+    model.add_all(correlations.exactly(variables, 1))
+    assert all(sum(v) == 1 for v in _survivors(model, variables))
+
+
+def test_cardinality_validates_range():
+    model = LICMModel()
+    variables = model.new_vars(3)
+    with pytest.raises(ConstraintError):
+        correlations.cardinality(variables, 2, 1)
+    with pytest.raises(ConstraintError):
+        correlations.cardinality(variables, 0, 4)
+    with pytest.raises(ConstraintError):
+        correlations.exactly(variables, 5)
+
+
+def test_cardinality_skips_vacuous_sides():
+    model = LICMModel()
+    variables = model.new_vars(3)
+    assert correlations.cardinality(variables, 0, 3) == []
+    assert len(correlations.cardinality(variables, 1, 3)) == 1
+
+
+def test_mutual_exclusion():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add_all(correlations.mutually_exclusive(a, b))
+    assert _survivors(model, [a, b]) == {(0, 1), (1, 0)}
+
+
+def test_coexistence():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add_all(correlations.coexist(a, b))
+    assert _survivors(model, [a, b]) == {(0, 0), (1, 1)}
+
+
+def test_implication():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add_all(correlations.implies(a, b))
+    assert _survivors(model, [a, b]) == {(0, 0), (0, 1), (1, 1)}
+
+
+def test_bijection_enumerates_permutations():
+    """Example 3 / Figure 9: a 3x3 bijection admits exactly 3! worlds."""
+    model = LICMModel()
+    matrix = [[model.new_var(f"b{i}{j}") for j in range(3)] for i in range(3)]
+    model.add_all(correlations.bijection(matrix))
+    flat = [var for row in matrix for var in row]
+    survivors = _survivors(model, flat)
+    assert len(survivors) == 6
+    for values in survivors:
+        grid = [values[i * 3 : (i + 1) * 3] for i in range(3)]
+        assert all(sum(row) == 1 for row in grid)
+        assert all(sum(col) == 1 for col in zip(*grid))
+
+
+def test_bijection_requires_square():
+    model = LICMModel()
+    matrix = [model.new_vars(2), model.new_vars(3)]
+    with pytest.raises(ConstraintError):
+        correlations.bijection(matrix)

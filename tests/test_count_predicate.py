@@ -1,0 +1,111 @@
+"""Unit tests for the intermediate COUNT θ d operator (Algorithm 4)."""
+
+import pytest
+
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_select
+from repro.core.worlds import instantiate
+from repro.errors import QueryError
+from repro.relational.predicates import InSet
+from helpers import all_valid_assignments, fig4b_model
+
+HEALTH_CARE = {"Pregnancy test", "Diapers", "Shampoo"}
+
+
+def _oracle(model, source, result, group_pos, op, d):
+    import operator as _op
+
+    cmp = {"<=": _op.le, ">=": _op.ge, "==": _op.eq}[op]
+    for assignment in all_valid_assignments(model):
+        rows = set(instantiate(source, assignment))
+        counts = {}
+        for row in rows:
+            counts[row[group_pos]] = counts.get(row[group_pos], 0) + 1
+        expected = {(key,) for key, count in counts.items() if cmp(count, d)}
+        actual = set(instantiate(result, assignment))
+        assert actual == expected, (assignment, expected, actual)
+
+
+def test_example8_structure():
+    """Example 8: transactions with >= 2 health-care items."""
+    model, rel, variables = fig4b_model()
+    selected = licm_select(rel, InSet("ItemName", HEALTH_CARE))
+    result = licm_having_count(selected, ["TID"], ">=", 2)
+    by_tid = {row.values[0]: row.ext for row in result.rows}
+    # T2 has only one possible health-care item; T3 too: both excluded.
+    assert set(by_tid) == {"T1"}
+    assert by_tid["T1"] not in (1, *variables)  # fresh variable
+
+
+def test_example8_semantics():
+    model, rel, _ = fig4b_model()
+    selected = licm_select(rel, InSet("ItemName", HEALTH_CARE))
+    result = licm_having_count(selected, ["TID"], ">=", 2)
+    _oracle(model, selected, result, 0, ">=", 2)
+
+
+@pytest.mark.parametrize("op,d", [("<=", 0), ("<=", 1), ("<=", 2), ("<=", 3)])
+def test_count_le_all_thresholds(op, d):
+    model, rel, _ = fig4b_model()
+    result = licm_having_count(rel, ["TID"], op, d)
+    _oracle(model, rel, result, 0, op, d)
+
+
+@pytest.mark.parametrize("op,d", [(">=", 1), (">=", 2), (">=", 3), (">=", 4)])
+def test_count_ge_all_thresholds(op, d):
+    model, rel, _ = fig4b_model()
+    result = licm_having_count(rel, ["TID"], op, d)
+    _oracle(model, rel, result, 0, op, d)
+
+
+@pytest.mark.parametrize("d", [0, 1, 2, 3])
+def test_count_eq(d):
+    model, rel, _ = fig4b_model()
+    result = licm_having_count(rel, ["TID"], "==", d)
+    _oracle(model, rel, result, 0, "==", d)
+
+
+def test_strict_comparisons_reduce():
+    model, rel, _ = fig4b_model()
+    lt = licm_having_count(rel, ["TID"], "<", 2)
+    le = licm_having_count(rel, ["TID"], "<=", 1)
+    assert {r.values for r in lt.rows} == {r.values for r in le.rows}
+    gt = licm_having_count(rel, ["TID"], ">", 1)
+    ge = licm_having_count(rel, ["TID"], ">=", 2)
+    assert {r.values for r in gt.rows} == {r.values for r in ge.rows}
+
+
+def test_all_certain_group_is_constant_folded():
+    model = LICMModel()
+    rel = model.relation("R", ["G", "V"])
+    rel.insert(("g1", 1))
+    rel.insert(("g1", 2))
+    rel.insert(("g2", 1))
+    before = model.num_variables
+    result = licm_having_count(rel, ["G"], ">=", 2)
+    assert {r.values for r in result.rows} == {("g1",)}
+    assert result.rows[0].ext == 1
+    assert model.num_variables == before  # pure case analysis, no variables
+
+
+def test_unsupported_operator():
+    model = LICMModel()
+    rel = model.relation("R", ["G"])
+    with pytest.raises(QueryError):
+        licm_having_count(rel, ["G"], "!=", 1)
+
+
+def test_duplicate_rows_counted_once():
+    """Set semantics: two copies of the same tuple count as one member."""
+    model = LICMModel()
+    rel = model.relation("R", ["G", "V"])
+    a, b = model.new_vars(2)
+    rel.insert(("g", "x"), ext=a)
+    rel.insert(("g", "x"), ext=b)
+    rel.insert(("g", "y"))
+    result = licm_having_count(rel, ["G"], ">=", 2)
+    for assignment in all_valid_assignments(model):
+        rows = set(instantiate(rel, assignment))
+        expected = {("g",)} if len(rows) >= 2 else set()
+        assert set(instantiate(result, assignment)) == expected

@@ -1,0 +1,90 @@
+"""Unit tests for the dataset container and the synthetic generator."""
+
+import pytest
+
+from repro.data.generator import generate
+from repro.data.transactions import TransactionDataset
+from repro.errors import SchemaError
+
+
+def test_generator_matches_requested_shape():
+    ds = generate(500, num_items=100, average_size=5.0, seed=3)
+    assert ds.num_transactions == 500
+    assert ds.num_items == 100
+    assert 3.0 <= ds.average_size <= 7.0  # geometric mean near 5
+    assert all(len(itemset) >= 1 for _, itemset in ds.transactions)
+
+
+def test_generator_is_deterministic():
+    a = generate(100, num_items=50, seed=42)
+    b = generate(100, num_items=50, seed=42)
+    assert a.transactions == b.transactions
+    assert a.locations == b.locations
+    assert a.prices == b.prices
+
+
+def test_generator_seeds_differ():
+    a = generate(100, num_items=50, seed=1)
+    b = generate(100, num_items=50, seed=2)
+    assert a.transactions != b.transactions
+
+
+def test_attribute_ranges():
+    ds = generate(300, num_items=60, seed=5)
+    assert all(0 <= loc < 1000 for loc in ds.locations.values())
+    assert all(0 <= price < 40 for price in ds.prices.values())
+    assert set(ds.locations) == {tid for tid, _ in ds.transactions}
+    assert set(ds.prices) == set(ds.items)
+
+
+def test_zipf_skew():
+    """Popular items should dominate: the top decile of items carries a
+    disproportionate share of occurrences."""
+    ds = generate(2000, num_items=100, seed=9)
+    supports = sorted(ds.item_supports().values(), reverse=True)
+    top_decile = sum(supports[:10])
+    assert top_decile > sum(supports) * 0.3
+
+
+def test_max_size_clipped():
+    ds = generate(500, num_items=50, average_size=20, max_size=10, seed=0)
+    assert ds.max_size <= 10
+
+
+def test_relational_views():
+    ds = generate(50, num_items=20, seed=0)
+    db = ds.exact_database()
+    trans = db.table("TRANS")
+    item = db.table("ITEM")
+    transitem = db.table("TRANSITEM")
+    assert len(trans) == 50
+    assert len(item) == 20
+    assert len(transitem) == sum(len(s) for _, s in ds.transactions)
+    assert trans.schema.attributes == ("TID", "Location")
+    assert item.schema.attributes == ("ItemName", "Price")
+
+
+def test_subset():
+    ds = generate(100, num_items=20, seed=0)
+    small = ds.subset(10)
+    assert small.num_transactions == 10
+    assert len(small.locations) == 10
+    assert small.items == ds.items
+
+
+def test_universe_validation():
+    with pytest.raises(SchemaError):
+        TransactionDataset(
+            transactions=[("T1", frozenset({"unknown"}))], items=("a", "b")
+        )
+
+
+def test_item_supports():
+    ds = TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"a", "b"})),
+            ("T2", frozenset({"a"})),
+        ],
+        items=("a", "b", "c"),
+    )
+    assert ds.item_supports() == {"a": 2, "b": 1}

@@ -1,0 +1,54 @@
+"""Dataset persistence round-trips."""
+
+import pytest
+
+from repro.data.generator import generate
+from repro.data.io import load_basket_csv, load_json, save_basket_csv, save_json
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def dataset():
+    return generate(40, num_items=16, seed=13)
+
+
+def test_json_roundtrip(tmp_path, dataset):
+    path = tmp_path / "data.json"
+    save_json(dataset, path)
+    loaded = load_json(path)
+    assert loaded.transactions == dataset.transactions
+    assert loaded.items == dataset.items
+    assert loaded.locations == dataset.locations
+    assert loaded.prices == dataset.prices
+
+
+def test_basket_csv_roundtrip(tmp_path, dataset):
+    path = tmp_path / "baskets.csv"
+    save_basket_csv(dataset, path)
+    loaded = load_basket_csv(path, items=dataset.items)
+    assert loaded.transactions == dataset.transactions
+    assert loaded.locations == {}
+
+
+def test_basket_csv_infers_universe(tmp_path, dataset):
+    path = tmp_path / "baskets.csv"
+    save_basket_csv(dataset, path)
+    loaded = load_basket_csv(path)
+    used = {item for _, s in dataset.transactions for item in s}
+    assert set(loaded.items) == used
+
+
+def test_basket_csv_with_attributes(tmp_path, dataset):
+    path = tmp_path / "baskets.csv"
+    save_basket_csv(dataset, path)
+    loaded = load_basket_csv(
+        path, items=dataset.items, locations=dataset.locations, prices=dataset.prices
+    )
+    assert loaded.locations == dataset.locations
+
+
+def test_malformed_basket_row(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("lonely-tid\n", encoding="utf-8")
+    with pytest.raises(SchemaError):
+        load_basket_csv(path)

@@ -1,0 +1,188 @@
+"""Unit tests for the LICM encodings of anonymized data (the Appendix)."""
+
+import pytest
+
+from repro.anonymize.base import BipartiteGrouping, GeneralizedDataset, SuppressedDataset
+from repro.anonymize.encode import encode_bipartite, encode_generalized, encode_suppressed
+from repro.anonymize.hierarchy import Hierarchy
+from repro.anonymize.safe_grouping import safe_grouping
+from repro.core.worlds import enumerate_worlds
+from repro.data.transactions import TransactionDataset
+from helpers import all_valid_assignments
+
+
+@pytest.fixture
+def fig2_hierarchy():
+    return Hierarchy.from_parent_map(
+        {
+            "Beer": "Alcohol",
+            "Wine": "Alcohol",
+            "Liquor": "Alcohol",
+            "Diapers": "HealthCare",
+            "Pregnancytest": "HealthCare",
+            "Shampoo": "HealthCare",
+            "Alcohol": "All",
+            "HealthCare": "All",
+        }
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    return TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"Beer", "Shampoo"})),
+            ("T2", frozenset({"Wine", "Shampoo"})),
+        ],
+        items=("Beer", "Wine", "Liquor", "Diapers", "Pregnancytest", "Shampoo"),
+        locations={"T1": 5, "T2": 17},
+        prices={"Beer": 6, "Wine": 9, "Liquor": 12, "Diapers": 4, "Pregnancytest": 8, "Shampoo": 3},
+    )
+
+
+def test_encode_generalized_fig2c(fig2_hierarchy, tiny_dataset):
+    """Figure 2(c): T1's Alcohol expands to three maybe-tuples + one >=1."""
+    generalized = GeneralizedDataset(
+        source=tiny_dataset,
+        hierarchy=fig2_hierarchy,
+        transactions=[
+            ("T1", frozenset({"Alcohol", "Shampoo"})),
+            ("T2", frozenset({"Wine", "Shampoo"})),
+        ],
+        method="manual",
+    )
+    encoded = encode_generalized(generalized)
+    transitem = encoded.relations["TRANSITEM"]
+    t1_rows = [r for r in transitem.rows if r.values[0] == "T1"]
+    assert {r.values[1] for r in t1_rows} == {"Beer", "Wine", "Liquor", "Shampoo"}
+    assert sum(1 for r in t1_rows if r.certain) == 1  # Shampoo
+    assert sum(1 for r in t1_rows if not r.certain) == 3
+    assert encoded.model.num_constraints == 1
+    # The encoding's possible worlds over T1 are the 7 non-empty subsets.
+    worlds = enumerate_worlds(encoded.model, transitem)
+    assert len(worlds) == 7
+
+
+def test_encode_generalized_size_linear(fig2_hierarchy, tiny_dataset):
+    """Appendix A: O(N) tuples and O(N) total constraint size."""
+    generalized = GeneralizedDataset(
+        source=tiny_dataset,
+        hierarchy=fig2_hierarchy,
+        transactions=[
+            ("T1", frozenset({"All"})),
+            ("T2", frozenset({"HealthCare"})),
+        ],
+    )
+    encoded = encode_generalized(generalized)
+    transitem = encoded.relations["TRANSITEM"]
+    assert len(transitem) == 6 + 3  # All -> 6 leaves, HealthCare -> 3
+    assert encoded.model.num_constraints == 2
+    term_count = sum(len(c.terms) for c in encoded.model.constraints)
+    assert term_count == 9  # each variable appears exactly once
+
+
+def test_encode_generalized_public_relations(fig2_hierarchy, tiny_dataset):
+    generalized = GeneralizedDataset(
+        source=tiny_dataset,
+        hierarchy=fig2_hierarchy,
+        transactions=[("T1", frozenset({"Beer"})), ("T2", frozenset({"Wine"}))],
+    )
+    encoded = encode_generalized(generalized)
+    assert len(encoded.relations["TRANS"]) == 2
+    assert len(encoded.relations["ITEM"]) == 6
+    assert all(r.certain for r in encoded.relations["TRANS"].rows)
+
+
+@pytest.fixture
+def disjoint_dataset():
+    """Two transactions with disjoint itemsets (safely groupable)."""
+    return TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"Beer", "Shampoo"})),
+            ("T2", frozenset({"Wine", "Diapers"})),
+        ],
+        items=("Beer", "Wine", "Liquor", "Diapers", "Pregnancytest", "Shampoo"),
+        locations={"T1": 5, "T2": 17},
+        prices={"Beer": 6, "Wine": 9, "Liquor": 12, "Diapers": 4, "Pregnancytest": 8, "Shampoo": 3},
+    )
+
+
+def test_encode_bipartite_fig8(disjoint_dataset):
+    """A 2-transaction group: 4 variables, 4 bijection constraints, and
+    exactly 2 possible worlds (the two permutations)."""
+    tiny_dataset = disjoint_dataset
+    grouping = safe_grouping(tiny_dataset, 2)
+    encoded = encode_bipartite(grouping)
+    transgroup = encoded.relations["TRANSGROUP"]
+    assert len(transgroup) == 4  # 2 tids x 2 candidate nodes
+    assert all(not r.certain for r in transgroup.rows)
+    assert encoded.model.num_constraints == 4  # 2 rows + 2 columns
+    assignments = all_valid_assignments(encoded.model)
+    assert len(assignments) == 2
+
+
+def test_encode_bipartite_graph_is_exact(tiny_dataset):
+    grouping = safe_grouping(tiny_dataset, 2)
+    encoded = encode_bipartite(grouping)
+    graph = encoded.relations["G"]
+    assert all(r.certain for r in graph.rows)
+    assert len(graph) == sum(len(s) for _, s in tiny_dataset.transactions)
+
+
+def test_encode_bipartite_item_side_public_when_l1(tiny_dataset):
+    grouping = safe_grouping(tiny_dataset, 2, l=1)
+    encoded = encode_bipartite(grouping)
+    itemgroup = encoded.relations["ITEMGROUP"]
+    assert all(r.certain for r in itemgroup.rows)
+
+
+def test_encode_bipartite_size(disjoint_dataset):
+    """Appendix B: TRANSGROUP has k|T| tuples for full groups."""
+    tiny_dataset = disjoint_dataset
+    grouping = safe_grouping(tiny_dataset, 2)
+    encoded = encode_bipartite(grouping)
+    k = grouping.params["k"]
+    assert len(encoded.relations["TRANSGROUP"]) == k * tiny_dataset.num_transactions
+
+
+def test_encode_suppressed(tiny_dataset):
+    published = SuppressedDataset(
+        source=tiny_dataset,
+        transactions=[
+            ("T1", frozenset({"Shampoo"})),
+            ("T2", frozenset({"Wine", "Shampoo"})),
+        ],
+        suppressed_items=frozenset({"Beer"}),
+    )
+    encoded = encode_suppressed(published)
+    transitem = encoded.relations["TRANSITEM"]
+    maybe = [r for r in transitem.rows if not r.certain]
+    # Each transaction might contain the suppressed item.
+    assert {(r.values[0], r.values[1]) for r in maybe} == {
+        ("T1", "Beer"),
+        ("T2", "Beer"),
+    }
+    assert encoded.model.num_constraints == 0  # Appendix C adds none
+
+
+def test_encode_suppressed_with_revealed_counts(tiny_dataset):
+    published = SuppressedDataset(
+        source=tiny_dataset,
+        transactions=[
+            ("T1", frozenset({"Shampoo"})),
+            ("T2", frozenset({"Wine", "Shampoo"})),
+        ],
+        suppressed_items=frozenset({"Beer"}),
+        revealed_counts={"T1": 1, "T2": 0},
+    )
+    encoded = encode_suppressed(published)
+    assert encoded.model.num_constraints == 2
+    # With counts revealed there is exactly one possible world.
+    assignments = all_valid_assignments(encoded.model)
+    assert len(assignments) == 1
+    transitem = encoded.relations["TRANSITEM"]
+    from repro.core.worlds import instantiate
+
+    world = set(instantiate(transitem, assignments[0]))
+    assert ("T1", "Beer") in world
+    assert ("T2", "Beer") not in world

@@ -1,0 +1,131 @@
+"""Plan cardinality/cost estimation over LICM relations."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.errors import QueryError
+from repro.queries.estimate import (
+    CardinalityInterval,
+    choose_plan,
+    estimate_cost,
+    estimate_plan,
+    predicate_selectivity,
+)
+from repro.relational.predicates import And, Between, Compare, InSet, Not, Or, TruePredicate
+from repro.relational.query import (
+    CountStar,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    Product,
+    Project,
+    Scan,
+    Select,
+)
+
+
+@pytest.fixture
+def relations():
+    model = LICMModel()
+    r = model.relation("R", ["K", "A"])
+    for i in range(10):
+        r.insert((i, f"a{i}"))
+    for i in range(10, 30):
+        r.insert_maybe((i, f"a{i}"))
+    s = model.relation("S", ["K", "B"])
+    for i in range(5):
+        s.insert((i, f"b{i}"))
+    return {"R": r, "S": s}
+
+
+def test_scan_interval(relations):
+    estimate = estimate_plan(Scan("R"), relations)
+    assert estimate.cardinality.lo == 10
+    assert estimate.cardinality.hi == 30
+    assert estimate.total_cost == 0
+
+
+def test_scan_unknown_table(relations):
+    with pytest.raises(QueryError):
+        estimate_plan(Scan("MISSING"), relations)
+
+
+def test_select_scales_interval(relations):
+    estimate = estimate_plan(Select(Scan("R"), Between("K", 0, 5)), relations)
+    assert estimate.cardinality.lo == pytest.approx(10 * 0.25)
+    assert estimate.cardinality.hi == pytest.approx(30 * 0.25)
+    assert estimate.rows_processed == 30
+
+
+def test_predicate_selectivities():
+    assert predicate_selectivity(TruePredicate()) == 1.0
+    assert predicate_selectivity(Compare("A", "==", 1)) == 0.1
+    assert predicate_selectivity(Compare("A", "<", 1)) == pytest.approx(1 / 3)
+    assert predicate_selectivity(Not(Compare("A", "==", 1))) == pytest.approx(0.9)
+    assert predicate_selectivity(InSet("A", {1, 2})) == pytest.approx(0.2)
+    both = And([Compare("A", "==", 1), Between("K", 0, 1)])
+    assert predicate_selectivity(both) == pytest.approx(0.025)
+    either = Or([Compare("A", "==", 1), Compare("A", "==", 2)])
+    assert predicate_selectivity(either) == pytest.approx(0.19)
+
+
+def test_join_and_product(relations):
+    product = estimate_plan(Product(Scan("R"), Scan("S")), relations)
+    assert product.cardinality.hi == 30 * 5
+    join = estimate_plan(NaturalJoin(Scan("R"), Scan("S")), relations)
+    assert join.cardinality.hi <= product.cardinality.hi
+    assert join.new_variables > 0
+
+
+def test_intersect_bounds(relations):
+    estimate = estimate_plan(Intersect(Scan("R"), Scan("R")), relations)
+    assert estimate.cardinality.lo == 0
+    assert estimate.cardinality.hi == 30
+
+
+def test_having_count_shrinks(relations):
+    estimate = estimate_plan(HavingCount(Scan("R"), ["K"], ">=", 2), relations)
+    assert estimate.cardinality.hi < 30
+    assert estimate.new_variables > 0
+
+
+def test_scan_interval_brackets_truth(relations):
+    """The [lo, hi] interval brackets the actual per-world cardinalities."""
+    from repro.core.worlds import enumerate_assignments, instantiate
+
+    model = relations["R"].model
+    estimate = estimate_plan(Scan("R"), relations)
+    variables = [row.ext.index for row in relations["R"].maybe_rows]
+    for assignment in list(enumerate_assignments(model.constraints, variables, limit=50)):
+        size = len(instantiate(relations["R"], assignment))
+        assert estimate.cardinality.lo <= size <= estimate.cardinality.hi
+
+
+def test_pushdown_reduces_estimated_cost(relations):
+    """Selection below the join is estimated cheaper than above — the
+    classical optimization carries over to LICM, as the paper argues."""
+    predicate = Compare("A", "==", "a1")
+    above = Select(NaturalJoin(Scan("R"), Scan("S")), predicate)
+    below = NaturalJoin(Select(Scan("R"), predicate), Scan("S"))
+    assert estimate_cost(below, relations) < estimate_cost(above, relations)
+
+
+def test_choose_plan_picks_cheapest(relations):
+    predicate = Compare("A", "==", "a1")
+    above = Select(NaturalJoin(Scan("R"), Scan("S")), predicate)
+    below = NaturalJoin(Select(Scan("R"), predicate), Scan("S"))
+    assert choose_plan([above, below], relations) is below
+    with pytest.raises(QueryError):
+        choose_plan([], relations)
+
+
+def test_aggregate_nodes_pass_through(relations):
+    inner = Select(Scan("R"), TruePredicate())
+    estimate = estimate_plan(CountStar(inner), relations)
+    assert estimate.cardinality.hi == 30
+
+
+def test_project_never_increases(relations):
+    estimate = estimate_plan(Project(Scan("R"), ["K"]), relations)
+    assert estimate.cardinality.hi <= 30
+    assert estimate.cardinality.lo <= estimate.cardinality.hi

@@ -1,0 +1,62 @@
+"""Deterministic completion of base assignments via propagation."""
+
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_intersect, licm_project
+from repro.core.worlds import extend_assignment, instantiate, is_valid
+from helpers import fig3_models, fig4b_model
+
+
+def test_extension_determines_lineage_variables():
+    model, r1, r2, v = fig3_models()
+    result = licm_intersect(r1, r2)
+    b5 = next(row.ext for row in result.rows if row.values == ("T1", "wine"))
+    base = {v["b1"].index: 1, v["b2"].index: 0, v["b3"].index: 1, v["b4"].index: 0}
+    full = extend_assignment(model, base)
+    assert full is not None
+    assert full[b5.index] == 1  # wine in both inputs -> in the intersection
+    base[v["b3"].index] = 0
+    full = extend_assignment(model, base)
+    assert full[b5.index] == 0
+
+
+def test_extension_through_count_predicate():
+    model, rel, variables = fig4b_model()
+    counted = licm_having_count(rel, ["TID"], ">=", 2)
+    base = {var.index: 1 for var in variables}
+    full = extend_assignment(model, base)
+    assert full is not None
+    assert is_valid(model.constraints, full)
+    world = set(instantiate(counted, full))
+    # All T1 items present -> T1 qualifies; T2 has wine+shampoo -> count 2
+    # only if both present, but wine is certain and shampoo var is set.
+    assert ("T1",) in world
+
+
+def test_extension_detects_conflict():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add(a + b >= 1)
+    assert extend_assignment(model, {a.index: 0, b.index: 0}) is None
+
+
+def test_extension_defaults_unconstrained_variables():
+    model = LICMModel()
+    a = model.new_var()
+    b = model.new_var()  # unconstrained
+    model.add(a >= 1)
+    full = extend_assignment(model, {})
+    assert full[a.index] == 1
+    assert full[b.index] == 0
+    full = extend_assignment(model, {}, default=1)
+    assert full[b.index] == 1
+
+
+def test_extension_matches_projection_semantics():
+    model, rel, variables = fig4b_model()
+    projected = licm_project(rel, ["TID"])
+    base = {var.index: 0 for var in variables}
+    full = extend_assignment(model, base)
+    world = set(instantiate(projected, full))
+    # Only the certain (T2, Wine) row remains -> only T2 in the projection.
+    assert world == {("T2",)}

@@ -1,0 +1,118 @@
+"""The fluent query builder produces the same plans as hand-built IR."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.fluent import Q, Query
+from repro.relational.predicates import Between, Compare
+from repro.relational.query import (
+    CountStar,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    Project,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+    evaluate,
+)
+from repro.relational.relation import Database, Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            Relation("TRANS", ["TID", "Location"], [("T1", 1), ("T2", 9)]),
+            Relation(
+                "TRANSITEM",
+                ["TID", "Item"],
+                [("T1", "beer"), ("T1", "wine"), ("T2", "beer")],
+            ),
+        ]
+    )
+
+
+def test_scan_where_project_count(db):
+    plan = Q.scan("TRANS").where(Between("Location", 0, 5)).project("TID").count()
+    assert isinstance(plan, CountStar)
+    assert evaluate(plan, db) == 1
+
+
+def test_join_and_having(db):
+    plan = (
+        Q.scan("TRANS")
+        .join(Q.scan("TRANSITEM"))
+        .having_count("TID", ">=", 2)
+        .count()
+    )
+    assert evaluate(plan, db) == 1  # only T1 has two items
+
+
+def test_having_count_accepts_list(db):
+    query = Q.scan("TRANSITEM").having_count(["TID"], ">=", 1)
+    assert isinstance(query.plan, HavingCount)
+    assert query.plan.group_by == ("TID",)
+
+
+def test_set_operators(db):
+    beer = Q.scan("TRANSITEM").where(Compare("Item", "==", "beer")).project("TID")
+    wine = Q.scan("TRANSITEM").where(Compare("Item", "==", "wine")).project("TID")
+    assert evaluate(beer.intersect(wine).count(), db) == 1
+    assert evaluate(beer.union(wine).count(), db) == 2
+    assert evaluate(beer.difference(wine).count(), db) == 1
+    assert isinstance(beer.union(wine).plan, Union)
+    assert isinstance(beer.intersect(wine).plan, Intersect)
+
+
+def test_product_and_rename(db):
+    renamed = Q.scan("TRANSITEM").rename(TID="TID2", Item="Item2")
+    plan = Q.scan("TRANS").product(renamed).count()
+    assert evaluate(plan, db) == 6
+
+
+def test_sum_terminal(db):
+    priced = Database(
+        [Relation("P", ["Item", "Price"], [("beer", 5), ("wine", 9)])]
+    )
+    plan = Q.scan("P").sum("Price")
+    assert isinstance(plan, SumAttr)
+    assert evaluate(plan, priced) == 14
+
+
+def test_accepts_raw_plan_nodes(db):
+    plan = Q.scan("TRANS").join(Scan("TRANSITEM")).count()
+    assert evaluate(plan, db) == 3
+
+
+def test_rejects_garbage_operand():
+    with pytest.raises(QueryError):
+        Q.scan("A").join(42)
+
+
+def test_immutability():
+    base = Q.scan("TRANS")
+    filtered = base.where(Compare("Location", "<", 5))
+    assert base.plan is not filtered.plan
+    assert isinstance(base.plan, Scan)
+
+
+def test_explain(db):
+    text = Q.scan("TRANS").where(Compare("Location", "<", 5)).explain()
+    assert "Select" in text and "Scan(TRANS)" in text
+
+
+def test_fluent_plan_works_on_licm():
+    """The same fluent plan runs through the LICM evaluator."""
+    from repro.core import LICMModel, count_bounds
+    from repro.queries.licm_eval import evaluate_licm
+
+    model = LICMModel()
+    rel = model.relation("R", ["TID", "Item"])
+    rel.insert(("T1", "beer"))
+    rel.insert_maybe(("T1", "wine"))
+    plan = Q.scan("R").project("TID")
+    result = evaluate_licm(plan.plan, {"R": rel})
+    bounds = count_bounds(result)
+    assert (bounds.lower, bounds.upper) == (1, 1)

@@ -1,0 +1,66 @@
+"""Per-group COUNT bounds."""
+
+from repro.core import correlations
+from repro.core.bounds import group_count_bounds
+from repro.core.database import LICMModel
+from repro.core.worlds import enumerate_assignments, instantiate
+from helpers import fig4b_model
+
+
+def _brute_force(model, relation, group_pos):
+    """group key -> (min count, max count) over all valid worlds."""
+    variables = list(range(len(model.pool)))
+    ranges: dict = {}
+    for assignment in enumerate_assignments(model.constraints, variables):
+        counts: dict = {}
+        for row in set(instantiate(relation, assignment)):
+            key = (row[group_pos],)
+            counts[key] = counts.get(key, 0) + 1
+        for key in {(r.values[group_pos],) for r in relation.rows}:
+            count = counts.get(key, 0)
+            lo, hi = ranges.get(key, (count, count))
+            ranges[key] = (min(lo, count), max(hi, count))
+    return ranges
+
+
+def test_group_bounds_match_brute_force():
+    model, rel, _ = fig4b_model()
+    bounds = group_count_bounds(rel, ["TID"])
+    expected = _brute_force(model, rel, 0)
+    assert set(bounds) == set(expected)
+    for key, b in bounds.items():
+        assert (b.lower, b.upper) == expected[key], key
+
+
+def test_all_certain_group_short_circuits():
+    model = LICMModel()
+    rel = model.relation("R", ["G", "V"])
+    rel.insert(("g1", 1))
+    rel.insert(("g1", 2))
+    var = model.new_var()
+    rel.insert(("g2", 3), ext=var)
+    bounds = group_count_bounds(rel, ["G"])
+    assert (bounds[("g1",)].lower, bounds[("g1",)].upper) == (2, 2)
+    assert (bounds[("g2",)].lower, bounds[("g2",)].upper) == (0, 1)
+
+
+def test_correlated_groups():
+    """Mutual exclusion across groups shows in their joint per-group ranges."""
+    model = LICMModel()
+    rel = model.relation("R", ["G", "V"])
+    a, b = model.new_vars(2)
+    rel.insert(("g1", 1), ext=a)
+    rel.insert(("g2", 2), ext=b)
+    model.add_all(correlations.mutually_exclusive(a, b))
+    bounds = group_count_bounds(rel, ["G"])
+    assert (bounds[("g1",)].lower, bounds[("g1",)].upper) == (0, 1)
+    assert (bounds[("g2",)].lower, bounds[("g2",)].upper) == (0, 1)
+
+
+def test_group_order_is_first_seen():
+    model = LICMModel()
+    rel = model.relation("R", ["G"])
+    rel.insert(("z",))
+    rel.insert(("a",))
+    bounds = group_count_bounds(rel, ["G"])
+    assert list(bounds) == [("z",), ("a",)]

@@ -1,0 +1,106 @@
+"""Unit tests for generalization hierarchies."""
+
+import pytest
+
+from repro.anonymize.hierarchy import Hierarchy
+from repro.errors import AnonymizationError
+
+
+@pytest.fixture
+def fig2b():
+    """The paper's Figure 2(b) hierarchy."""
+    return Hierarchy.from_parent_map(
+        {
+            "Beer": "Alcohol",
+            "Wine": "Alcohol",
+            "Liquor": "Alcohol",
+            "Diapers": "Health Care",
+            "Pregnancy test": "Health Care",
+            "Shampoo": "Health Care",
+            "Alcohol": "All",
+            "Health Care": "All",
+        }
+    )
+
+
+def test_root_detection(fig2b):
+    assert fig2b.root == "All"
+
+
+def test_leaves_under(fig2b):
+    assert set(fig2b.leaves_under("Alcohol")) == {"Beer", "Wine", "Liquor"}
+    assert len(fig2b.leaves) == 6
+    assert fig2b.leaves_under("Beer") == ("Beer",)
+
+
+def test_is_leaf(fig2b):
+    assert fig2b.is_leaf("Beer")
+    assert not fig2b.is_leaf("Alcohol")
+    assert not fig2b.is_leaf("All")
+
+
+def test_parents_and_ancestors(fig2b):
+    assert fig2b.parent_of("Beer") == "Alcohol"
+    assert fig2b.parent_of("All") is None
+    assert fig2b.ancestors("Beer") == ["Alcohol", "All"]
+    with pytest.raises(AnonymizationError):
+        fig2b.parent_of("Vodka")
+
+
+def test_depth(fig2b):
+    assert fig2b.depth("All") == 0
+    assert fig2b.depth("Alcohol") == 1
+    assert fig2b.depth("Wine") == 2
+
+
+def test_covers_and_ancestor_set(fig2b):
+    assert fig2b.covers("Alcohol", "Beer")
+    assert fig2b.covers("All", "Beer")
+    assert fig2b.covers("Beer", "Beer")
+    assert not fig2b.covers("Alcohol", "Shampoo")
+    assert fig2b.ancestor_set("Beer") == {"Beer", "Alcohol", "All"}
+
+
+def test_generalize(fig2b):
+    assert fig2b.generalize("Beer") == "Alcohol"
+    assert fig2b.generalize("Beer", 2) == "All"
+    assert fig2b.generalize("Beer", 10) == "All"  # clamps at root
+
+
+def test_information_loss(fig2b):
+    assert fig2b.information_loss("Beer") == 0.0
+    assert fig2b.information_loss("All") == 1.0
+    assert fig2b.information_loss("Alcohol") == pytest.approx(2 / 5)
+
+
+def test_contains(fig2b):
+    assert "Beer" in fig2b
+    assert "All" in fig2b
+    assert "Vodka" not in fig2b
+
+
+def test_balanced_tree_structure():
+    items = [f"I{i}" for i in range(16)]
+    hierarchy = Hierarchy.balanced(items, fanout=4)
+    assert set(hierarchy.leaves) == set(items)
+    assert hierarchy.depth("I0") == 2  # 16 items, fanout 4 -> two levels
+    # Consecutive items share a parent.
+    assert hierarchy.parent_of("I0") == hierarchy.parent_of("I3")
+    assert hierarchy.parent_of("I0") != hierarchy.parent_of("I4")
+
+
+def test_balanced_rejects_bad_input():
+    with pytest.raises(AnonymizationError):
+        Hierarchy.balanced([], fanout=4)
+    with pytest.raises(AnonymizationError):
+        Hierarchy.balanced(["a"], fanout=1)
+
+
+def test_multiple_roots_rejected():
+    with pytest.raises(AnonymizationError):
+        Hierarchy.from_parent_map({"a": "r1", "b": "r2"})
+
+
+def test_cycle_rejected():
+    with pytest.raises(AnonymizationError):
+        Hierarchy.from_parent_map({"a": "b", "b": "a", "c": "root"})

@@ -1,0 +1,147 @@
+"""Unit tests for LICM intersection (Algorithm 2), product (Algorithm 3)
+and join, including the Figure 3 walk-through."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.core.operators import (
+    and_ext,
+    licm_intersect,
+    licm_join,
+    licm_product,
+    licm_rename,
+)
+from repro.core.worlds import instantiate
+from repro.errors import SchemaError
+from helpers import all_valid_assignments, fig3_models
+
+
+def test_and_ext_cases():
+    model = LICMModel()
+    x, y = model.new_vars(2)
+    assert and_ext(model, 1, 1) == 1
+    assert and_ext(model, x, 1) == x
+    assert and_ext(model, 1, y) == y
+    assert and_ext(model, x, x) == x
+    before = model.num_constraints
+    combined = and_ext(model, x, y)
+    assert combined not in (x, y, 1)
+    assert model.num_constraints == before + 3  # the three AND constraints
+
+
+def test_fig3_intersection_structure():
+    """Figure 3(c): (T1, wine) gets a fresh AND variable; (T2, beer) reuses b4."""
+    model, r1, r2, v = fig3_models()
+    result = licm_intersect(r1, r2)
+    rows = {row.values: row.ext for row in result.rows}
+    assert set(rows) == {("T1", "wine"), ("T2", "beer")}
+    assert rows[("T2", "beer")] == v["b4"]  # left side certain
+    b5 = rows[("T1", "wine")]
+    assert b5 not in (v["b1"], v["b3"], 1)
+
+
+def test_fig3_intersection_semantics():
+    """b5 = 1 iff b1 = 1 and b3 = 1 — checked over all valid worlds."""
+    model, r1, r2, _ = fig3_models()
+    result = licm_intersect(r1, r2)
+    for assignment in all_valid_assignments(model):
+        expected = set(instantiate(r1, assignment)) & set(instantiate(r2, assignment))
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_intersection_schema_mismatch():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["B"])
+    with pytest.raises(SchemaError):
+        licm_intersect(r1, r2)
+
+
+def test_intersection_duplicate_value_rows():
+    """Copies on one side OR together before the AND with the other side."""
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    a1, a2, b = model.new_vars(3)
+    r1.insert(("x",), ext=a1)
+    r1.insert(("x",), ext=a2)
+    r2.insert(("x",), ext=b)
+    result = licm_intersect(r1, r2)
+    assert len(result) == 1
+    for assignment in all_valid_assignments(model):
+        expected = set(instantiate(r1, assignment)) & set(instantiate(r2, assignment))
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_product_world_equivalence():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["B"])
+    a, b = model.new_vars(2)
+    r1.insert(("x",), ext=a)
+    r1.insert(("y",))
+    r2.insert((1,), ext=b)
+    r2.insert((2,))
+    result = licm_product(r1, r2)
+    assert result.attributes == ("A", "B")
+    assert len(result) == 4
+    for assignment in all_valid_assignments(model):
+        left = instantiate(r1, assignment)
+        right = instantiate(r2, assignment)
+        expected = {l + r for l in left for r in right}
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_product_attribute_clash_requires_rename():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    with pytest.raises(SchemaError):
+        licm_product(r1, r2)
+    renamed = licm_rename(r2, {"A": "A2"})
+    assert licm_product(r1, renamed).attributes == ("A", "A2")
+
+
+def test_join_world_equivalence():
+    model = LICMModel()
+    trans = model.relation("T", ["TID", "Item"])
+    items = model.relation("I", ["Item", "Price"])
+    a, b = model.new_vars(2)
+    trans.insert(("T1", "beer"), ext=a)
+    trans.insert(("T2", "wine"))
+    items.insert(("beer", 5), ext=b)
+    items.insert(("wine", 9))
+    result = licm_join(trans, items)
+    assert result.attributes == ("TID", "Item", "Price")
+    for assignment in all_valid_assignments(model):
+        left = instantiate(trans, assignment)
+        right = {r[0]: r for r in instantiate(items, assignment)}
+        expected = {
+            l + (right[l[1]][1],) for l in left if l[1] in right
+        }
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_join_without_shared_attributes_is_product():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["B"])
+    r1.insert(("x",))
+    r2.insert((1,))
+    result = licm_join(r1, r2)
+    assert result.attributes == ("A", "B")
+    assert len(result) == 1
+
+
+def test_join_only_materializes_matches():
+    """Hash join must not create AND variables for non-matching pairs."""
+    model = LICMModel()
+    r1 = model.relation("R1", ["K", "A"])
+    r2 = model.relation("R2", ["K", "B"])
+    for i in range(5):
+        r1.insert((i, f"a{i}"), ext=model.new_var())
+        r2.insert((i + 100, f"b{i}"), ext=model.new_var())
+    before = model.num_variables
+    result = licm_join(r1, r2)
+    assert len(result) == 0
+    assert model.num_variables == before

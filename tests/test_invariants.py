@@ -1,0 +1,103 @@
+"""Cross-cutting invariants the design relies on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import correlations
+from repro.core.aggregates import count_objective
+from repro.core.database import LICMModel
+from repro.core.operators import and_ext, licm_intersect, licm_project, or_ext
+from repro.core.priors import PriorModel, expected_value
+from repro.core.worlds import enumerate_assignments
+
+
+def test_operator_kernels_are_deterministic():
+    """For every assignment of the parents, exactly one value of the
+    derived variable satisfies its lineage constraints — the property that
+    makes LICM query answering deterministic (Section IV-B)."""
+    model = LICMModel()
+    x, y, z = model.new_vars(3)
+    b_and = and_ext(model, x, y)
+    b_or = or_ext(model, [x, y, z])
+    for assignment in enumerate_assignments(
+        model.constraints, [v.index for v in (x, y, z, b_and, b_or)]
+    ):
+        assert assignment[b_and.index] == (
+            assignment[x.index] & assignment[y.index]
+        )
+        assert assignment[b_or.index] == (
+            assignment[x.index] | assignment[y.index] | assignment[z.index]
+        )
+
+
+def test_operators_do_not_mutate_inputs():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    a = r1.insert_maybe(("x",))
+    r2.insert_maybe(("x",))
+    snapshot_r1 = list(r1.rows)
+    snapshot_r2 = list(r2.rows)
+    licm_intersect(r1, r2)
+    licm_project(r1, ["A"])
+    assert r1.rows == snapshot_r1
+    assert r2.rows == snapshot_r2
+    assert r1.rows[0].ext is a.ext
+
+
+def test_repeated_operator_application_is_stable():
+    """Applying the same operator twice yields semantically equal outputs
+    (fresh variables, same worlds)."""
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    v1, v2 = model.new_vars(2)
+    rel.insert(("x",), ext=v1)
+    rel.insert(("x",), ext=v2)
+    first = licm_project(rel, ["A"])
+    second = licm_project(rel, ["A"])
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        from repro.core.worlds import instantiate
+
+        assert set(instantiate(first, assignment)) == set(
+            instantiate(second, assignment)
+        )
+
+
+@given(
+    st.lists(st.floats(0.05, 0.95), min_size=3, max_size=3),
+    st.integers(1, 2),
+)
+@settings(max_examples=25, deadline=None)
+def test_expectation_lies_within_exact_bounds(probabilities, lower_card):
+    """E[COUNT | constraints] is always inside the exact [min, max]."""
+    from repro.core.bounds import count_bounds
+
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    variables = []
+    for i in range(3):
+        variables.append(rel.insert_maybe((i,)).ext)
+    model.add_all(correlations.cardinality(variables, lower_card, 3))
+
+    prior = PriorModel(model)
+    for var, p in zip(variables, probabilities):
+        prior.set_probability(var, p)
+    mean = expected_value(prior, count_objective(rel)).mean
+    bounds = count_bounds(rel)
+    assert bounds.lower - 1e-9 <= mean <= bounds.upper + 1e-9
+
+
+def test_constraint_store_growth_is_append_only():
+    """Operators only append to the shared store (never reorder/remove),
+    which the paper's single-pass pruning relies on."""
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    v1, v2 = model.new_vars(2)
+    rel.insert(("x",), ext=v1)
+    rel.insert(("y",), ext=v2)
+    model.add(v1 + v2 >= 1)
+    before = list(model.constraints)
+    licm_project(rel, ["A"])
+    after = list(model.constraints)
+    assert after[: len(before)] == before

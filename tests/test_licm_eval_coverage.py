@@ -1,0 +1,83 @@
+"""evaluate_licm: every plan node type, against the deterministic twin."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.core.worlds import enumerate_assignments, instantiate
+from repro.queries.licm_eval import evaluate_licm
+from repro.relational.predicates import Compare
+from repro.relational.query import (
+    CountStar,
+    Difference,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SumAttr,
+    Union,
+    evaluate,
+)
+from repro.relational.relation import Database, Relation
+
+
+@pytest.fixture
+def setting():
+    model = LICMModel()
+    r = model.relation("R", ["K", "V"])
+    r.insert(("a", 1))
+    r.insert_maybe(("b", 2))
+    r.insert_maybe(("c", 3))
+    s = model.relation("S", ["K", "W"])
+    s.insert(("a", 10))
+    s.insert_maybe(("b", 20))
+    t = model.relation("T", ["K", "V"])
+    t.insert(("a", 1))
+    t.insert_maybe(("d", 4))
+    return model, {"R": r, "S": s, "T": t}
+
+
+PLANS = [
+    Select(Scan("R"), Compare("V", ">", 1)),
+    Project(Scan("R"), ["K"]),
+    Rename(Scan("R"), {"V": "Val"}),
+    Intersect(Scan("R"), Scan("T")),
+    Union(Scan("R"), Scan("T")),
+    Difference(Scan("R"), Scan("T")),
+    Product(Scan("R"), Rename(Scan("S"), {"K": "K2"})),
+    NaturalJoin(Scan("R"), Scan("S")),
+    HavingCount(Scan("R"), ["K"], ">=", 1),
+]
+
+
+@pytest.mark.parametrize("plan", PLANS, ids=[repr(p) for p in PLANS])
+def test_every_relational_node(setting, plan):
+    model, relations = setting
+    licm_result = evaluate_licm(plan, relations)
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        db = Database()
+        for name, relation in relations.items():
+            db.add(Relation(name, relation.attributes, instantiate(relation, assignment)))
+        expected = set(evaluate(plan, db).rows)
+        actual = set(instantiate(licm_result, assignment))
+        assert actual == expected, (plan, assignment)
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [CountStar(Scan("R")), SumAttr(Scan("R"), "V")],
+    ids=["count", "sum"],
+)
+def test_terminal_aggregates(setting, plan):
+    model, relations = setting
+    objective = evaluate_licm(plan, relations)
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        db = Database()
+        for name, relation in relations.items():
+            db.add(Relation(name, relation.attributes, instantiate(relation, assignment)))
+        assert objective.value(assignment) == evaluate(plan, db)

@@ -1,0 +1,60 @@
+"""Unit tests for implicit lineage tracing."""
+
+from repro.core.database import LICMModel
+from repro.core.lineage import base_tuples, direct_parents, trace
+from repro.core.operators import licm_intersect
+from helpers import fig3_models
+
+
+def test_direct_parents_respect_creation_order():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    derived = model.new_var()
+    model.add(derived - a <= 0)
+    model.add(derived - b <= 0)
+    assert direct_parents(model.constraints, derived.index) == {a.index, b.index}
+    # A base variable has no parents among *earlier* variables.
+    assert direct_parents(model.constraints, a.index) == set()
+
+
+def test_trace_intersection_lineage():
+    """Figure 3: b5's lineage is exactly {b1, b3} (plus b2 via R1's base
+    cardinality constraint on b1)."""
+    model, r1, r2, v = fig3_models()
+    result = licm_intersect(r1, r2)
+    b5 = next(row.ext for row in result.rows if row.values == ("T1", "wine"))
+    lineage = trace(model.constraints, b5)
+    assert v["b1"].index in lineage.all_variables
+    assert v["b3"].index in lineage.all_variables
+    assert b5.index in lineage.parents
+    assert lineage.parents[b5.index] == {v["b1"].index, v["b3"].index}
+
+
+def test_trace_reaches_base_variables():
+    model = LICMModel()
+    a = model.new_var()
+    b = model.new_var()
+    c = model.new_var()
+    model.add(b - a <= 0)
+    model.add(c - b <= 0)
+    lineage = trace(model.constraints, c)
+    assert lineage.base_variables == {a.index}
+    assert lineage.all_variables == {a.index, b.index, c.index}
+
+
+def test_base_tuples_maps_back_to_rows():
+    model, r1, r2, v = fig3_models()
+    result = licm_intersect(r1, r2)
+    b5 = next(row.ext for row in result.rows if row.values == ("T1", "wine"))
+    origins = base_tuples(model, b5, [r1, r2])
+    names = {(name, row.values) for name, row in origins}
+    assert ("R1", ("T1", "wine")) in names
+    assert ("R2", ("T1", "wine")) in names
+
+
+def test_unconstrained_variable_is_its_own_base():
+    model = LICMModel()
+    a = model.new_var()
+    lineage = trace(model.constraints, a)
+    assert lineage.base_variables == {a.index}
+    assert lineage.parents == {}

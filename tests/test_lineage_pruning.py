@@ -1,0 +1,115 @@
+"""Lineage-directed pruning: drops sibling-query lineage, preserves bounds."""
+
+from repro.core.aggregates import count_objective
+from repro.core.bounds import count_bounds, objective_bounds
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_intersect, licm_project, licm_select
+from repro.core.pruning import prune, prune_fixpoint, prune_lineage
+from repro.relational.predicates import Compare, InSet
+from helpers import brute_force_objective_range, fig2c_model, fig4b_model
+
+
+def test_lineage_registry_populated_by_operators():
+    model, rel, _ = fig4b_model()
+    result = licm_having_count(rel, ["TID"], ">=", 2)
+    derived = [row.ext for row in result.rows if not row.certain]
+    assert derived
+    for var in derived:
+        assert var.index in model.lineage_parents
+        assert model.lineage_constraints[var.index]
+
+
+def test_lineage_prune_matches_fixpoint_single_query():
+    model, rel, _ = fig4b_model()
+    result = licm_having_count(rel, ["TID"], ">=", 2)
+    objective = count_objective(result)
+    via_lineage = prune_lineage(model, objective.coeffs.keys())
+    via_fixpoint = prune_fixpoint(model.constraints, objective.coeffs.keys())
+    assert set(via_lineage.constraints) == set(via_fixpoint.constraints)
+    assert via_lineage.variables == via_fixpoint.variables
+
+
+def test_lineage_prune_drops_sibling_query():
+    """Answer two different queries against one model; the second query's
+    pruned problem must not contain the first query's lineage."""
+    model, trans, _ = fig2c_model()
+    first = licm_project(
+        licm_select(trans, InSet("ItemName", {"Beer", "Wine"})), ["TID"]
+    )
+    first_objective = count_objective(first)
+    size_before = model.num_constraints
+
+    second = licm_project(
+        licm_select(trans, Compare("ItemName", "!=", "Shampoo")), ["TID"]
+    )
+    second_objective = count_objective(second)
+    assert model.num_constraints > size_before  # both lineages in the store
+
+    lineage = prune_lineage(model, second_objective.coeffs.keys())
+    fixpoint = prune_fixpoint(model.constraints, second_objective.coeffs.keys())
+    # Fixpoint reaches the first query's lineage through the shared base
+    # variables; the lineage-directed pass does not.
+    assert len(lineage.constraints) < len(fixpoint.constraints)
+    first_vars = set(first_objective.coeffs)
+    assert not (lineage.variables & first_vars - set(second_objective.coeffs))
+
+
+def test_lineage_prune_preserves_bounds_on_shared_model():
+    model, rel, _ = fig4b_model()
+    # Query A
+    a = licm_having_count(rel, ["TID"], ">=", 2)
+    bounds_a_before = brute_force_objective_range(model, count_objective(a))
+    # Query B on the same model
+    b = licm_intersect(
+        licm_select(rel, InSet("ItemName", {"Shampoo"})),
+        licm_select(rel, InSet("ItemName", {"Shampoo", "Wine"})),
+    )
+    for result, expected in ((a, bounds_a_before), (b, None)):
+        objective = count_objective(result)
+        lineage_bounds = objective_bounds(model, objective, prune_method="lineage")
+        fixpoint_bounds = objective_bounds(model, objective, prune_method="fixpoint")
+        assert (lineage_bounds.lower, lineage_bounds.upper) == (
+            fixpoint_bounds.lower,
+            fixpoint_bounds.upper,
+        )
+        if expected is not None:
+            assert (lineage_bounds.lower, lineage_bounds.upper) == expected
+
+
+def test_lineage_prune_keeps_base_correlations():
+    """Base cardinality constraints over partially-reachable variables are
+    kept (only operator lineage may be dropped)."""
+    model, trans, (b1, b2, b3) = fig2c_model()
+    selected = licm_select(trans, InSet("ItemName", {"Beer"}))
+    objective = count_objective(selected)
+    result = prune_lineage(model, objective.coeffs.keys())
+    # b1's cardinality constraint mentions b2 and b3: must be kept intact.
+    assert any(
+        set(c.variables) == {b1.index, b2.index, b3.index} for c in result.constraints
+    )
+
+
+def test_prune_dispatch_lineage_requires_model():
+    model, trans, _ = fig2c_model()
+    try:
+        prune(model.constraints, {0}, "lineage")
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+    assert prune(model.constraints, {0}, "lineage", model=model) is not None
+
+
+def test_count_bounds_default_uses_lineage_pruning():
+    """Repeated identical queries on one model give identical bounds and
+    do not inflate each other's problem sizes."""
+    model, trans, _ = fig2c_model()
+    sizes = []
+    for _ in range(3):
+        result = licm_select(trans, Compare("ItemName", "!=", "Shampoo"))
+        projected = licm_project(result, ["TID"])
+        bounds = count_bounds(projected)
+        assert (bounds.lower, bounds.upper) == (1, 1)
+        sizes.append(bounds.stats["problem_constraints"])
+    assert sizes[0] == sizes[1] == sizes[2]

@@ -1,0 +1,77 @@
+"""Unit tests for LinearExpr arithmetic and evaluation."""
+
+import pytest
+
+from repro.core.linexpr import LinearExpr, linear_sum
+from repro.core.variables import VariablePool
+from repro.errors import ConstraintError
+
+
+@pytest.fixture
+def pool():
+    return VariablePool()
+
+
+def test_zero_coefficients_dropped(pool):
+    a = pool.new()
+    expr = a - a
+    assert expr.coeffs == {}
+    assert expr.constant == 0
+
+
+def test_addition_merges_terms(pool):
+    a, b = pool.new(), pool.new()
+    expr = (a + b) + (a + 3)
+    assert expr.coeffs == {a.index: 2, b.index: 1}
+    assert expr.constant == 3
+
+
+def test_subtraction(pool):
+    a, b = pool.new(), pool.new()
+    expr = (2 * a + 5) - (b + 1)
+    assert expr.coeffs == {a.index: 2, b.index: -1}
+    assert expr.constant == 4
+
+
+def test_scalar_multiplication_distributes(pool):
+    a = pool.new()
+    expr = 3 * (a + 2)
+    assert expr.coeffs == {a.index: 3}
+    assert expr.constant == 6
+
+
+def test_non_integer_coefficient_rejected(pool):
+    a = pool.new()
+    with pytest.raises(ConstraintError):
+        _ = a * 0.5
+
+
+def test_float_operand_rejected(pool):
+    a = pool.new()
+    with pytest.raises(ConstraintError):
+        _ = a + 0.5
+
+
+def test_value_evaluation(pool):
+    a, b = pool.new(), pool.new()
+    expr = 2 * a - b + 7
+    assert expr.value({a.index: 1, b.index: 0}) == 9
+    assert expr.value({a.index: 0, b.index: 1}) == 6
+
+
+def test_linear_sum_mixed_operands(pool):
+    a, b = pool.new(), pool.new()
+    expr = linear_sum([a, 1, b, 1])
+    assert expr.coeffs == {a.index: 1, b.index: 1}
+    assert expr.constant == 2
+
+
+def test_linear_sum_empty():
+    expr = linear_sum([])
+    assert expr.coeffs == {} and expr.constant == 0
+
+
+def test_repr_is_readable(pool):
+    a, b = pool.new(), pool.new()
+    text = repr(a - 2 * b + 1)
+    assert "b[0]" in text and "b[1]" in text

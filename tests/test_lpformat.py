@@ -1,0 +1,93 @@
+"""LP-format writer/parser round-trips."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.lpformat import read_lp, write_lp
+from repro.solver.model import BIPConstraint, BIPProblem
+
+
+def _example_problem():
+    return BIPProblem(
+        num_vars=3,
+        constraints=[
+            BIPConstraint(((1, 0), (1, 1), (1, 2)), ">=", 1),
+            BIPConstraint(((2, 0), (-1, 2)), "<=", 1),
+            BIPConstraint(((1, 1), (1, 2)), "==", 1),
+        ],
+        objective={0: 1, 2: 3},
+        names=["b1", "b2", "b3"],
+    )
+
+
+def test_write_contains_sections():
+    text = write_lp(_example_problem(), "max")
+    assert text.startswith("Maximize")
+    assert "Subject To" in text
+    assert "Binary" in text
+    assert text.rstrip().endswith("End")
+
+
+def test_roundtrip_preserves_problem():
+    problem = _example_problem()
+    text = write_lp(problem, "min")
+    parsed, sense = read_lp(text)
+    assert sense == "min"
+    assert parsed.num_vars == problem.num_vars
+    assert parsed.objective == problem.objective
+    assert len(parsed.constraints) == len(problem.constraints)
+    for ours, theirs in zip(problem.constraints, parsed.constraints):
+        assert tuple(sorted(ours.terms)) == tuple(sorted(theirs.terms))
+        assert ours.op == theirs.op
+        assert ours.rhs == theirs.rhs
+
+
+def test_roundtrip_with_objective_constant():
+    problem = BIPProblem(
+        num_vars=1,
+        constraints=[],
+        objective={0: 2},
+        objective_constant=7,
+        names=["x"],
+    )
+    parsed, _ = read_lp(write_lp(problem))
+    assert parsed.objective_constant == 7
+    assert parsed.objective == {0: 2}
+
+
+def test_write_sanitizes_names():
+    problem = BIPProblem(
+        num_vars=1,
+        constraints=[],
+        objective={0: 1},
+        names=["weird name!"],
+    )
+    text = write_lp(problem)
+    assert "weird name!" not in text
+    assert "weird_name_" in text
+
+
+def test_bad_sense_rejected():
+    with pytest.raises(SolverError):
+        write_lp(_example_problem(), "maximize-ish")
+
+
+def test_parse_rejects_garbage_constraint():
+    with pytest.raises(SolverError):
+        read_lp("Maximize\n obj: x\nSubject To\n c0: x ???\nEnd\n")
+
+
+def test_parse_unknown_variable_with_declared_binaries():
+    text = "Maximize\n obj: x + y\nSubject To\nBinary\n x\nEnd\n"
+    with pytest.raises(SolverError):
+        read_lp(text)
+
+
+def test_solutions_survive_roundtrip():
+    """Optimal value identical before and after a round-trip."""
+    from repro.solver.interface import solve
+
+    problem = _example_problem()
+    parsed, _ = read_lp(write_lp(problem))
+    assert solve(problem, "max").objective == solve(parsed, "max").objective
+    assert solve(problem, "min").objective == solve(parsed, "min").objective

@@ -1,0 +1,126 @@
+"""Monte Carlo baseline: sampler validity and range containment."""
+
+import random
+
+import pytest
+
+from repro.anonymize import (
+    Hierarchy,
+    encode_bipartite,
+    encode_generalized,
+    encode_suppressed,
+    k_anonymize,
+    safe_grouping,
+)
+from repro.anonymize.base import SuppressedDataset
+from repro.core.worlds import is_valid
+from repro.data.generator import generate
+from repro.errors import SamplingError
+from repro.mc.evaluate import run_monte_carlo
+from repro.mc.sampler import sample_assignment, sample_generic, sample_world
+from repro.queries import answer_licm, query1, QueryParams
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(120, num_items=32, seed=21)
+
+
+@pytest.fixture(scope="module")
+def encodings(dataset):
+    hierarchy = Hierarchy.balanced(dataset.items, fanout=4)
+    generalized = encode_generalized(k_anonymize(dataset, hierarchy, 3))
+    bipartite = encode_bipartite(safe_grouping(dataset, 3))
+    published = SuppressedDataset(
+        source=dataset,
+        transactions=[
+            (tid, itemset - {dataset.items[0]}) for tid, itemset in dataset.transactions
+        ],
+        suppressed_items=frozenset({dataset.items[0]}),
+    )
+    suppressed = encode_suppressed(published)
+    return {"generalized": generalized, "bipartite": bipartite, "suppressed": suppressed}
+
+
+@pytest.mark.parametrize("kind", ["generalized", "bipartite", "suppressed"])
+def test_samples_are_valid_worlds(encodings, kind):
+    encoded = encodings[kind]
+    rng = random.Random(5)
+    for _ in range(5):
+        assignment = sample_assignment(encoded, rng)
+        assert is_valid(encoded.model.constraints, assignment)
+
+
+@pytest.mark.parametrize("kind", ["generalized", "bipartite", "suppressed"])
+def test_sample_world_builds_database(encodings, kind):
+    encoded = encodings[kind]
+    db = sample_world(encoded, random.Random(1), check=True)
+    assert "TRANS" in db and "ITEM" in db
+
+
+def test_samples_vary(encodings):
+    encoded = encodings["generalized"]
+    rng = random.Random(3)
+    worlds = {frozenset(sample_world(encoded, rng).table("TRANSITEM").rows) for _ in range(5)}
+    assert len(worlds) > 1
+
+
+def test_mc_range_inside_licm_range(encodings):
+    """The paper's Figure 5 invariant: [M_min, M_max] ⊆ [L_min, L_max]."""
+    params = QueryParams(pa_selectivity=0.3, pb_selectivity=0.5)
+    for encoded in encodings.values():
+        plan = query1(encoded, params)
+        licm = answer_licm(encoded, plan)
+        mc = run_monte_carlo(encoded, plan, samples=8, seed=2)
+        assert licm.lower <= mc.minimum <= mc.maximum <= licm.upper
+
+
+def test_mc_result_statistics(encodings):
+    plan = query1(encodings["bipartite"], QueryParams(pa_selectivity=0.5))
+    result = run_monte_carlo(encodings["bipartite"], plan, samples=6, seed=0)
+    assert len(result.values) == 6
+    assert result.minimum <= result.mean <= result.maximum
+    assert result.total_time >= 0
+
+
+def test_mc_requires_aggregate_plan(encodings):
+    from repro.relational.query import Scan
+
+    with pytest.raises(SamplingError):
+        run_monte_carlo(encodings["bipartite"], Scan("TRANS"), samples=1)
+
+
+def test_mc_requires_positive_samples(encodings):
+    from repro.relational.query import CountStar, Scan
+
+    with pytest.raises(SamplingError):
+        run_monte_carlo(encodings["bipartite"], CountStar(Scan("TRANS")), samples=0)
+
+
+def test_mc_deterministic_under_seed(encodings):
+    plan = query1(encodings["generalized"], QueryParams(pa_selectivity=0.5))
+    a = run_monte_carlo(encodings["generalized"], plan, samples=4, seed=9)
+    b = run_monte_carlo(encodings["generalized"], plan, samples=4, seed=9)
+    assert a.values == b.values
+
+
+def test_generic_sampler_on_arbitrary_model():
+    from repro.core import LICMModel, correlations
+
+    model = LICMModel()
+    variables = model.new_vars(8)
+    model.add_all(correlations.exactly(variables[:4], 2))
+    model.add_all(correlations.implies(variables[4], variables[5]))
+    assignment = sample_generic(model, random.Random(0))
+    assert assignment is not None
+    assert is_valid(model.constraints, assignment)
+
+
+def test_generic_sampler_infeasible_returns_none():
+    from repro.core import LICMModel
+
+    model = LICMModel()
+    var = model.new_var()
+    model.add(var >= 1)
+    model.add(var <= 0)
+    assert sample_generic(model, random.Random(0), max_restarts=3) is None

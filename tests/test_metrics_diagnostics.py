@@ -1,0 +1,140 @@
+"""Anonymization utility metrics and infeasibility diagnostics."""
+
+import pytest
+
+from repro.anonymize import Hierarchy, encode_generalized, k_anonymize, km_anonymize
+from repro.anonymize.metrics import (
+    QueryUtility,
+    average_class_size,
+    compare_schemes,
+    discernibility,
+    query_utility,
+)
+from repro.core.database import LICMModel
+from repro.data.generator import generate
+from repro.queries import Q, QueryParams, query1
+from repro.relational.query import evaluate
+from repro.solver.diagnostics import explain_infeasibility, find_iis
+from repro.solver.model import BIPConstraint, BIPProblem
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = generate(150, num_items=48, seed=41)
+    hierarchy = Hierarchy.balanced(dataset.items, fanout=4)
+    encodings = {
+        "km": encode_generalized(km_anonymize(dataset, hierarchy, 3, m=2)),
+        "k-anonymity": encode_generalized(k_anonymize(dataset, hierarchy, 3)),
+    }
+    return dataset, hierarchy, encodings
+
+
+def test_discernibility_and_class_size(setting):
+    dataset, hierarchy, _ = setting
+    generalized = k_anonymize(dataset, hierarchy, 3)
+    score = discernibility(generalized)
+    assert score >= dataset.num_transactions * 3  # every class >= k
+    assert average_class_size(generalized) >= 3
+
+
+def test_discernibility_without_classes(setting):
+    dataset, hierarchy, _ = setting
+    generalized = km_anonymize(dataset, hierarchy, 3, m=2)
+    assert generalized.equivalence_classes is None
+    assert discernibility(generalized) > 0
+    assert average_class_size(generalized) > 0
+
+
+def test_query_utility_contains_truth(setting):
+    dataset, _, encodings = setting
+    params = QueryParams(pa_selectivity=0.3, pb_selectivity=0.4)
+    encoded = encodings["k-anonymity"]
+    plan = query1(encoded, params)
+    truth = evaluate(plan, dataset.exact_database())
+    utility = query_utility(encoded, plan, truth=truth)
+    assert utility.truth_inside
+    assert 0 <= utility.relative_width <= 1
+    assert utility.width == utility.upper - utility.lower
+
+
+def test_compare_schemes_orders_by_width(setting):
+    dataset, _, encodings = setting
+    params = QueryParams(pa_selectivity=0.3, pb_selectivity=0.4)
+    results = compare_schemes(
+        encodings, plan_builder=lambda enc: query1(enc, params)
+    )
+    widths = [u.width for u in results.values()]
+    assert widths == sorted(widths)
+    assert set(results) == set(encodings)
+
+
+def test_compare_schemes_requires_plan_source(setting):
+    _, _, encodings = setting
+    with pytest.raises(ValueError):
+        compare_schemes(encodings)
+
+
+def test_query_utility_zero_upper():
+    utility = QueryUtility(lower=0, upper=0)
+    assert utility.relative_width == 0.0
+    assert utility.truth_inside is None
+
+
+# --- diagnostics ---------------------------------------------------------------
+
+
+def _problem(constraints, num_vars):
+    return BIPProblem(
+        num_vars=num_vars,
+        constraints=[BIPConstraint(tuple(t), op, rhs) for t, op, rhs in constraints],
+        objective={},
+    )
+
+
+def test_find_iis_on_feasible_problem():
+    problem = _problem([(((1, 0),), "<=", 1)], 1)
+    assert find_iis(problem) is None
+
+
+def test_find_iis_minimal_conflict():
+    # Conflict is {x0 >= 1, x0 <= 0}; the third constraint is innocent.
+    problem = _problem(
+        [
+            (((1, 0),), ">=", 1),
+            (((1, 0),), "<=", 0),
+            (((1, 1),), "<=", 1),
+        ],
+        2,
+    )
+    iis = find_iis(problem)
+    assert iis is not None
+    assert len(iis) == 2
+    mentioned = {idx for c in iis for _, idx in c.terms}
+    assert mentioned == {0}
+
+
+def test_find_iis_cardinality_conflict():
+    # sum >= 3 over two variables is alone infeasible.
+    problem = _problem([(((1, 0), (1, 1)), ">=", 3)], 2)
+    iis = find_iis(problem)
+    assert iis is not None
+    assert len(iis) == 1
+
+
+def test_explain_infeasibility_on_model():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add(a + b >= 2)
+    model.add(a + b <= 1)
+    model.add(a - b <= 1)  # irrelevant
+    explanation = explain_infeasibility(model)
+    assert explanation is not None
+    assert len(explanation) == 2
+    assert all(">=" in line or "<=" in line for line in explanation)
+
+
+def test_explain_feasible_model_returns_none():
+    model = LICMModel()
+    a = model.new_var()
+    model.add(a <= 1)
+    assert explain_infeasibility(model) is None

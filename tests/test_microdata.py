@@ -1,0 +1,105 @@
+"""Numeric microdata coarsening and its LICM encoding."""
+
+import pytest
+
+from repro.anonymize.microdata import (
+    CoarsenedMicrodata,
+    MicrodataTable,
+    coarsen,
+    encode_microdata,
+    verify_coarsening,
+)
+from repro.core.bounds import count_bounds
+from repro.core.count_predicate import licm_having_count
+from repro.core.operators import licm_project, licm_select
+from repro.errors import AnonymizationError
+from repro.relational.predicates import And, Between, Compare
+
+
+@pytest.fixture
+def ages():
+    table = MicrodataTable(attributes=("Age", "Dept"))
+    for age, dept in [(23, 1), (25, 1), (31, 2), (34, 2), (37, 1), (52, 3)]:
+        table.insert((age, dept))
+    return table
+
+
+def test_table_validation():
+    table = MicrodataTable(attributes=("A",))
+    with pytest.raises(AnonymizationError):
+        table.insert((1, 2))
+    with pytest.raises(AnonymizationError):
+        table.insert(("x",))
+
+
+def test_coarsen_guarantee(ages):
+    published = coarsen(ages, ["Age"], k=2)
+    assert verify_coarsening(published)
+    # Every range groups >= 2 records.
+    counts = {}
+    for record in published.ranges:
+        counts[record["Age"]] = counts.get(record["Age"], 0) + 1
+    assert all(count >= 2 for count in counts.values())
+
+
+def test_coarsen_validation(ages):
+    with pytest.raises(AnonymizationError):
+        coarsen(ages, ["Age"], k=0)
+    with pytest.raises(AnonymizationError):
+        coarsen(ages, ["Age"], k=10)
+    with pytest.raises(AnonymizationError):
+        coarsen(ages, ["Ghost"], k=2)
+
+
+def test_encoding_exactly_one_per_record(ages):
+    published = coarsen(ages, ["Age"], k=2)
+    model, relation = encode_microdata(published)
+    # One exactly-one constraint per record for the coarsened attribute.
+    assert model.num_constraints == len(ages.rows)
+    # Dept is published exactly.
+    dept_rows = [r for r in relation.rows if r.values[1] == "Dept"]
+    assert all(r.certain for r in dept_rows)
+
+
+def test_bounds_sharper_than_interval_arithmetic(ages):
+    """COUNT(Age in [30, 35]): exact bounds respect the exactly-one
+    structure — a record whose range is [31, 37] may or may not be inside,
+    but each record contributes at most one value."""
+    published = coarsen(ages, ["Age"], k=2)
+    model, relation = encode_microdata(published)
+    in_range = licm_select(
+        relation,
+        And([Compare("Attr", "==", "Age"), Between("Value", 30, 35)]),
+    )
+    per_record = licm_project(in_range, ["RecordID"])
+    bounds = count_bounds(per_record)
+    # The true answer (31 and 34) must be inside.
+    truth = sum(1 for age in ages.column("Age") if 30 <= age <= 35)
+    assert bounds.lower <= truth <= bounds.upper
+    assert bounds.upper <= len(ages.rows)
+
+
+def test_certain_query_collapses(ages):
+    """A predicate covering an entire published range gives exact counts."""
+    published = coarsen(ages, ["Age"], k=2)
+    model, relation = encode_microdata(published)
+    lo = min(lo for rec in published.ranges for lo, _ in [rec["Age"]])
+    hi = max(hi for rec in published.ranges for _, hi in [rec["Age"]])
+    everything = licm_select(
+        relation, And([Compare("Attr", "==", "Age"), Between("Value", lo, hi)])
+    )
+    per_record = licm_project(everything, ["RecordID"])
+    bounds = count_bounds(per_record)
+    assert bounds.lower == bounds.upper == len(ages.rows)
+
+
+def test_count_predicate_over_microdata(ages):
+    """Departments with >= 2 members among records that might be under 30."""
+    published = coarsen(ages, ["Age"], k=3)
+    model, relation = encode_microdata(published)
+    young = licm_select(
+        relation, And([Compare("Attr", "==", "Age"), Between("Value", 0, 29)])
+    )
+    young_ids = licm_project(young, ["RecordID"])
+    bounds = count_bounds(young_ids)
+    assert bounds.lower <= 2 <= bounds.upper  # truly-young records: 23, 25

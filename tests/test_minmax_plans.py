@@ -1,0 +1,85 @@
+"""MIN/MAX terminal plan nodes across both engines."""
+
+import pytest
+
+from repro.anonymize.base import GeneralizedDataset
+from repro.anonymize.encode import encode_generalized
+from repro.anonymize.hierarchy import Hierarchy
+from repro.data.transactions import TransactionDataset
+from repro.errors import QueryError
+from repro.queries import Q, answer_licm
+from repro.queries.licm_eval import evaluate_licm
+from repro.relational.predicates import Compare
+from repro.relational.query import MaxAttr, MinAttr, Scan, evaluate
+from repro.relational.relation import Database, Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [Relation("P", ["Item", "Price"], [("a", 4), ("b", 9), ("c", 2)])]
+    )
+
+
+def test_deterministic_min_max(db):
+    assert evaluate(MinAttr(Scan("P"), "Price"), db) == 2
+    assert evaluate(MaxAttr(Scan("P"), "Price"), db) == 9
+
+
+def test_empty_child_yields_none(db):
+    plan = MinAttr(
+        Q.scan("P").where(Compare("Price", ">", 100)).plan, "Price"
+    )
+    assert evaluate(plan, db) is None
+
+
+def test_fluent_min_max(db):
+    assert evaluate(Q.scan("P").max("Price"), db) == 9
+    assert evaluate(Q.scan("P").min("Price"), db) == 2
+
+
+def test_licm_eval_rejects_min_max_directly():
+    from repro.core.database import LICMModel
+
+    model = LICMModel()
+    rel = model.relation("P", ["Item", "Price"])
+    with pytest.raises(QueryError):
+        evaluate_licm(MaxAttr(Scan("P"), "Price"), {"P": rel})
+
+
+@pytest.fixture
+def encoded():
+    """A 2-transaction dataset with one generalized item."""
+    dataset = TransactionDataset(
+        transactions=[
+            ("T1", frozenset({"Beer", "Bread"})),
+            ("T2", frozenset({"Bread"})),
+        ],
+        items=("Beer", "Wine", "Bread"),
+        locations={"T1": 1, "T2": 2},
+        prices={"Beer": 6, "Wine": 9, "Bread": 2},
+    )
+    hierarchy = Hierarchy.from_parent_map(
+        {"Beer": "Alcohol", "Wine": "Alcohol", "Alcohol": "All", "Bread": "All"}
+    )
+    generalized = GeneralizedDataset(
+        source=dataset,
+        hierarchy=hierarchy,
+        transactions=[
+            ("T1", frozenset({"Alcohol", "Bread"})),
+            ("T2", frozenset({"Bread"})),
+        ],
+    )
+    return encode_generalized(generalized)
+
+
+def test_answer_licm_minmax(encoded):
+    """MAX price of a purchased item: Bread (2) is certain; T1 also has
+    Beer (6) or Wine (9) or both."""
+    plan = Q.scan("TRANSITEM").join(Q.scan("ITEM")).max("Price")
+    answer = answer_licm(encoded, plan)
+    assert (answer.lower, answer.upper) == (6, 9)
+
+    plan = Q.scan("TRANSITEM").join(Q.scan("ITEM")).min("Price")
+    answer = answer_licm(encoded, plan)
+    assert (answer.lower, answer.upper) == (2, 2)  # Bread always present

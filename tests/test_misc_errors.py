@@ -1,0 +1,104 @@
+"""Error-path and edge-case coverage across modules."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.errors import QueryError
+from repro.queries.licm_eval import evaluate_licm
+from repro.relational.predicates import attributes_of, And, Between, Compare, Not, Or, TruePredicate
+from repro.relational.query import Scan
+
+
+def test_licm_eval_missing_relation():
+    with pytest.raises(QueryError):
+        evaluate_licm(Scan("GHOST"), {})
+
+
+def test_licm_eval_unknown_node():
+    class Weird:
+        pass
+
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    with pytest.raises(QueryError):
+        evaluate_licm(Weird(), {"R": rel})
+
+
+def test_attributes_of_all_predicate_shapes():
+    assert attributes_of(Compare("A", "==", 1)) == {"A"}
+    assert attributes_of(Between("B", 0, 1)) == {"B"}
+    assert attributes_of(And([Compare("A", "==", 1), Between("B", 0, 1)])) == {"A", "B"}
+    assert attributes_of(Or([Compare("A", "==", 1), Compare("C", "<", 2)])) == {"A", "C"}
+    assert attributes_of(Not(Compare("A", "==", 1))) == {"A"}
+    assert attributes_of(TruePredicate()) == set()
+
+
+def test_predicate_bad_operator():
+    with pytest.raises(QueryError):
+        Compare("A", "~=", 1)
+
+
+def test_having_count_bad_op_in_plan():
+    from repro.relational.query import HavingCount
+
+    with pytest.raises(QueryError):
+        HavingCount(Scan("R"), ["A"], "!=", 1)
+
+
+def test_empty_relation_operators():
+    """Operators on empty relations return empty results, no crashes."""
+    from repro.core.operators import (
+        licm_dedup,
+        licm_intersect,
+        licm_join,
+        licm_product,
+        licm_project,
+        licm_select,
+        licm_union,
+    )
+
+    model = LICMModel()
+    a = model.relation("A", ["X"])
+    b = model.relation("B", ["X"])
+    c = model.relation("C", ["Y"])
+    assert len(licm_select(a, TruePredicate())) == 0
+    assert len(licm_project(a, ["X"])) == 0
+    assert len(licm_dedup(a)) == 0
+    assert len(licm_intersect(a, b)) == 0
+    assert len(licm_union(a, b)) == 0
+    assert len(licm_product(a, c)) == 0
+    assert len(licm_join(a, c)) == 0
+
+
+def test_count_predicate_empty_relation():
+    from repro.core.count_predicate import licm_having_count
+
+    model = LICMModel()
+    rel = model.relation("R", ["G"])
+    out = licm_having_count(rel, ["G"], ">=", 1)
+    assert len(out) == 0
+
+
+def test_bounds_on_constant_objective():
+    from repro.core.bounds import objective_bounds
+    from repro.core.linexpr import LinearExpr
+
+    model = LICMModel()
+    bounds = objective_bounds(model, LinearExpr({}, 42))
+    assert bounds.lower == bounds.upper == 42
+
+
+def test_count_bounds_empty_relation():
+    from repro.core.bounds import count_bounds
+
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    bounds = count_bounds(rel)
+    assert (bounds.lower, bounds.upper) == (0, 0)
+
+
+def test_pretty_on_empty_relation():
+    model = LICMModel()
+    rel = model.relation("R", ["A", "B"])
+    text = rel.pretty()
+    assert "A" in text and "Ext" in text

@@ -1,0 +1,165 @@
+"""Unit tests for LICM select / project / rename / union / difference.
+
+The central check everywhere: the set of instantiations of the LICM output
+equals the set of per-world results of the classical operator (set
+semantics) — i.e. operators commute with instantiation.
+"""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.core.operators import (
+    licm_dedup,
+    licm_difference,
+    licm_project,
+    licm_rename,
+    licm_select,
+    licm_union,
+    or_ext,
+)
+from repro.core.worlds import instantiate
+from repro.errors import QueryError, SchemaError
+from repro.relational.predicates import Compare, InSet
+from helpers import all_valid_assignments, fig2c_model, fig4b_model
+
+
+def _oracle_pairs(model, in_relation, out_relation, classical):
+    """For every valid world: classical(instantiation(in)) == set(instantiation(out))."""
+    for assignment in all_valid_assignments(model):
+        source = instantiate(in_relation, assignment)
+        expected = classical(source)
+        actual = set(instantiate(out_relation, assignment))
+        assert actual == expected, (assignment, expected, actual)
+
+
+def test_select_filters_rows_and_keeps_constraints():
+    model, trans, _ = fig2c_model()
+    constraints_before = model.num_constraints
+    result = licm_select(trans, Compare("ItemName", "!=", "Shampoo"))
+    assert len(result) == 3
+    assert model.num_constraints == constraints_before
+    assert model.num_variables == 3  # no new variables
+
+
+def test_select_world_equivalence():
+    model, trans, _ = fig2c_model()
+    result = licm_select(trans, InSet("ItemName", {"Beer", "Wine"}))
+    _oracle_pairs(
+        model,
+        trans,
+        result,
+        lambda rows: {r for r in rows if r[1] in {"Beer", "Wine"}},
+    )
+
+
+def test_project_example7():
+    """Example 7: project Figure 4(b) onto TID."""
+    model, rel, (b1, b2, b3, b6, b7) = fig4b_model()
+    result = licm_project(rel, ["TID"])
+    by_tid = {row.values[0]: row.ext for row in result.rows}
+    assert by_tid["T2"] == 1  # (T2, Wine) is certain
+    assert by_tid["T3"] == b7  # single maybe-tuple: variable reused
+    # T1 depends on three variables -> a fresh disjunction variable
+    assert by_tid["T1"] not in (b1, b2, b3, 1)
+    _oracle_pairs(model, rel, result, lambda rows: {(r[0],) for r in rows})
+
+
+def test_project_world_equivalence_multiattr():
+    model, trans, _ = fig2c_model()
+    result = licm_project(trans, ["ItemName"])
+    _oracle_pairs(model, trans, result, lambda rows: {(r[1],) for r in rows})
+
+
+def test_project_certain_group_stays_certain():
+    model = LICMModel()
+    rel = model.relation("R", ["A", "B"])
+    rel.insert(("x", 1))
+    rel.insert(("x", 2), ext=model.new_var())
+    result = licm_project(rel, ["A"])
+    assert len(result) == 1
+    assert result.rows[0].ext == 1
+
+
+def test_project_invalid_attribute():
+    model, trans, _ = fig2c_model()
+    with pytest.raises(SchemaError):
+        licm_project(trans, ["Nope"])
+
+
+def test_dedup_merges_duplicate_value_rows():
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    a, b = model.new_vars(2)
+    rel.insert(("x",), ext=a)
+    rel.insert(("x",), ext=b)
+    result = licm_dedup(rel)
+    assert len(result) == 1
+    _oracle_pairs(model, rel, result, set)
+
+
+def test_or_ext_certain_short_circuit():
+    model = LICMModel()
+    var = model.new_var()
+    assert or_ext(model, [var, 1]) == 1
+    assert or_ext(model, [var, var]) == var
+    with pytest.raises(QueryError):
+        or_ext(model, [])
+
+
+def test_rename():
+    model, trans, _ = fig2c_model()
+    renamed = licm_rename(trans, {"ItemName": "Item"})
+    assert renamed.attributes == ("TID", "Item")
+    assert len(renamed) == len(trans)
+    assert renamed.rows[0].ext is trans.rows[0].ext
+
+
+def test_union_world_equivalence():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    a, b = model.new_vars(2)
+    r1.insert(("x",), ext=a)
+    r1.insert(("z",))
+    r2.insert(("x",), ext=b)
+    r2.insert(("y",), ext=b)
+    result = licm_union(r1, r2)
+    for assignment in all_valid_assignments(model):
+        expected = set(instantiate(r1, assignment)) | set(instantiate(r2, assignment))
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_union_schema_mismatch():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["B"])
+    with pytest.raises(SchemaError):
+        licm_union(r1, r2)
+
+
+def test_difference_world_equivalence():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    a, b, c = model.new_vars(3)
+    r1.insert(("x",), ext=a)
+    r1.insert(("y",))
+    r1.insert(("w",), ext=c)
+    r2.insert(("x",), ext=b)
+    r2.insert(("y",), ext=b)
+    r2.insert(("z",))
+    result = licm_difference(r1, r2)
+    for assignment in all_valid_assignments(model):
+        expected = set(instantiate(r1, assignment)) - set(instantiate(r2, assignment))
+        assert set(instantiate(result, assignment)) == expected
+
+
+def test_difference_against_certain_right_side():
+    model = LICMModel()
+    r1 = model.relation("R1", ["A"])
+    r2 = model.relation("R2", ["A"])
+    var = model.new_var()
+    r1.insert(("x",), ext=var)
+    r2.insert(("x",))
+    result = licm_difference(r1, r2)
+    assert len(result) == 0

@@ -1,0 +1,118 @@
+"""The priors extension: conditional expectations and tail bounds."""
+
+import pytest
+
+from repro.core import correlations
+from repro.core.aggregates import count_objective
+from repro.core.database import LICMModel
+from repro.core.priors import PriorModel, expected_value, tail_bounds
+from repro.errors import ModelError, SamplingError
+from helpers import fig2c_model
+
+
+def test_probability_defaults_and_overrides():
+    model = LICMModel()
+    a = model.new_var()
+    prior = PriorModel(model, default=0.5)
+    assert prior.probability(a.index) == 0.5
+    prior.set_probability(a, 0.9)
+    assert prior.probability(a.index) == 0.9
+    with pytest.raises(ModelError):
+        prior.set_probability(a, 1.5)
+    with pytest.raises(ModelError):
+        PriorModel(model, default=-0.1)
+
+
+def test_assignment_mass():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    prior = PriorModel(model)
+    prior.set_probability(a, 0.8)
+    prior.set_probability(b, 0.25)
+    assert prior.assignment_mass({a.index: 1, b.index: 0}) == pytest.approx(0.6)
+
+
+def test_expected_value_uniform_prior_fig2c():
+    """Uniform prior on Figure 2(c): all 7 non-empty subsets equally likely,
+    so E[COUNT] = 1 + E[|subset|] = 1 + 12/7."""
+    model, trans, _ = fig2c_model()
+    prior = PriorModel(model)
+    result = expected_value(prior, count_objective(trans))
+    assert result.method == "exact"
+    assert result.mean == pytest.approx(1 + 12 / 7)
+    assert result.world_mass == pytest.approx(7 / 8)
+
+
+def test_expected_value_skewed_prior():
+    """A prior concentrated on one alternative pulls the mean toward it."""
+    model = LICMModel()
+    rel = model.relation("R", ["V"])
+    a, b = model.new_vars(2)
+    rel.insert((10,), ext=a)
+    rel.insert((0,), ext=b)
+    model.add_all(correlations.mutually_exclusive(a, b))
+    from repro.core.aggregates import sum_objective
+
+    prior = PriorModel(model)
+    prior.set_probability(a, 0.99)
+    result = expected_value(prior, sum_objective(rel, "V"))
+    # conditional on exactly-one: P(a=1 | valid) = .99*.01 / (.99*.01 + .01*.99) = 1/2?
+    # mass(a=1,b=0) = .99 * (1-.99-prior-of-b)... b defaults to .5:
+    # mass(1,0) = .99*.5, mass(0,1) = .01*.5 -> P(a) = .99
+    assert result.mean == pytest.approx(9.9)
+
+
+def test_expected_value_sampling_path():
+    model = LICMModel()
+    variables = model.new_vars(30)  # above the exact enumeration limit
+    rel = model.relation("R", ["I"])
+    for i, var in enumerate(variables):
+        rel.insert((i,), ext=var)
+    model.add_all(correlations.at_least(variables[:5], 1))
+    prior = PriorModel(model)
+    result = expected_value(prior, count_objective(rel), samples=500, seed=1)
+    assert result.method == "sampled"
+    assert 10 < result.mean < 20  # ~15 under a near-uniform prior
+    assert result.samples > 0
+
+
+def test_expected_value_zero_mass():
+    model = LICMModel()
+    a = model.new_var()
+    rel = model.relation("R", ["V"])
+    rel.insert((1,), ext=a)
+    model.add(a >= 1)
+    prior = PriorModel(model)
+    prior.set_probability(a, 0.0)  # prior forbids the only valid world
+    with pytest.raises(SamplingError):
+        expected_value(prior, count_objective(rel))
+
+
+def test_tail_bounds_contains_mean_and_truncates():
+    model, trans, _ = fig2c_model()
+    prior = PriorModel(model)
+    bounds = tail_bounds(prior, count_objective(trans), confidence=0.9)
+    assert bounds.lower == 2 and bounds.upper == 4
+    low, high = bounds.interval
+    assert bounds.lower <= low <= bounds.mean <= high <= bounds.upper
+    assert bounds.deviation == 0.0  # exact path
+
+
+def test_tail_bounds_sampled_deviation_positive():
+    model = LICMModel()
+    variables = model.new_vars(30)
+    rel = model.relation("R", ["I"])
+    for i, var in enumerate(variables):
+        rel.insert((i,), ext=var)
+    prior = PriorModel(model)
+    bounds = tail_bounds(prior, count_objective(rel), samples=200, seed=0)
+    assert bounds.deviation > 0
+    low, high = bounds.interval
+    assert low >= bounds.lower and high <= bounds.upper
+
+
+def test_tail_bounds_validates_confidence():
+    model, trans, _ = fig2c_model()
+    prior = PriorModel(model)
+    with pytest.raises(ModelError):
+        tail_bounds(prior, count_objective(trans), confidence=1.0)

@@ -1,0 +1,107 @@
+"""Unit tests for bound propagation and presolve."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.presolve import presolve
+from repro.solver.propagation import FREE, ONE, ZERO, CompiledConstraints, propagate
+
+
+def _problem(constraints, num_vars, objective=None):
+    return BIPProblem(
+        num_vars=num_vars,
+        constraints=[BIPConstraint(tuple(t), op, rhs) for t, op, rhs in constraints],
+        objective=objective or {},
+    )
+
+
+def test_propagate_fixes_forced_variable():
+    # x0 + x1 >= 2 forces both to 1.
+    problem = _problem([(((1, 0), (1, 1)), ">=", 2)], 2)
+    domains = propagate(CompiledConstraints(problem), [FREE, FREE])
+    assert domains == [ONE, ONE]
+
+
+def test_propagate_chains_through_constraints():
+    # x0 >= 1; x0 + x1 <= 1 -> x1 = 0; x2 - x1 <= 0 -> x2 = 0.
+    problem = _problem(
+        [
+            (((1, 0),), ">=", 1),
+            (((1, 0), (1, 1)), "<=", 1),
+            (((1, 2), (-1, 1)), "<=", 0),
+        ],
+        3,
+    )
+    domains = propagate(CompiledConstraints(problem), [FREE] * 3)
+    assert domains == [ONE, ZERO, ZERO]
+
+
+def test_propagate_detects_conflict():
+    problem = _problem([(((1, 0),), ">=", 1), (((1, 0),), "<=", 0)], 1)
+    assert propagate(CompiledConstraints(problem), [FREE]) is None
+
+
+def test_propagate_respects_initial_fixings():
+    # x0 + x1 = 1 with x0 fixed to 1 forces x1 = 0.
+    problem = _problem([(((1, 0), (1, 1)), "==", 1)], 2)
+    domains = propagate(CompiledConstraints(problem), [ONE, FREE])
+    assert domains == [ONE, ZERO]
+
+
+def test_propagate_equality_both_directions():
+    # 2x0 + x1 == 2: x1 must be 0 and x0 must be 1.
+    problem = _problem([(((2, 0), (1, 1)), "==", 2)], 2)
+    domains = propagate(CompiledConstraints(problem), [FREE, FREE])
+    assert domains == [ONE, ZERO]
+
+
+def test_propagate_leaves_genuinely_free_variables():
+    problem = _problem([(((1, 0), (1, 1)), "<=", 1)], 2)
+    domains = propagate(CompiledConstraints(problem), [FREE, FREE])
+    assert domains == [FREE, FREE]
+
+
+def test_presolve_shrinks_problem():
+    # x0 forced; x1, x2 free with one live constraint.
+    problem = _problem(
+        [
+            (((1, 0),), ">=", 1),
+            (((1, 1), (1, 2)), "<=", 1),
+        ],
+        3,
+        objective={0: 5, 1: 1, 2: 1},
+    )
+    result = presolve(problem)
+    assert result.fixed == {0: 1}
+    assert result.problem.num_vars == 2
+    assert result.problem.objective_constant == 5
+    lifted = result.lift([1, 0])
+    assert lifted == [1, 1, 0]
+
+
+def test_presolve_removes_redundant_constraints():
+    # x0 + x1 <= 2 is vacuous for binaries.
+    problem = _problem([(((1, 0), (1, 1)), "<=", 2)], 2)
+    result = presolve(problem)
+    assert result.problem.num_constraints == 0
+
+
+def test_presolve_detects_infeasibility():
+    problem = _problem([(((1, 0), (1, 1)), ">=", 3)], 2)
+    with pytest.raises(InfeasibleError):
+        presolve(problem)
+
+
+def test_presolve_folds_fixed_into_rhs():
+    # x0 = 1 (forced), then x0 + x1 <= 1 becomes x1 <= 0 -> x1 fixed too.
+    problem = _problem(
+        [
+            (((1, 0),), ">=", 1),
+            (((1, 0), (1, 1)), "<=", 1),
+        ],
+        2,
+    )
+    result = presolve(problem)
+    assert result.fixed == {0: 1, 1: 0}
+    assert result.problem.num_vars == 0

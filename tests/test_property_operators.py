@@ -1,0 +1,132 @@
+"""More hypothesis property tests on operator semantics and enumeration."""
+
+from itertools import product as iter_product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import correlations
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_difference, licm_union
+from repro.core.worlds import enumerate_assignments, instantiate
+
+
+@st.composite
+def grouped_relation(draw):
+    """One LICM relation with up to 2 groups and a random cardinality
+    constraint over the maybe-tuples."""
+    model = LICMModel()
+    rel = model.relation("R", ["G", "I"])
+    variables = []
+    rows = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["g1", "g2"]), st.integers(0, 3)),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    for values in rows:
+        if draw(st.booleans()):
+            rel.insert(values)
+        else:
+            variables.append(rel.insert_maybe(values).ext)
+    if len(variables) >= 2 and draw(st.booleans()):
+        lo = draw(st.integers(0, 1))
+        hi = draw(st.integers(lo, len(variables)))
+        model.add_all(correlations.cardinality(variables, lo, hi))
+    return model, rel
+
+
+@given(grouped_relation(), st.sampled_from(["<=", ">=", "=="]), st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_count_predicate_matches_oracle(model_rel, op, threshold):
+    import operator as _op
+
+    model, rel = model_rel
+    result = licm_having_count(rel, ["G"], op, threshold)
+    cmp = {"<=": _op.le, ">=": _op.ge, "==": _op.eq}[op]
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        rows = set(instantiate(rel, assignment))
+        counts: dict = {}
+        for g, _ in rows:
+            counts[g] = counts.get(g, 0) + 1
+        expected = {(g,) for g, c in counts.items() if cmp(c, threshold)}
+        actual = set(instantiate(result, assignment))
+        assert actual == expected
+
+
+@st.composite
+def two_relations(draw):
+    model = LICMModel()
+    relations = []
+    for name in ("A", "B"):
+        rel = model.relation(name, ["V"])
+        rows = draw(
+            st.lists(st.integers(0, 3), min_size=0, max_size=4, unique=True)
+        )
+        for value in rows:
+            if draw(st.booleans()):
+                rel.insert((value,))
+            else:
+                rel.insert_maybe((value,))
+        relations.append(rel)
+    return model, relations[0], relations[1]
+
+
+@given(two_relations())
+@settings(max_examples=60, deadline=None)
+def test_union_difference_oracle(model_rels):
+    model, a, b = model_rels
+    union = licm_union(a, b)
+    difference = licm_difference(a, b)
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        wa = set(instantiate(a, assignment))
+        wb = set(instantiate(b, assignment))
+        assert set(instantiate(union, assignment)) == wa | wb
+        assert set(instantiate(difference, assignment)) == wa - wb
+
+
+@st.composite
+def constraint_system(draw):
+    model = LICMModel()
+    n = draw(st.integers(1, 6))
+    variables = model.new_vars(n)
+    for _ in range(draw(st.integers(0, 3))):
+        arity = draw(st.integers(1, n))
+        chosen = draw(
+            st.lists(st.integers(0, n - 1), min_size=arity, max_size=arity, unique=True)
+        )
+        coefs = draw(st.lists(st.integers(-2, 2), min_size=arity, max_size=arity))
+        from repro.core.constraints import LinearConstraint
+
+        model.add(
+            LinearConstraint(
+                [(c, variables[i].index) for c, i in zip(coefs, chosen)],
+                draw(st.sampled_from(["<=", ">=", "=="])),
+                draw(st.integers(-2, 2)),
+            )
+        )
+    return model, n
+
+
+@given(constraint_system())
+@settings(max_examples=60, deadline=None)
+def test_enumeration_matches_exhaustive_check(system):
+    """The pruned backtracking enumerator finds exactly the assignments a
+    naive exhaustive check accepts."""
+    model, n = system
+    variables = list(range(n))
+    found = {
+        tuple(a[v] for v in variables)
+        for a in enumerate_assignments(model.constraints, variables)
+    }
+    expected = set()
+    for bits in iter_product((0, 1), repeat=n):
+        assignment = dict(zip(variables, bits))
+        if all(c.satisfied_by(assignment) for c in model.constraints):
+            expected.add(bits)
+    assert found == expected

@@ -1,0 +1,147 @@
+"""The central correctness property (hypothesis):
+
+For a random small LICM database and a random query plan, evaluating the
+plan per possible world with the deterministic engine gives exactly the
+same multiset of results as instantiating the LICM result relation under
+the corresponding valid assignments — and for aggregate plans, the solver's
+bounds equal the brute-force min/max over worlds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import correlations
+from repro.core.bounds import objective_bounds
+from repro.core.database import LICMModel
+from repro.core.worlds import enumerate_assignments, instantiate
+from repro.queries.licm_eval import evaluate_licm
+from repro.relational.predicates import Compare, InSet
+from repro.relational.query import (
+    CountStar,
+    HavingCount,
+    Intersect,
+    NaturalJoin,
+    Project,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+)
+from repro.relational.relation import Database, Relation
+from repro.solver.result import SolverOptions
+
+ITEMS = ["a", "b", "c"]
+TIDS = ["T1", "T2"]
+
+
+@st.composite
+def random_model(draw):
+    """Two small LICM relations with random maybe-tuples and one random
+    cardinality constraint per relation."""
+    model = LICMModel()
+    relations = {}
+    for name in ("R", "S"):
+        rel = model.relation(name, ["TID", "Item"])
+        variables = []
+        rows = draw(
+            st.lists(
+                st.tuples(st.sampled_from(TIDS), st.sampled_from(ITEMS)),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        for values in rows:
+            if draw(st.booleans()):
+                rel.insert(values)
+            else:
+                row = rel.insert_maybe(values)
+                variables.append(row.ext)
+        if len(variables) >= 2:
+            lo = draw(st.integers(0, 1))
+            hi = draw(st.integers(lo, len(variables)))
+            model.add_all(correlations.cardinality(variables, lo, hi))
+        relations[name] = rel
+    return model, relations
+
+
+@st.composite
+def random_plan(draw):
+    base = draw(st.sampled_from(["R", "S"]))
+    plan = Scan(base)
+    depth = draw(st.integers(0, 2))
+    for _ in range(depth):
+        choice = draw(st.sampled_from(["select", "project", "union", "intersect", "having"]))
+        if choice == "select":
+            plan = Select(plan, InSet("Item", set(draw(
+                st.lists(st.sampled_from(ITEMS), min_size=1, max_size=3, unique=True)
+            ))))
+        elif choice == "project":
+            plan = Project(plan, ["TID"])
+            return CountStar(plan) if draw(st.booleans()) else plan
+        elif choice == "union":
+            plan = Union(plan, Scan("S" if base == "R" else "R"))
+        elif choice == "intersect":
+            plan = Intersect(plan, Scan("S" if base == "R" else "R"))
+        elif choice == "having":
+            plan = HavingCount(plan, ["TID"], draw(st.sampled_from([">=", "<="])), draw(st.integers(1, 2)))
+            return CountStar(plan) if draw(st.booleans()) else plan
+    if draw(st.booleans()):
+        return CountStar(plan)
+    return plan
+
+
+def _project_plan_attrs(plan):
+    """Whether the plan's output schema is TID-only (after project/having)."""
+    return None
+
+
+@given(random_model(), random_plan())
+@settings(max_examples=60, deadline=None)
+def test_licm_evaluation_commutes_with_instantiation(model_rel, plan):
+    model, relations = model_rel
+    licm_result = evaluate_licm(plan, relations)
+
+    variables = list(range(len(model.pool)))
+    assignments = list(enumerate_assignments(model.constraints, variables))
+    assert assignments, "random cardinality ranges always include a valid world"
+
+    aggregate = isinstance(plan, CountStar)
+    observed_counts = []
+    for assignment in assignments:
+        db = Database()
+        for name, relation in relations.items():
+            db.add(Relation(name, relation.attributes, instantiate(relation, assignment)))
+        expected = evaluate(plan, db)
+        if aggregate:
+            observed_counts.append(expected)
+            actual = licm_result.value(assignment)
+            assert actual == expected, (assignment, expected, actual)
+        else:
+            actual = set(instantiate(licm_result, assignment))
+            assert actual == set(expected.rows), (assignment, expected.rows, actual)
+
+    if aggregate:
+        bounds = objective_bounds(model, licm_result, SolverOptions(backend="scipy"))
+        assert bounds.lower == min(observed_counts)
+        assert bounds.upper == max(observed_counts)
+
+
+@given(random_model())
+@settings(max_examples=30, deadline=None)
+def test_join_commutes_with_instantiation(model_rel):
+    model, relations = model_rel
+    from repro.core.operators import licm_rename
+
+    renamed = licm_rename(relations["S"], {"Item": "Item2"})
+    plan_relations = {"R": relations["R"], "S2": renamed}
+    plan = NaturalJoin(Scan("R"), Scan("S2"))
+    licm_result = evaluate_licm(plan, plan_relations)
+
+    variables = list(range(len(model.pool)))
+    for assignment in enumerate_assignments(model.constraints, variables):
+        db = Database()
+        for name, relation in plan_relations.items():
+            db.add(Relation(name, relation.attributes, instantiate(relation, assignment)))
+        expected = evaluate(plan, db)
+        assert set(instantiate(licm_result, assignment)) == set(expected.rows)

@@ -1,0 +1,90 @@
+"""Unit tests for reachability pruning (Section V's Figure 7 mechanism)."""
+
+from repro.core.aggregates import count_objective
+from repro.core.bounds import count_bounds
+from repro.core.constraints import ConstraintStore
+from repro.core.count_predicate import licm_having_count
+from repro.core.database import LICMModel
+from repro.core.operators import licm_select
+from repro.core.pruning import prune, prune_fixpoint, prune_single_pass
+from repro.relational.predicates import InSet
+from helpers import fig4b_model
+
+
+def test_prune_drops_unreachable():
+    model = LICMModel()
+    a, b, c, d = model.new_vars(4)
+    model.add(a + b >= 1)
+    model.add(c + d <= 1)  # unrelated island
+    result = prune_fixpoint(model.constraints, {a.index})
+    assert len(result.constraints) == 1
+    assert result.variables == {a.index, b.index}
+    assert result.stats["constraints_before"] == 2
+    assert result.stats["constraints_after"] == 1
+
+
+def test_prune_transitive_closure():
+    model = LICMModel()
+    a, b, c, d = model.new_vars(4)
+    model.add(a + b >= 1)
+    model.add(b + c <= 1)
+    model.add(d >= 0)
+    result = prune_fixpoint(model.constraints, {a.index})
+    assert result.variables == {a.index, b.index, c.index}
+    assert len(result.constraints) == 2
+
+
+def test_single_pass_matches_fixpoint_on_operator_output():
+    """On models produced by LICM operators, the paper's single backward
+    pass finds exactly the fixpoint-reachable subproblem."""
+    model, rel, _ = fig4b_model()
+    selected = licm_select(rel, InSet("ItemName", {"Pregnancy test", "Diapers", "Shampoo"}))
+    result = licm_having_count(selected, ["TID"], ">=", 2)
+    objective = count_objective(result)
+    fix = prune_fixpoint(model.constraints, objective.coeffs.keys())
+    single = prune_single_pass(model.constraints, objective.coeffs.keys())
+    assert fix.variables == single.variables
+    assert fix.constraints == single.constraints
+
+
+def test_single_pass_can_underapproximate_adversarial_order():
+    """The documented caveat: out-of-creation-order stores can defeat the
+    single pass, which is why bounds default to the fixpoint variant."""
+    store = ConstraintStore()
+    model = LICMModel()
+    a, b, c = model.new_vars(3)
+    store.add(a + b >= 1)  # reaches b, but is scanned last...
+    store.add(b + c <= 1)  # ...so this earlier-scanned link to b is missed
+    single = prune_single_pass(store, {a.index})
+    fix = prune_fixpoint(store, {a.index})
+    assert len(fix.constraints) == 2
+    assert len(single.constraints) == 1
+
+
+def test_prune_dispatch():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add(a + b >= 1)
+    assert prune(model.constraints, {a.index}, "fixpoint").constraints
+    assert prune(model.constraints, {a.index}, "single_pass").constraints
+    try:
+        prune(model.constraints, {a.index}, "bogus")
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+
+
+def test_pruning_is_lossless_for_bounds():
+    """Bounds with and without pruning agree (the paper prunes purely for
+    solver memory, not semantics)."""
+    model, rel, _ = fig4b_model()
+    # add an unrelated island that pruning should discard
+    island = model.new_vars(3)
+    model.add((island[0] + island[1] + island[2]).eq(2))
+    selected = licm_select(rel, InSet("ItemName", {"Pregnancy test", "Diapers"}))
+    result = licm_having_count(selected, ["TID"], ">=", 1)
+    pruned = count_bounds(result, do_prune=True)
+    unpruned = count_bounds(result, do_prune=False)
+    assert (pruned.lower, pruned.upper) == (unpruned.lower, unpruned.upper)
+    assert pruned.stats["constraints_after"] < unpruned.stats["constraints_after"]

@@ -1,0 +1,151 @@
+"""Plan IR evaluation and the selection-pushdown rewrite."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.optimizer import push_down_selections
+from repro.relational.predicates import And, Between, Compare
+from repro.relational.query import (
+    CountStar,
+    HavingCount,
+    NaturalJoin,
+    Product,
+    Project,
+    Scan,
+    Select,
+    SumAttr,
+    evaluate,
+)
+from repro.relational.relation import Database, Relation
+
+
+@pytest.fixture
+def db():
+    trans = Relation(
+        "TRANS",
+        ["TID", "Location"],
+        [("T1", 3), ("T2", 7), ("T3", 12)],
+    )
+    items = Relation(
+        "TRANSITEM",
+        ["TID", "Item", "Price"],
+        [
+            ("T1", "beer", 6),
+            ("T1", "wine", 9),
+            ("T2", "beer", 6),
+            ("T3", "bread", 2),
+        ],
+    )
+    return Database([trans, items])
+
+
+def test_scan_and_select(db):
+    plan = Select(Scan("TRANSITEM"), Compare("Item", "==", "beer"))
+    out = evaluate(plan, db)
+    assert len(out) == 2
+
+
+def test_count_star_plan(db):
+    plan = CountStar(Select(Scan("TRANSITEM"), Between("Price", 5, 10)))
+    assert evaluate(plan, db) == 3
+
+
+def test_sum_plan(db):
+    plan = SumAttr(Scan("TRANSITEM"), "Price")
+    assert evaluate(plan, db) == 23
+
+
+def test_join_then_having(db):
+    # transactions with >= 2 items priced 5..10
+    plan = CountStar(
+        HavingCount(
+            Select(Scan("TRANSITEM"), Between("Price", 5, 10)),
+            ["TID"],
+            ">=",
+            2,
+        )
+    )
+    assert evaluate(plan, db) == 1
+
+
+def test_natural_join_plan(db):
+    plan = NaturalJoin(Scan("TRANS"), Scan("TRANSITEM"))
+    out = evaluate(plan, db)
+    assert out.schema.attributes == ("TID", "Location", "Item", "Price")
+    assert len(out) == 4
+
+
+def test_describe_renders_tree(db):
+    plan = CountStar(Select(Scan("TRANS"), Compare("Location", "<", 10)))
+    text = plan.describe()
+    assert "CountStar" in text and "Scan(TRANS)" in text
+
+
+def test_unknown_node_rejected(db):
+    class Strange:
+        pass
+
+    with pytest.raises(QueryError):
+        evaluate(Strange(), db)
+
+
+BASE_SCHEMAS = {
+    "TRANS": ("TID", "Location"),
+    "TRANSITEM": ("TID", "Item", "Price"),
+}
+
+
+def test_pushdown_moves_conjuncts_to_sides(db):
+    plan = Select(
+        Product(Scan("TRANS"), Scan("TRANSITEM")),
+        And([Compare("Location", "<", 10), Compare("Price", ">", 5)]),
+    )
+    # Product would clash on TID; use schemas without overlap for the rewrite test.
+    schemas = {"TRANS": ("X", "Location"), "TRANSITEM": ("Y", "Item", "Price")}
+    rewritten = push_down_selections(plan, schemas)
+    assert isinstance(rewritten, Product)
+    assert isinstance(rewritten.left, Select)
+    assert isinstance(rewritten.right, Select)
+
+
+def test_pushdown_keeps_cross_conjuncts_above(db):
+    plan = Select(
+        NaturalJoin(Scan("TRANS"), Scan("TRANSITEM")),
+        Compare("TID", "==", "T1"),  # shared attribute -> goes left
+    )
+    rewritten = push_down_selections(plan, BASE_SCHEMAS)
+    assert isinstance(rewritten, NaturalJoin)
+
+
+def test_pushdown_preserves_semantics(db):
+    plan = CountStar(
+        Select(
+            NaturalJoin(Scan("TRANS"), Scan("TRANSITEM")),
+            And([Compare("Location", "<", 10), Compare("Price", ">", 5)]),
+        )
+    )
+    rewritten = push_down_selections(plan, BASE_SCHEMAS)
+    assert evaluate(plan, db) == evaluate(rewritten, db)
+
+
+def test_pushdown_through_nested_selects(db):
+    plan = Select(
+        Select(
+            NaturalJoin(Scan("TRANS"), Scan("TRANSITEM")),
+            Compare("Price", ">", 5),
+        ),
+        Compare("Location", "<", 10),
+    )
+    rewritten = push_down_selections(plan, BASE_SCHEMAS)
+    assert evaluate(plan, db).as_set() == evaluate(rewritten, db).as_set()
+
+
+def test_pushdown_projects_and_having(db):
+    plan = Project(
+        HavingCount(
+            Select(Scan("TRANSITEM"), Compare("Price", ">", 1)), ["TID"], ">=", 1
+        ),
+        ["TID"],
+    )
+    rewritten = push_down_selections(plan, BASE_SCHEMAS)
+    assert set(evaluate(plan, db).rows) == set(evaluate(rewritten, db).rows)

@@ -1,0 +1,109 @@
+"""Unit tests for LICMRelation and LICMModel."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.core.relation import is_certain
+from repro.errors import ModelError, SchemaError
+
+
+@pytest.fixture
+def model():
+    return LICMModel()
+
+
+def test_insert_certain_and_maybe(model):
+    rel = model.relation("R", ["A", "B"])
+    certain = rel.insert(("x", 1))
+    maybe = rel.insert_maybe(("y", 2))
+    assert certain.certain
+    assert not maybe.certain
+    assert len(rel) == 2
+    assert rel.maybe_rows == [maybe]
+    assert rel.certain_rows == [certain]
+
+
+def test_is_certain_distinguishes_one_from_var(model):
+    var = model.new_var()
+    assert is_certain(1)
+    assert not is_certain(var)
+
+
+def test_arity_checked(model):
+    rel = model.relation("R", ["A", "B"])
+    with pytest.raises(SchemaError):
+        rel.insert(("only-one",))
+
+
+def test_ext_type_checked(model):
+    rel = model.relation("R", ["A"])
+    with pytest.raises(SchemaError):
+        rel.insert(("x",), ext=0)
+    with pytest.raises(SchemaError):
+        rel.insert(("x",), ext="yes")
+
+
+def test_duplicate_attributes_rejected(model):
+    with pytest.raises(SchemaError):
+        model.relation("R", ["A", "A"])
+
+
+def test_ext_not_allowed_as_attribute(model):
+    with pytest.raises(SchemaError):
+        model.relation("R", ["A", "Ext"])
+
+
+def test_column_and_ext_column(model):
+    rel = model.relation("R", ["A", "B"])
+    var = model.new_var()
+    rel.insert(("x", 1))
+    rel.insert(("y", 2), ext=var)
+    assert rel.column("A") == ["x", "y"]
+    assert rel.ext_column() == [1, var]
+    with pytest.raises(SchemaError):
+        rel.column("missing")
+
+
+def test_getter_extracts_keys(model):
+    rel = model.relation("R", ["A", "B", "C"])
+    row = rel.insert((1, 2, 3))
+    get = rel.getter(["C", "A"])
+    assert get(row) == (3, 1)
+
+
+def test_pretty_renders_rows(model):
+    rel = model.relation("R", ["TID", "Item"])
+    rel.insert(("T1", "Beer"), ext=model.new_var())
+    text = rel.pretty()
+    assert "TID" in text and "Ext" in text and "Beer" in text
+
+
+def test_model_registers_relations(model):
+    model.relation("R", ["A"])
+    with pytest.raises(ModelError):
+        model.relation("R", ["B"])
+    assert "R" in model.relations
+
+
+def test_derived_relations_get_fresh_names(model):
+    first = model.derived(["A"])
+    second = model.derived(["A"])
+    assert first.name != second.name
+    assert first.name not in model.relations
+
+
+def test_check_owns(model):
+    other = LICMModel()
+    rel = other.relation("R", ["A"])
+    with pytest.raises(ModelError):
+        model.check_owns(rel)
+
+
+def test_stats(model):
+    rel = model.relation("R", ["A"])
+    rel.insert(("x",))
+    var = model.new_var()
+    rel.insert(("y",), ext=var)
+    model.add(var <= 1)
+    stats = model.stats()
+    assert stats == {"variables": 1, "constraints": 1, "relations": 1, "tuples": 2}

@@ -1,0 +1,140 @@
+"""Unit tests for the deterministic relational engine substrate."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.predicates import And, Between, Compare, InSet, Not, Or, TruePredicate
+from repro.relational.relation import Database, Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def trans():
+    return Relation(
+        "TRANS",
+        ["TID", "Item", "Price"],
+        [
+            ("T1", "beer", 6),
+            ("T1", "wine", 9),
+            ("T2", "beer", 6),
+            ("T2", "bread", 2),
+            ("T3", "wine", 9),
+        ],
+    )
+
+
+def test_schema_positions_and_errors():
+    schema = Schema(["A", "B"])
+    assert schema.position("B") == 1
+    assert schema.positions(["B", "A"]) == (1, 0)
+    with pytest.raises(SchemaError):
+        schema.position("C")
+    with pytest.raises(SchemaError):
+        Schema(["A", "A"])
+
+
+def test_schema_project_and_concat():
+    schema = Schema(["A", "B"])
+    assert schema.project(["B"]).attributes == ("B",)
+    combined = schema.concat(Schema(["C"]))
+    assert combined.attributes == ("A", "B", "C")
+    with pytest.raises(SchemaError):
+        schema.concat(Schema(["A"]))
+
+
+def test_relation_insert_checks_arity():
+    rel = Relation("R", ["A"])
+    with pytest.raises(SchemaError):
+        rel.insert((1, 2))
+
+
+def test_relation_distinct(trans):
+    doubled = Relation("D", trans.schema, list(trans.rows) + list(trans.rows))
+    assert len(doubled) == 10
+    assert len(doubled.distinct()) == 5
+
+
+def test_select(trans):
+    out = algebra.select(trans, Compare("Item", "==", "beer"))
+    assert len(out) == 2
+    assert set(out.column("TID")) == {"T1", "T2"}
+
+
+def test_select_compound_predicates(trans):
+    pred = And([Between("Price", 5, 10), Not(Compare("Item", "==", "wine"))])
+    out = algebra.select(trans, pred)
+    assert set(out.rows) == {("T1", "beer", 6), ("T2", "beer", 6)}
+    out2 = algebra.select(trans, Or([Compare("Item", "==", "bread"), InSet("TID", {"T3"})]))
+    assert len(out2) == 2
+    assert len(algebra.select(trans, TruePredicate())) == 5
+
+
+def test_project_set_semantics(trans):
+    out = algebra.project(trans, ["Item"])
+    assert sorted(out.rows) == [("beer",), ("bread",), ("wine",)]
+
+
+def test_intersect_union_difference():
+    r1 = Relation("R1", ["A"], [("x",), ("y",)])
+    r2 = Relation("R2", ["A"], [("y",), ("z",)])
+    assert set(algebra.intersect(r1, r2).rows) == {("y",)}
+    assert set(algebra.union(r1, r2).rows) == {("x",), ("y",), ("z",)}
+    assert set(algebra.difference(r1, r2).rows) == {("x",)}
+    with pytest.raises(SchemaError):
+        algebra.intersect(r1, Relation("R3", ["B"]))
+
+
+def test_product_and_rename(trans):
+    other = Relation("L", ["Loc"], [(1,), (2,)])
+    out = algebra.product(trans, other)
+    assert len(out) == 10
+    assert out.schema.attributes == ("TID", "Item", "Price", "Loc")
+    renamed = algebra.rename(other, {"Loc": "Location"})
+    assert renamed.schema.attributes == ("Location",)
+
+
+def test_natural_join(trans):
+    prices = Relation("P", ["Item", "Category"], [("beer", "alcohol"), ("wine", "alcohol")])
+    out = algebra.natural_join(trans, prices)
+    assert out.schema.attributes == ("TID", "Item", "Price", "Category")
+    assert len(out) == 4  # bread unmatched
+
+
+def test_natural_join_without_shared_is_product(trans):
+    other = Relation("L", ["Loc"], [(1,)])
+    assert len(algebra.natural_join(trans, other)) == 5
+
+
+def test_group_count_and_having(trans):
+    counted = algebra.group_count(trans, ["TID"])
+    as_dict = {row[0]: row[1] for row in counted.rows}
+    assert as_dict == {"T1": 2, "T2": 2, "T3": 1}
+    qualifying = algebra.having_count(trans, ["TID"], ">=", 2)
+    assert set(qualifying.rows) == {("T1",), ("T2",)}
+
+
+def test_group_count_set_semantics():
+    rel = Relation("R", ["G", "V"], [("g", 1), ("g", 1), ("g", 2)])
+    counted = algebra.group_count(rel, ["G"])
+    assert counted.rows == [("g", 2)]
+
+
+def test_count_and_sum(trans):
+    assert algebra.count_rows(trans) == 5
+    assert algebra.sum_attribute(trans, "Price") == 32
+
+
+def test_count_rows_distinct():
+    rel = Relation("R", ["A"], [("x",), ("x",)])
+    assert algebra.count_rows(rel) == 1
+
+
+def test_database_registry(trans):
+    db = Database([trans])
+    assert db.table("TRANS") is trans
+    assert "TRANS" in db
+    with pytest.raises(SchemaError):
+        db.add(trans)
+    with pytest.raises(SchemaError):
+        db.table("MISSING")

@@ -1,0 +1,46 @@
+"""Reporting helpers and the experiments CLI."""
+
+import os
+import subprocess
+import sys
+
+from repro.experiments.reporting import format_table, section
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [("a", 1), ("longer", 2.5)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "2.500" in lines[3]  # floats fixed to 3 decimals
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a"], [])
+    assert text.splitlines()[0] == "a"
+
+
+def test_section_renders_bar():
+    text = section("Title")
+    assert "Title" in text
+    assert "=====" in text
+
+
+def test_cli_usage_message():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "bogus-target"],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "REPRO_SCALE": "0.1"},
+    )
+    assert result.returncode == 2
+    assert "figure5" in result.stdout
+
+
+def test_config_env_scaling(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig(num_transactions=2000)
+    assert config.num_transactions == 1000

@@ -1,0 +1,82 @@
+"""Hypothesis round-trip properties: LP format and model JSON on random inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import LICMModel
+from repro.core.io import model_from_dict, model_to_dict
+from repro.core.worlds import enumerate_worlds
+from repro.solver.interface import solve
+from repro.solver.lpformat import read_lp, write_lp
+from repro.solver.model import BIPConstraint, BIPProblem
+
+
+@st.composite
+def random_problem(draw):
+    num_vars = draw(st.integers(1, 6))
+    constraints = []
+    for _ in range(draw(st.integers(0, 5))):
+        arity = draw(st.integers(1, num_vars))
+        indices = draw(
+            st.lists(st.integers(0, num_vars - 1), min_size=arity, max_size=arity, unique=True)
+        )
+        coefs = draw(st.lists(st.integers(-4, 4).filter(bool), min_size=arity, max_size=arity))
+        constraints.append(
+            BIPConstraint(
+                tuple(zip(coefs, indices)),
+                draw(st.sampled_from(["<=", ">=", "=="])),
+                draw(st.integers(-4, 4)),
+            )
+        )
+    objective = {
+        i: draw(st.integers(-5, 5))
+        for i in range(num_vars)
+        if draw(st.booleans())
+    }
+    constant = draw(st.integers(-3, 3))
+    return BIPProblem(
+        num_vars=num_vars,
+        constraints=constraints,
+        objective=objective,
+        objective_constant=constant,
+    )
+
+
+@given(random_problem(), st.sampled_from(["max", "min"]))
+@settings(max_examples=60, deadline=None)
+def test_lp_roundtrip_preserves_optimum(problem, sense):
+    parsed, parsed_sense = read_lp(write_lp(problem, sense))
+    assert parsed_sense == sense
+    original = solve(problem, sense)
+    recovered = solve(parsed, sense)
+    assert (original.status == "infeasible") == (recovered.status == "infeasible")
+    if original.status == "optimal":
+        assert original.objective == recovered.objective
+
+
+@st.composite
+def random_model(draw):
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    variables = []
+    for value in draw(st.lists(st.integers(0, 5), min_size=1, max_size=5, unique=True)):
+        if draw(st.booleans()):
+            rel.insert((value,))
+        else:
+            variables.append(rel.insert_maybe((value,)).ext)
+    if len(variables) >= 2:
+        from repro.core.correlations import cardinality
+
+        lo = draw(st.integers(0, 1))
+        hi = draw(st.integers(lo, len(variables)))
+        model.add_all(cardinality(variables, lo, hi))
+    return model
+
+
+@given(random_model())
+@settings(max_examples=40, deadline=None)
+def test_model_json_roundtrip_preserves_worlds(model):
+    clone = model_from_dict(model_to_dict(model))
+    assert enumerate_worlds(model, model.relations["R"]) == enumerate_worlds(
+        clone, clone.relations["R"]
+    )

@@ -1,0 +1,130 @@
+"""The from-scratch simplex vs SciPy HiGHS on random boxed LPs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.simplex import solve_lp
+
+
+def test_simple_maximization():
+    # max x0 + x1 s.t. x0 + x1 <= 1 -> 1.0
+    status, value, x = solve_lp([1, 1], [([(1, 0), (1, 1)], "<=", 1)], 2)
+    assert status == "optimal"
+    assert value == pytest.approx(1.0)
+    assert x[0] + x[1] == pytest.approx(1.0)
+
+
+def test_box_bounds_only():
+    status, value, x = solve_lp([2, -3], [], 2)
+    assert status == "optimal"
+    assert value == pytest.approx(2.0)
+    assert x[0] == pytest.approx(1.0)
+    assert x[1] == pytest.approx(0.0)
+
+
+def test_equality_constraint():
+    status, value, x = solve_lp([1, 1], [([(1, 0), (1, 1)], "==", 1)], 2)
+    assert status == "optimal"
+    assert value == pytest.approx(1.0)
+
+
+def test_ge_constraint_forces_value():
+    status, value, x = solve_lp([-1], [([(1, 0)], ">=", 1)], 1)
+    assert status == "optimal"
+    assert value == pytest.approx(-1.0)
+    assert x[0] == pytest.approx(1.0)
+
+
+def test_infeasible_detected():
+    status, _, _ = solve_lp([1], [([(1, 0)], ">=", 2)], 1)
+    assert status == "infeasible"
+
+
+def test_conflicting_bounds_infeasible():
+    status, _, _ = solve_lp([1], [], 1, lower=[0.8], upper=[0.2])
+    assert status == "infeasible"
+
+
+def test_fixed_variables_via_bounds():
+    status, value, x = solve_lp(
+        [1, 1], [([(1, 0), (1, 1)], "<=", 1)], 2, lower=[1, 0], upper=[1, 1]
+    )
+    assert status == "optimal"
+    assert x[0] == pytest.approx(1.0)
+    assert x[1] == pytest.approx(0.0)
+
+
+@st.composite
+def random_lp(draw):
+    num_vars = draw(st.integers(2, 5))
+    num_constraints = draw(st.integers(1, 5))
+    constraints = []
+    for _ in range(num_constraints):
+        arity = draw(st.integers(1, num_vars))
+        indices = draw(
+            st.lists(
+                st.integers(0, num_vars - 1),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        coefs = draw(
+            st.lists(st.integers(-3, 3), min_size=arity, max_size=arity)
+        )
+        op = draw(st.sampled_from(["<=", ">=", "=="]))
+        rhs = draw(st.integers(-3, 3))
+        constraints.append((list(zip(coefs, indices)), op, rhs))
+    objective = draw(
+        st.lists(st.integers(-5, 5), min_size=num_vars, max_size=num_vars)
+    )
+    return objective, constraints, num_vars
+
+
+@given(random_lp())
+@settings(max_examples=60, deadline=None)
+def test_simplex_matches_highs(lp):
+    objective, constraints, num_vars = lp
+    status, value, x = solve_lp(objective, constraints, num_vars)
+
+    from scipy.optimize import linprog
+
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for terms, op, rhs in constraints:
+        row = [0.0] * num_vars
+        for coef, idx in terms:
+            row[idx] += coef
+        if op == "<=":
+            a_ub.append(row)
+            b_ub.append(rhs)
+        elif op == ">=":
+            a_ub.append([-v for v in row])
+            b_ub.append(-rhs)
+        else:
+            a_eq.append(row)
+            b_eq.append(rhs)
+    reference = linprog(
+        [-c for c in objective],
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=[(0, 1)] * num_vars,
+        method="highs",
+    )
+    if reference.status == 2:
+        assert status == "infeasible"
+        return
+    assert status == "optimal"
+    assert value == pytest.approx(-reference.fun, abs=1e-6)
+    # The solution itself must be feasible.
+    for terms, op, rhs in constraints:
+        lhs = sum(coef * x[idx] for coef, idx in terms)
+        if op == "<=":
+            assert lhs <= rhs + 1e-6
+        elif op == ">=":
+            assert lhs >= rhs - 1e-6
+        else:
+            assert lhs == pytest.approx(rhs, abs=1e-6)

@@ -1,0 +1,75 @@
+"""Unit tests for the BIP normal form and the LICM -> BIP conversion."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.core.linexpr import linear_sum
+from repro.errors import SolverError
+from repro.solver.model import BIPConstraint, BIPProblem, from_licm
+
+
+def test_constraint_satisfaction():
+    constraint = BIPConstraint(((2, 0), (-1, 1)), "<=", 1)
+    assert constraint.satisfied_by([1, 1])
+    assert not constraint.satisfied_by([1, 0])
+    equality = BIPConstraint(((1, 0), (1, 1)), "==", 1)
+    assert equality.satisfied_by([0, 1])
+    assert not equality.satisfied_by([1, 1])
+
+
+def test_problem_validates_indices():
+    with pytest.raises(SolverError):
+        BIPProblem(num_vars=1, constraints=[], objective={5: 1})
+    with pytest.raises(SolverError):
+        BIPProblem(
+            num_vars=1,
+            constraints=[BIPConstraint(((1, 3),), "<=", 1)],
+            objective={},
+        )
+
+
+def test_objective_value_and_feasibility():
+    problem = BIPProblem(
+        num_vars=2,
+        constraints=[BIPConstraint(((1, 0), (1, 1)), "<=", 1)],
+        objective={0: 3, 1: 5},
+        objective_constant=1,
+    )
+    assert problem.objective_value([1, 0]) == 4
+    assert problem.is_feasible([1, 0])
+    assert not problem.is_feasible([1, 1])
+    assert not problem.is_feasible([1])  # wrong arity
+    assert not problem.is_feasible([2, 0])  # non-binary
+
+
+def test_default_names_and_sizes():
+    problem = BIPProblem(
+        num_vars=2,
+        constraints=[BIPConstraint(((1, 0), (1, 1)), ">=", 1)],
+        objective={0: 1},
+    )
+    assert problem.names == ["x0", "x1"]
+    assert problem.num_constraints == 1
+    assert problem.num_nonzeros == 2
+
+
+def test_from_licm_dense_remap():
+    model = LICMModel()
+    variables = model.new_vars(10)
+    # Only variables 3, 7, 9 participate.
+    model.add(variables[3] + variables[7] >= 1)
+    objective = linear_sum([variables[7], variables[9]])
+    problem, dense = from_licm(objective, list(model.constraints))
+    assert problem.num_vars == 3
+    assert set(dense) == {3, 7, 9}
+    assert sorted(dense.values()) == [0, 1, 2]
+    # objective carries over through the remap
+    assert problem.objective == {dense[7]: 1, dense[9]: 1}
+
+
+def test_from_licm_carries_names():
+    model = LICMModel()
+    var = model.new_var("b_custom")
+    objective = linear_sum([var])
+    problem, dense = from_licm(objective, [], {var.index: var.name})
+    assert problem.names == ["b_custom"]

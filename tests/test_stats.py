@@ -1,0 +1,110 @@
+"""Statistics collection and statistics-aware selectivity."""
+
+import pytest
+
+from repro.core.database import LICMModel
+from repro.errors import QueryError
+from repro.queries.stats import (
+    ColumnStats,
+    StatsCatalog,
+    collect_stats,
+    stats_selectivity,
+)
+from repro.relational.predicates import And, Between, Compare, InSet, Not, Or, TruePredicate
+
+
+@pytest.fixture
+def relation():
+    model = LICMModel()
+    rel = model.relation("R", ["Loc", "Tag"])
+    for i in range(100):
+        if i < 40:
+            rel.insert((i, f"t{i % 5}"))
+        else:
+            rel.insert_maybe((i, f"t{i % 5}"))
+    return rel
+
+
+def test_collect_stats_shapes(relation):
+    stats = collect_stats(relation)
+    assert stats.certain_rows == 40
+    assert stats.possible_rows == 100
+    loc = stats.columns["Loc"]
+    assert loc.distinct == 100
+    assert loc.minimum == 0 and loc.maximum == 99
+    assert sum(loc.histogram) == 100
+    tag = stats.columns["Tag"]
+    assert tag.distinct == 5
+    assert tag.histogram is None  # non-numeric
+
+
+def test_range_fraction_uniform(relation):
+    loc = collect_stats(relation).columns["Loc"]
+    quarter = loc.range_fraction(0, 24)
+    assert 0.18 <= quarter <= 0.32  # ~25% under uniform values
+    assert loc.range_fraction(-50, -10) == 0.0
+    assert loc.range_fraction(0, 99) == pytest.approx(1.0, abs=0.05)
+
+
+def test_equality_fraction(relation):
+    tag = collect_stats(relation).columns["Tag"]
+    assert tag.equality_fraction() == pytest.approx(0.2)
+
+
+def test_degenerate_single_value_column():
+    model = LICMModel()
+    rel = model.relation("R", ["C"])
+    for _ in range(4):
+        rel.insert((7,))
+    stats = collect_stats(rel).columns["C"]
+    assert stats.range_fraction(7, 7) == 1.0
+    assert stats.range_fraction(8, 9) == 0.0
+
+
+def test_stats_selectivity_between(relation):
+    columns = collect_stats(relation).columns
+    s = stats_selectivity(Between("Loc", 0, 49), columns)
+    assert 0.4 <= s <= 0.6
+    # unknown column falls back to the default
+    assert stats_selectivity(Between("Ghost", 0, 1), columns) == 0.25
+
+
+def test_stats_selectivity_compare(relation):
+    columns = collect_stats(relation).columns
+    assert stats_selectivity(Compare("Tag", "==", "t1"), columns) == pytest.approx(0.2)
+    assert stats_selectivity(Compare("Tag", "!=", "t1"), columns) == pytest.approx(0.8)
+    less = stats_selectivity(Compare("Loc", "<", 25), columns)
+    assert 0.15 <= less <= 0.35
+
+
+def test_stats_selectivity_compound(relation):
+    columns = collect_stats(relation).columns
+    both = stats_selectivity(
+        And([Between("Loc", 0, 49), Compare("Tag", "==", "t1")]), columns
+    )
+    assert both == pytest.approx(
+        stats_selectivity(Between("Loc", 0, 49), columns) * 0.2
+    )
+    either = stats_selectivity(
+        Or([Compare("Tag", "==", "t1"), Compare("Tag", "==", "t2")]), columns
+    )
+    assert 0.3 <= either <= 0.4
+    negated = stats_selectivity(Not(Compare("Tag", "==", "t1")), columns)
+    assert negated == pytest.approx(0.8)
+    assert stats_selectivity(TruePredicate(), columns) == 1.0
+
+
+def test_stats_selectivity_inset(relation):
+    columns = collect_stats(relation).columns
+    s = stats_selectivity(InSet("Tag", {"t1", "t2", "t3"}), columns)
+    assert s == pytest.approx(0.6)
+
+
+def test_catalog_caches_and_validates(relation):
+    catalog = StatsCatalog({"R": relation})
+    first = catalog.table("R")
+    assert catalog.table("R") is first
+    assert catalog.column("R", "Loc").distinct == 100
+    assert catalog.column("R", "Nope") is None
+    with pytest.raises(QueryError):
+        catalog.table("MISSING")

@@ -1,0 +1,93 @@
+"""The U-relations baseline and the Figure 1 vs Figure 2(c) comparison."""
+
+import pytest
+
+from repro.baselines.urelations import (
+    URelation,
+    encode_generalized_item,
+    to_licm,
+    urelation_row_count,
+)
+from repro.core.worlds import enumerate_worlds
+from repro.errors import ModelError
+from helpers import fig2c_model
+
+
+def test_figure1_row_count():
+    """Figure 1 shows 12 rows for the 3-leaf alcohol item."""
+    relation = encode_generalized_item("T1", ["Beer", "Wine", "Liquor"])
+    assert relation.num_rows == 12
+    assert urelation_row_count(3) == 12
+    assert len(relation.domains) == 1
+    assert next(iter(relation.domains.values())) == 7  # non-empty subsets
+
+
+def test_figure1_worlds_match_licm():
+    """The exponential U-relation and the 4-row LICM encoding describe the
+    same 7 possible worlds (restricted to the uncertain item)."""
+    urel = encode_generalized_item("T1", ["Beer", "Wine", "Liquor"])
+    u_worlds = urel.possible_worlds()
+    assert len(u_worlds) == 7
+
+    model, trans, _ = fig2c_model()
+    licm_worlds = {
+        frozenset(t for t in world if t[1] != "Shampoo")
+        for world in enumerate_worlds(model, trans)
+    }
+    assert u_worlds == licm_worlds
+
+
+def test_succinctness_gap_grows_exponentially():
+    for n in (2, 4, 6, 8):
+        relation = encode_generalized_item("T", [f"leaf{i}" for i in range(n)])
+        assert relation.num_rows == n * 2 ** (n - 1)
+        # LICM needs n rows and one constraint for the same worlds.
+        assert relation.num_rows / n == 2 ** (n - 1)
+
+
+def test_manual_urelation_semantics():
+    rel = URelation("R", ("A",))
+    x = rel.add_variable("x", 2)
+    rel.insert(("heads",), [(x, 0)])
+    rel.insert(("tails",), [(x, 1)])
+    rel.insert(("always",))
+    worlds = rel.possible_worlds()
+    assert worlds == {
+        frozenset({("heads",), ("always",)}),
+        frozenset({("tails",), ("always",)}),
+    }
+
+
+def test_conjunctive_conditions():
+    rel = URelation("R", ("A",))
+    x = rel.add_variable("x", 2)
+    y = rel.add_variable("y", 2)
+    rel.insert(("both",), [(x, 1), (y, 1)])
+    worlds = rel.possible_worlds()
+    assert frozenset({("both",)}) in worlds
+    assert frozenset() in worlds
+    assert len(worlds) == 2
+
+
+def test_validation():
+    rel = URelation("R", ("A",))
+    with pytest.raises(ModelError):
+        rel.insert(("a",), [("ghost", 0)])
+    x = rel.add_variable("x", 2)
+    with pytest.raises(ModelError):
+        rel.insert(("a",), [(x, 5)])
+    with pytest.raises(ModelError):
+        rel.add_variable("x", 2)
+    with pytest.raises(ModelError):
+        rel.add_variable("y", 0)
+    with pytest.raises(ModelError):
+        encode_generalized_item("T", [])
+
+
+def test_to_licm_roundtrip():
+    urel = encode_generalized_item("T1", ["Beer", "Wine"])
+    model = to_licm(urel)
+    relation = next(iter(model.relations.values()))
+    assert enumerate_worlds(model, relation) == {
+        tuple(sorted(world)) for world in urel.possible_worlds()
+    }

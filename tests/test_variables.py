@@ -1,0 +1,96 @@
+"""Unit tests for BoolVar and VariablePool."""
+
+import pytest
+
+from repro.core.constraints import LinearConstraint
+from repro.core.linexpr import LinearExpr
+from repro.core.variables import BoolVar, VariablePool
+from repro.errors import ConstraintError
+
+
+def test_pool_assigns_dense_indices():
+    pool = VariablePool()
+    first = pool.new()
+    second = pool.new()
+    assert first.index == 0
+    assert second.index == 1
+    assert len(pool) == 2
+
+
+def test_default_names_follow_paper_convention():
+    pool = VariablePool()
+    assert pool.new().name == "b1"
+    assert pool.new().name == "b2"
+
+
+def test_custom_name():
+    pool = VariablePool()
+    var = pool.new("b_special")
+    assert var.name == "b_special"
+    assert repr(var) == "b_special"
+
+
+def test_new_many_names_and_count():
+    pool = VariablePool()
+    pool.new()
+    batch = pool.new_many(3, prefix="w")
+    assert [v.name for v in batch] == ["w2", "w3", "w4"]
+    assert len(pool) == 4
+
+
+def test_get_and_iter_and_contains():
+    pool = VariablePool()
+    a = pool.new()
+    b = pool.new()
+    assert pool.get(1) is b
+    assert list(pool) == [a, b]
+    assert a in pool
+    other_pool_var = VariablePool().new()
+    assert other_pool_var not in pool
+
+
+def test_equality_is_pool_and_index_based():
+    pool = VariablePool()
+    a = pool.new()
+    assert a == pool.get(0)
+    other = VariablePool().new()
+    assert a != other
+    assert hash(a) != hash(other) or a != other
+
+
+def test_arithmetic_builds_linear_expr():
+    pool = VariablePool()
+    a, b = pool.new(), pool.new()
+    expr = a + 2 * b - 1
+    assert isinstance(expr, LinearExpr)
+    assert expr.coeffs == {a.index: 1, b.index: 2}
+    assert expr.constant == -1
+
+
+def test_negation_and_rsub():
+    pool = VariablePool()
+    a = pool.new()
+    expr = 1 - a
+    assert expr.coeffs == {a.index: -1}
+    assert expr.constant == 1
+    assert (-a).coeffs == {a.index: -1}
+
+
+def test_comparisons_build_constraints():
+    pool = VariablePool()
+    a, b = pool.new(), pool.new()
+    constraint = a + b >= 1
+    assert isinstance(constraint, LinearConstraint)
+    assert constraint.op == ">="
+    assert constraint.rhs == 1
+    le = a <= 0
+    assert le.op == "<="
+    eq = a.eq(b)
+    assert eq.op == "==" and eq.rhs == 0
+
+
+def test_mixing_pools_in_expression_rejected():
+    a = VariablePool().new()
+    b = VariablePool().new()
+    with pytest.raises(ConstraintError):
+        _ = a + b

@@ -1,0 +1,105 @@
+"""Unit tests for possible-world semantics and enumeration."""
+
+import pytest
+
+from repro.core import correlations
+from repro.core.database import LICMModel
+from repro.core.worlds import (
+    count_valid_assignments,
+    enumerate_assignments,
+    enumerate_worlds,
+    instantiate,
+    instantiate_world,
+    is_valid,
+)
+from repro.errors import ModelError
+from helpers import fig2c_model
+
+
+def test_is_valid():
+    model, _, (b1, b2, b3) = fig2c_model()
+    assert is_valid(model.constraints, {b1.index: 1, b2.index: 0, b3.index: 0})
+    assert not is_valid(model.constraints, {b1.index: 0, b2.index: 0, b3.index: 0})
+
+
+def test_instantiate_keeps_certain_rows():
+    model, trans, (b1, b2, b3) = fig2c_model()
+    world = instantiate(trans, {b1.index: 1, b2.index: 0, b3.index: 0})
+    assert ("T1", "Shampoo") in world
+    assert ("T1", "Beer") in world
+    assert ("T1", "Wine") not in world
+
+
+def test_instantiate_world_is_canonical():
+    model, trans, (b1, b2, b3) = fig2c_model()
+    assignment = {b1.index: 1, b2.index: 1, b3.index: 0}
+    world = instantiate_world(trans, assignment)
+    assert world == tuple(sorted(world))
+
+
+def test_enumerate_worlds_fig2c():
+    """Figure 2(c) encodes the 7 non-empty subsets of {Beer, Wine, Liquor}."""
+    model, trans, _ = fig2c_model()
+    worlds = enumerate_worlds(model, trans)
+    assert len(worlds) == 7
+    assert all(("T1", "Shampoo") in world for world in worlds)
+
+
+def test_enumerate_worlds_needs_relation_when_ambiguous():
+    model = LICMModel()
+    model.relation("A", ["X"])
+    model.relation("B", ["X"])
+    with pytest.raises(ModelError):
+        enumerate_worlds(model)
+
+
+def test_enumeration_prunes_infeasible_branches():
+    model = LICMModel()
+    variables = model.new_vars(10)
+    model.add_all(correlations.exactly(variables, 1))
+    assignments = list(
+        enumerate_assignments(model.constraints, [v.index for v in variables])
+    )
+    assert len(assignments) == 10
+
+
+def test_enumeration_respects_limit():
+    model = LICMModel()
+    variables = model.new_vars(6)
+    assignments = list(
+        enumerate_assignments(model.constraints, [v.index for v in variables], limit=5)
+    )
+    assert len(assignments) == 5
+
+
+def test_enumeration_rejects_foreign_variables():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add(a + b >= 1)
+    with pytest.raises(ModelError):
+        list(enumerate_assignments(model.constraints, [a.index]))
+
+
+def test_count_valid_assignments():
+    model, _, _ = fig2c_model()
+    assert count_valid_assignments(model) == 7
+
+
+def test_infeasible_model_has_no_assignments():
+    model = LICMModel()
+    a = model.new_var()
+    model.add(a >= 1)
+    model.add(a <= 0)
+    assert count_valid_assignments(model) == 0
+
+
+def test_worlds_collapse_equal_instantiations():
+    """Two assignments giving the same tuple set count as one world."""
+    model = LICMModel()
+    rel = model.relation("R", ["A"])
+    a, b = model.new_vars(2)
+    rel.insert(("x",), ext=a)
+    rel.insert(("x",), ext=b)  # duplicate possible tuple
+    worlds = enumerate_worlds(model, rel)
+    # assignments: 4; distinct worlds: {} and {x}
+    assert len(worlds) == 2
