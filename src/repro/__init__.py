@@ -64,6 +64,7 @@ from repro.core import (
     sum_bounds,
     sum_objective,
 )
+from repro.engine import ListSink, SolveSession, Telemetry
 from repro.errors import (
     AnonymizationError,
     ConstraintError,
@@ -98,11 +99,14 @@ __all__ = [
     "ModelError",
     "QueryError",
     "ReproError",
+    "ListSink",
     "SamplingError",
     "SchemaError",
     "Solution",
+    "SolveSession",
     "SolverError",
     "SolverOptions",
+    "Telemetry",
     "at_least",
     "at_most",
     "bijection",

@@ -5,11 +5,16 @@ the objective is the aggregate expression over the result relation, the
 constraints are the (pruned) lineage constraints.  Maximizing and
 minimizing give exact upper and lower bounds, and each optimal solution
 vector is a witness — the assignment identifying the extreme possible world.
+
+The heavy lifting lives in :mod:`repro.engine`: a
+:class:`~repro.engine.session.SolveSession` owns the
+``prune -> normal form -> solve(min)+solve(max) -> witness`` pipeline with
+caching, parallelism and telemetry.  The functions here are the stable
+public facade — each builds (or accepts) a session and delegates.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -17,11 +22,8 @@ from repro.core.aggregates import count_objective, sum_objective
 from repro.core.database import LICMModel
 from repro.core.linexpr import LinearExpr, linear_sum
 from repro.core.operators import licm_dedup
-from repro.core.pruning import prune
 from repro.core.relation import LICMRelation
-from repro.errors import InfeasibleError, QueryError, SolverError
-from repro.solver.interface import solve
-from repro.solver.model import from_licm
+from repro.errors import QueryError, SolverError
 from repro.solver.result import SolverOptions
 
 
@@ -49,12 +51,22 @@ class AggregateBounds:
         return f"[{self.lower}, {self.upper}]{marker}"
 
 
+def _session_for(model, options, prune_method, session):
+    """Resolve the session a facade call should run on."""
+    if session is not None:
+        return session
+    from repro.engine.session import SolveSession
+
+    return SolveSession(model, options=options, prune_method=prune_method)
+
+
 def objective_bounds(
     model: LICMModel,
     objective: LinearExpr,
     options: Optional[SolverOptions] = None,
     prune_method: str = "lineage",
     do_prune: bool = True,
+    session=None,
 ) -> AggregateBounds:
     """Min/max of an arbitrary linear objective over all possible worlds.
 
@@ -63,63 +75,13 @@ def objective_bounds(
     directions, and translates the witnesses back to model assignments.
     The default lineage-directed pruning also drops the lineage of *other*
     queries previously answered against the same model.
+
+    Pass ``session`` (a :class:`~repro.engine.session.SolveSession`) to
+    reuse its solve cache, executor and telemetry across calls; ``options``
+    and ``prune_method`` are then taken from the session.
     """
-    started = time.perf_counter()
-    if do_prune:
-        pruned = prune(
-            model.constraints, objective.coeffs.keys(), prune_method, model=model
-        )
-        constraints = pruned.constraints
-        prune_stats = pruned.stats
-    else:
-        constraints = list(model.constraints)
-        seen = set(objective.coeffs)
-        for constraint in constraints:
-            seen.update(constraint.variables)
-        prune_stats = {
-            "variables_before": len(seen),
-            "constraints_before": len(constraints),
-            "variables_after": len(seen),
-            "constraints_after": len(constraints),
-        }
-
-    names = {var.index: var.name for var in model.pool}
-    problem, dense = from_licm(objective, constraints, names)
-    inverse = {dense_idx: model_idx for model_idx, dense_idx in dense.items()}
-    prep_time = time.perf_counter() - started
-
-    def run(sense: str):
-        solution = solve(problem, sense, options)
-        if solution.status == "infeasible":
-            raise InfeasibleError(
-                "the LICM constraints admit no possible world"
-            )
-        witness = None
-        if solution.x is not None:
-            witness = {inverse[i]: int(v) for i, v in enumerate(solution.x)}
-        return solution, witness
-
-    min_solution, min_witness = run("min")
-    max_solution, max_witness = run("max")
-
-    exact = min_solution.status == "optimal" and max_solution.status == "optimal"
-    return AggregateBounds(
-        lower=min_solution.objective,
-        upper=max_solution.objective,
-        lower_witness=min_witness,
-        upper_witness=max_witness,
-        exact=exact,
-        lower_bound_proven=min_solution.bound,
-        upper_bound_proven=max_solution.bound,
-        stats={
-            **prune_stats,
-            "problem_variables": problem.num_vars,
-            "problem_constraints": problem.num_constraints,
-            "prep_time": prep_time,
-            "solve_time": min_solution.solve_time + max_solution.solve_time,
-            "nodes": min_solution.nodes + max_solution.nodes,
-            "backend": max_solution.backend,
-        },
+    return _session_for(model, options, prune_method, session).bounds(
+        objective, do_prune=do_prune
     )
 
 
@@ -152,6 +114,7 @@ def group_count_bounds(
     relation: LICMRelation,
     group_by,
     options: Optional[SolverOptions] = None,
+    session=None,
 ) -> dict:
     """Per-group COUNT bounds: ``group key -> AggregateBounds``.
 
@@ -160,11 +123,12 @@ def group_count_bounds(
     (deduplicated) members' Ext values; two BIP solves per group, each over
     the group's own pruned subproblem, so cost scales with the groups
     actually touched by uncertainty (all-certain groups are answered
-    without a solver call).
+    without a solver call).  All groups share one solve session.
     """
     from collections import defaultdict
 
     model = relation.model
+    session = _session_for(model, options, "lineage", session)
     deduped = licm_dedup(relation)
     positions = [deduped.position(a) for a in group_by]
     groups: dict = defaultdict(list)
@@ -184,20 +148,14 @@ def group_count_bounds(
             out[key] = AggregateBounds(lower=certain, upper=certain, exact=True)
             continue
         objective = linear_sum(exts)
-        out[key] = objective_bounds(model, objective, options)
+        out[key] = session.bounds(objective)
     return out
 
 
-def _optimize_with(model, objective, extra_constraints, sense, options):
+def _optimize_with(model, objective, extra_constraints, sense, options, session=None):
     """Solve one direction with additional (query-local) constraints."""
-    seeds = set(objective.coeffs)
-    for constraint in extra_constraints:
-        seeds.update(constraint.variables)
-    pruned = prune(model.constraints, seeds, "lineage", model=model)
-    constraints = pruned.constraints + list(extra_constraints)
-    problem, dense = from_licm(objective, constraints)
-    solution = solve(problem, sense, options)
-    return solution, dense
+    session = _session_for(model, options, "lineage", session)
+    return session.optimize(objective, sense, list(extra_constraints))
 
 
 def avg_bounds(
@@ -205,6 +163,7 @@ def avg_bounds(
     attribute: str,
     options: Optional[SolverOptions] = None,
     max_iterations: int = 100,
+    session=None,
 ) -> AggregateBounds:
     """Bounds on ``AVG(attribute)`` over non-empty worlds of the relation.
 
@@ -222,6 +181,7 @@ def avg_bounds(
     from fractions import Fraction
 
     model = relation.model
+    session = _session_for(model, options, "lineage", session)
     deduped = licm_dedup(relation)
     position = deduped.position(attribute)
     values = []
@@ -238,7 +198,7 @@ def avg_bounds(
     def dinkelbach(sense: str):
         # Start from any feasible non-empty world's ratio.
         probe = LinearExpr({}, 0)
-        solution, dense = _optimize_with(model, probe, nonempty, "max", options)
+        solution, dense = session.optimize(probe, "max", nonempty)
         if solution.status == "infeasible":
             return None
         inverse = {d: m for m, d in dense.items()}
@@ -263,8 +223,8 @@ def avg_bounds(
                     objective = objective + coef
                 else:
                     objective = objective + coef * row.ext
-            solution, dense = _optimize_with(
-                model, objective, nonempty, "max" if sense == "max" else "min", options
+            solution, dense = session.optimize(
+                objective, "max" if sense == "max" else "min", nonempty
             )
             if solution.status != "optimal":
                 raise SolverError(
@@ -283,16 +243,10 @@ def avg_bounds(
     return AggregateBounds(lower=lower, upper=upper, exact=True)
 
 
-def _feasible_with(model, extra_constraints, options) -> bool:
+def _feasible_with(model, extra_constraints, options, session=None) -> bool:
     """Is there a valid world satisfying the extra constraints too?"""
-    seeds = set()
-    for constraint in extra_constraints:
-        seeds.update(constraint.variables)
-    pruned = prune(model.constraints, seeds, "lineage", model=model)
-    constraints = pruned.constraints + list(extra_constraints)
-    problem, _ = from_licm(LinearExpr({}, 0), constraints)
-    solution = solve(problem, "max", options)
-    return solution.status != "infeasible"
+    session = _session_for(model, options, "lineage", session)
+    return session.feasible(extra_constraints)
 
 
 def minmax_bounds(
@@ -300,6 +254,7 @@ def minmax_bounds(
     attribute: str,
     agg: str = "max",
     options: Optional[SolverOptions] = None,
+    session=None,
 ) -> AggregateBounds:
     """Bounds on ``MIN(attr)``/``MAX(attr)`` by case-based feasibility probes.
 
@@ -310,10 +265,13 @@ def minmax_bounds(
     feasibility BIP over the tuples above/below a candidate value.
     MIN is symmetric.  Worlds where the relation is empty make MIN/MAX
     undefined; such worlds are ignored (SQL semantics would yield NULL).
+    All probes share one solve session, so repeated cut structures hit the
+    session's cache.
     """
     if agg not in ("min", "max"):
         raise QueryError(f"agg must be 'min' or 'max', got {agg!r}")
     model = relation.model
+    session = _session_for(model, options, "lineage", session)
     position = relation.position(attribute)
     rows = relation.rows
     if not rows:
@@ -328,7 +286,7 @@ def minmax_bounds(
                 return value
             for row in group:
                 force = [(row.ext + 0) >= 1]
-                if _feasible_with(model, force, options):
+                if session.feasible(force):
                     return value
         return None
 
@@ -352,10 +310,8 @@ def minmax_bounds(
             # At least one surviving tuple must exist for the aggregate to
             # be defined; certain tuples guarantee it.
             if not any(r.certain for r in here_or_below):
-                from repro.core.linexpr import linear_sum
-
                 extra.append(linear_sum([r.ext for r in here_or_below]) >= 1)
-            if _feasible_with(model, extra, options):
+            if session.feasible(extra):
                 return value
         return None
 

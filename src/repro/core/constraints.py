@@ -136,6 +136,16 @@ class ConstraintStore:
         self._constraints: list[LinearConstraint] = []
         # var index -> list of constraint positions mentioning it
         self._by_var: dict[int, list[int]] = {}
+        # Monotone mutation counter; the engine's solve cache watches it
+        # to invalidate entries when the store changes.  The store is
+        # append-only, so it equals len(self) — kept explicit so the
+        # invalidation contract survives future non-append mutations.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every mutation (cache-invalidation signal)."""
+        return self._generation
 
     def add(self, constraint: LinearConstraint) -> None:
         """Append one constraint and index its variables."""
@@ -146,6 +156,7 @@ class ConstraintStore:
             )
         position = len(self._constraints)
         self._constraints.append(constraint)
+        self._generation += 1
         for index in constraint.variables:
             self._by_var.setdefault(index, []).append(position)
 
@@ -161,6 +172,7 @@ class ConstraintStore:
         clone = ConstraintStore()
         clone._constraints = list(self._constraints)
         clone._by_var = {i: list(ps) for i, ps in self._by_var.items()}
+        clone._generation = self._generation
         return clone
 
     def __len__(self) -> int:

@@ -1,0 +1,40 @@
+"""The shared solve-engine layer.
+
+One :class:`SolveSession` per LICM model owns the
+``prune -> canonicalize -> solve(min)+solve(max) -> witness`` pipeline
+with fingerprint-keyed solve caching, optional parallel min/max, and
+structured telemetry.  ``core.bounds`` and ``queries.answer`` are thin
+facades over this package.
+"""
+
+from repro.engine.cache import CachedSolve, SolveCache
+from repro.engine.canonical import CanonicalBIP, canonicalize
+from repro.engine.session import SolveSession
+from repro.engine.telemetry import (
+    CacheProbe,
+    CounterBumped,
+    ListSink,
+    LoggingSink,
+    PhaseTimed,
+    ProblemPrepared,
+    SolveFinished,
+    Stopwatch,
+    Telemetry,
+)
+
+__all__ = [
+    "CachedSolve",
+    "CacheProbe",
+    "CanonicalBIP",
+    "canonicalize",
+    "CounterBumped",
+    "ListSink",
+    "LoggingSink",
+    "PhaseTimed",
+    "ProblemPrepared",
+    "SolveCache",
+    "SolveFinished",
+    "SolveSession",
+    "Stopwatch",
+    "Telemetry",
+]

@@ -1,0 +1,362 @@
+"""The shared solve engine: one session per model, reused across queries.
+
+A :class:`SolveSession` owns the full ``model -> prune -> BIP normal form
+-> solve(min) + solve(max) -> witness`` pipeline that every aggregate
+bound in the repo needs, and layers on top of it:
+
+* a canonical fingerprint of each pruned problem
+  (:mod:`repro.engine.canonical`), so structurally repeated queries are
+  recognised even though each evaluation allocates fresh lineage
+  variables;
+* a bounded LRU solve cache (:mod:`repro.engine.cache`) keyed by
+  ``(fingerprint, sense)``, invalidated when non-lineage constraints are
+  added to the model's store (lineage-only appends — i.e. answering more
+  queries — keep the cache warm, which is what makes a Figure-5 k-sweep
+  amortize its solves);
+* optional parallel execution of the min and max directions through a
+  ``concurrent.futures`` executor (``max_workers=1`` stays serial);
+* structured instrumentation (:mod:`repro.engine.telemetry`) replacing
+  the hand-rolled ``perf_counter`` bookkeeping previously scattered over
+  ``core/bounds.py``, ``queries/answer.py`` and the experiment harness.
+
+``repro.core.bounds.objective_bounds`` and ``repro.queries.answer_licm``
+remain as thin facades constructing a throwaway session, so existing
+callers and their signatures are untouched.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.constraints import LinearConstraint
+from repro.core.linexpr import LinearExpr
+from repro.core.pruning import prune
+from repro.engine.cache import CachedSolve, SolveCache
+from repro.engine.canonical import CanonicalBIP, canonicalize
+from repro.engine.telemetry import (
+    CacheProbe,
+    ProblemPrepared,
+    SolveFinished,
+    Stopwatch,
+    Telemetry,
+)
+from repro.errors import InfeasibleError
+from repro.solver.interface import solve
+from repro.solver.model import from_licm
+from repro.solver.result import Solution, SolverOptions
+
+_SENSES = ("min", "max")
+
+
+class SolveSession:
+    """Reusable solve pipeline bound to one LICM model.
+
+    :param model: the shared :class:`~repro.core.database.LICMModel`.
+    :param options: solver options applied to every solve in the session.
+    :param prune_method: ``'lineage'`` (default), ``'fixpoint'`` or
+        ``'single_pass'`` — see :mod:`repro.core.pruning`.
+    :param cache_size: LRU capacity in solve outcomes; ``0`` disables.
+    :param max_workers: ``> 1`` runs the min and max directions (and any
+        future fan-out) on a thread pool; ``1`` is strictly serial.
+    :param telemetry: a shared :class:`Telemetry`; a private one is
+        created when omitted.
+    :param executor: inject a pre-built executor (overrides
+        ``max_workers`` for scheduling; the session will not shut it down).
+    """
+
+    def __init__(
+        self,
+        model,
+        options: Optional[SolverOptions] = None,
+        prune_method: str = "lineage",
+        cache_size: int = 128,
+        max_workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
+    ):
+        self.model = model
+        self.options = options or SolverOptions()
+        self.prune_method = prune_method
+        self.cache = SolveCache(cache_size)
+        self.max_workers = max_workers
+        self.telemetry = telemetry or Telemetry()
+        self._external_executor = executor
+        self._executor: Optional[Executor] = executor
+        self._seen_generation = model.constraints.generation
+        self._seen_length = len(model.constraints)
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "SolveSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the session-owned executor (injected ones are kept)."""
+        if self._executor is not None and self._external_executor is None:
+            self._executor.shutdown(wait=True)
+        self._executor = None
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-solve"
+            )
+        return self._executor
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_workers > 1 or self._external_executor is not None
+
+    # -- cache freshness ---------------------------------------------------
+    def _ensure_fresh(self) -> None:
+        """Invalidate the cache if non-lineage constraints were added.
+
+        The store is append-only, so its generation counter equals its
+        length.  Appends that are all registered operator lineage cannot
+        change any previously fingerprinted pruned problem (lineage
+        constraints are deterministic and sibling lineage is never part
+        of another query's pruned BIP), so the cache stays warm across
+        repeated query evaluations.  Any other append — a user
+        correlation, a manual ``model.add`` — clears the cache.
+        """
+        store = self.model.constraints
+        generation = store.generation
+        if generation == self._seen_generation:
+            return
+        appended = generation - self._seen_generation
+        new_length = len(store)
+        lineage_only = new_length - self._seen_length == appended and all(
+            self.model.is_lineage_constraint(store[pos])
+            for pos in range(self._seen_length, new_length)
+        )
+        self._seen_generation = generation
+        self._seen_length = new_length
+        if lineage_only:
+            return
+        self.cache.clear()
+        self.telemetry.count("cache_invalidations")
+        self.telemetry.emit(CacheProbe("invalidate", size=0))
+
+    # -- pipeline phases ---------------------------------------------------
+    def _prepare(
+        self,
+        objective: LinearExpr,
+        extra_constraints: Sequence[LinearConstraint],
+        do_prune: bool,
+    ):
+        """Prune + densify + canonicalize one objective. Returns
+        ``(problem, dense, canonical, prune_stats)``."""
+        with self.telemetry.timer("prune"):
+            extra = list(extra_constraints)
+            if do_prune:
+                seeds = set(objective.coeffs)
+                for constraint in extra:
+                    seeds.update(constraint.variables)
+                pruned = prune(
+                    self.model.constraints, seeds, self.prune_method, model=self.model
+                )
+                constraints = pruned.constraints + extra
+                prune_stats = dict(pruned.stats)
+            else:
+                constraints = list(self.model.constraints) + extra
+                seen = set(objective.coeffs)
+                for constraint in constraints:
+                    seen.update(constraint.variables)
+                prune_stats = {
+                    "variables_before": len(seen),
+                    "constraints_before": len(constraints),
+                    "variables_after": len(seen),
+                    "constraints_after": len(constraints),
+                }
+        with self.telemetry.timer("normalize"):
+            names = {var.index: var.name for var in self.model.pool}
+            problem, dense = from_licm(objective, constraints, names)
+            canonical = canonicalize(objective, constraints)
+        self.telemetry.emit(ProblemPrepared(canonical.fingerprint, **prune_stats))
+        return problem, dense, canonical, prune_stats
+
+    def _solve_sense(
+        self, problem, dense: dict, canonical: CanonicalBIP, sense: str
+    ) -> Tuple[CachedSolve, bool, float]:
+        """One direction through the cache. Returns
+        ``(entry, was_cached, wall_seconds_spent_solving)``."""
+        key = (canonical.fingerprint, sense)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.telemetry.count("cache_hits")
+            self.telemetry.emit(CacheProbe("hit", canonical.fingerprint, len(self.cache)))
+            self.telemetry.emit(
+                SolveFinished(
+                    sense=sense,
+                    status=entry.status,
+                    objective=entry.objective,
+                    nodes=0,
+                    seconds=0.0,
+                    backend=entry.backend,
+                    fingerprint=canonical.fingerprint,
+                    cached=True,
+                )
+            )
+            return entry, True, 0.0
+        self.telemetry.count("cache_misses")
+        self.telemetry.emit(CacheProbe("miss", canonical.fingerprint, len(self.cache)))
+        with self.telemetry.timer(f"solve_{sense}") as sw:
+            solution = solve(problem, sense, self.options)
+        x_canonical = None
+        if solution.x is not None:
+            x_canonical = tuple(
+                int(solution.x[dense[model_idx]]) for model_idx in canonical.var_order
+            )
+        entry = CachedSolve(
+            status=solution.status,
+            objective=solution.objective,
+            x_canonical=x_canonical,
+            bound=solution.bound,
+            nodes=solution.nodes,
+            backend=solution.backend,
+        )
+        self.cache.put(key, entry)
+        self.telemetry.emit(CacheProbe("store", canonical.fingerprint, len(self.cache)))
+        self.telemetry.count("solver_nodes", solution.nodes)
+        self.telemetry.emit(
+            SolveFinished(
+                sense=sense,
+                status=solution.status,
+                objective=solution.objective,
+                nodes=solution.nodes,
+                seconds=solution.solve_time,
+                backend=solution.backend,
+                fingerprint=canonical.fingerprint,
+                cached=False,
+            )
+        )
+        return entry, False, solution.solve_time
+
+    # -- public API --------------------------------------------------------
+    def bounds(
+        self,
+        objective: LinearExpr,
+        extra_constraints: Sequence[LinearConstraint] = (),
+        do_prune: bool = True,
+    ):
+        """Min/max of a linear objective over all possible worlds.
+
+        The engine-native equivalent of
+        :func:`repro.core.bounds.objective_bounds`: both directions go
+        through the cache, and on a cold cache they run concurrently when
+        the session is parallel.  Returns
+        :class:`~repro.core.bounds.AggregateBounds`.
+        """
+        from repro.core.bounds import AggregateBounds
+
+        self._ensure_fresh()
+        prep = Stopwatch()
+        problem, dense, canonical, prune_stats = self._prepare(
+            objective, extra_constraints, do_prune
+        )
+        prep_time = prep.stop()
+
+        if self.parallel:
+            futures = {
+                sense: self._pool().submit(
+                    self._solve_sense, problem, dense, canonical, sense
+                )
+                for sense in _SENSES
+            }
+            outcomes = {sense: futures[sense].result() for sense in _SENSES}
+        else:
+            outcomes = {
+                sense: self._solve_sense(problem, dense, canonical, sense)
+                for sense in _SENSES
+            }
+
+        for entry, _, _ in outcomes.values():
+            if entry.status == "infeasible":
+                raise InfeasibleError("the LICM constraints admit no possible world")
+
+        (min_entry, min_cached, min_time) = outcomes["min"]
+        (max_entry, max_cached, max_time) = outcomes["max"]
+
+        def witness(entry: CachedSolve):
+            if entry.x_canonical is None:
+                return None
+            return canonical.witness(entry.x_canonical)
+
+        exact = min_entry.status == "optimal" and max_entry.status == "optimal"
+        return AggregateBounds(
+            lower=min_entry.objective,
+            upper=max_entry.objective,
+            lower_witness=witness(min_entry),
+            upper_witness=witness(max_entry),
+            exact=exact,
+            lower_bound_proven=min_entry.bound,
+            upper_bound_proven=max_entry.bound,
+            stats={
+                **prune_stats,
+                "problem_variables": problem.num_vars,
+                "problem_constraints": problem.num_constraints,
+                "prep_time": prep_time,
+                "solve_time": min_time + max_time,
+                "nodes": min_entry.nodes + max_entry.nodes,
+                "backend": max_entry.backend,
+                "cache_hits": int(min_cached) + int(max_cached),
+                "fingerprint": canonical.fingerprint,
+            },
+        )
+
+    def optimize(
+        self,
+        objective: LinearExpr,
+        sense: str,
+        extra_constraints: Sequence[LinearConstraint] = (),
+    ) -> Tuple[Solution, dict]:
+        """One direction with query-local side constraints.
+
+        Returns ``(solution, dense)`` where ``dense`` maps model variable
+        indices to positions in ``solution.x`` — the contract the AVG
+        (Dinkelbach) and MIN/MAX (feasibility-probe) paths rely on.
+        """
+        self._ensure_fresh()
+        problem, dense, canonical, _ = self._prepare(
+            objective, extra_constraints, do_prune=True
+        )
+        entry, _, _ = self._solve_sense(problem, dense, canonical, sense)
+        x = None
+        if entry.x_canonical is not None:
+            x = [0] * problem.num_vars
+            for c, value in enumerate(entry.x_canonical):
+                x[dense[canonical.var_order[c]]] = int(value)
+        solution = Solution(
+            status=entry.status,
+            objective=entry.objective,
+            x=x,
+            bound=entry.bound,
+            nodes=entry.nodes,
+            backend=entry.backend,
+        )
+        return solution, dense
+
+    def feasible(self, extra_constraints: Iterable[LinearConstraint]) -> bool:
+        """Is there a valid world satisfying the extra constraints too?"""
+        solution, _ = self.optimize(LinearExpr({}, 0), "max", list(extra_constraints))
+        return solution.status != "infeasible"
+
+    def map(self, fn, items):
+        """Run ``fn`` over ``items``, on the session pool when parallel.
+
+        Order-preserving; used for fan-out workloads (per-group bounds,
+        MC per-world evaluation) that want to share the session executor.
+        """
+        if self.parallel:
+            return list(self._pool().map(fn, items))
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        mode = f"parallel(max_workers={self.max_workers})" if self.parallel else "serial"
+        return (
+            f"SolveSession({self.model!r}, {mode}, cache={self.cache.stats['size']}/"
+            f"{self.cache.maxsize})"
+        )

@@ -1,0 +1,195 @@
+"""Structured instrumentation for the solve engine.
+
+Every phase of the ``model -> prune -> normalize -> solve -> witness``
+pipeline emits a small dataclass event to pluggable *sinks* instead of
+scattering ad-hoc ``time.perf_counter()`` bookkeeping across callers.
+A :class:`Telemetry` instance also keeps aggregate counters and timings,
+so harnesses can read totals (cache hits, solver nodes, per-phase wall
+time) without installing a sink at all.
+
+This module is dependency-free on purpose: the solver layer below the
+engine uses :class:`Stopwatch` for its own timing without creating an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+
+class Stopwatch:
+    """A monotonic timer: created running, frozen by :meth:`stop`.
+
+    ``elapsed`` reads the live value while running and the frozen value
+    after ``stop()`` — the one timing primitive used across the repo in
+    place of paired ``time.perf_counter()`` calls.
+    """
+
+    __slots__ = ("_start", "_stopped")
+
+    def __init__(self):
+        self._start = time.perf_counter()
+        self._stopped: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        end = self._stopped if self._stopped is not None else time.perf_counter()
+        return end - self._start
+
+    def stop(self) -> float:
+        """Freeze the timer and return the final elapsed seconds."""
+        if self._stopped is None:
+            self._stopped = time.perf_counter()
+        return self.elapsed
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+        self._stopped = None
+
+
+# -- events -----------------------------------------------------------------
+
+
+@dataclass
+class PhaseTimed:
+    """One timed pipeline phase (prune, normalize, solve_min, ...)."""
+
+    phase: str
+    seconds: float
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class CounterBumped:
+    """An aggregate counter changed (cache_hits, solver_nodes, ...)."""
+
+    name: str
+    delta: int
+    total: int
+
+
+@dataclass
+class CacheProbe:
+    """One solve-cache lookup or maintenance action.
+
+    ``kind`` is ``'hit'``, ``'miss'``, ``'store'``, ``'evict'`` or
+    ``'invalidate'``.
+    """
+
+    kind: str
+    fingerprint: str = ""
+    size: int = 0
+
+
+@dataclass
+class ProblemPrepared:
+    """Size counters for one prepared BIP, before/after pruning."""
+
+    fingerprint: str
+    variables_before: int
+    constraints_before: int
+    variables_after: int
+    constraints_after: int
+
+
+@dataclass
+class SolveFinished:
+    """Outcome of one optimization direction (possibly served from cache)."""
+
+    sense: str
+    status: str
+    objective: Optional[int]
+    nodes: int
+    seconds: float
+    backend: str
+    fingerprint: str = ""
+    cached: bool = False
+
+
+TelemetryEvent = object  # any of the dataclasses above
+Sink = Callable[[TelemetryEvent], None]
+
+
+# -- sinks ------------------------------------------------------------------
+
+
+class ListSink:
+    """Collects every event in order — the test/benchmark sink."""
+
+    def __init__(self):
+        self.events: list = []
+
+    def __call__(self, event) -> None:
+        self.events.append(event)
+
+    def of_type(self, *types) -> list:
+        return [e for e in self.events if isinstance(e, types)]
+
+
+class LoggingSink:
+    """Forwards events to a standard :mod:`logging` logger."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None, level: int = logging.DEBUG):
+        self.logger = logger or logging.getLogger("repro.engine")
+        self.level = level
+
+    def __call__(self, event) -> None:
+        self.logger.log(self.level, "%s", event)
+
+
+# -- the aggregator ---------------------------------------------------------
+
+
+class Telemetry:
+    """Counters + accumulated phase timings + event fan-out to sinks.
+
+    Thread-safe: the parallel min/max solves of a session bump counters
+    and emit events from worker threads.
+    """
+
+    def __init__(self, sinks: Iterable[Sink] = ()):
+        self.sinks: list[Sink] = list(sinks)
+        self.counters: dict[str, int] = {}
+        self.timings: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event) -> None:
+        for sink in self.sinks:
+            sink(event)
+
+    def count(self, name: str, delta: int = 1) -> int:
+        """Bump an aggregate counter and emit a :class:`CounterBumped`."""
+        with self._lock:
+            total = self.counters.get(name, 0) + delta
+            self.counters[name] = total
+        self.emit(CounterBumped(name, delta, total))
+        return total
+
+    @contextmanager
+    def timer(self, phase: str, **meta):
+        """Time a pipeline phase; yields the running :class:`Stopwatch`."""
+        sw = Stopwatch()
+        try:
+            yield sw
+        finally:
+            seconds = sw.stop()
+            with self._lock:
+                self.timings[phase] = self.timings.get(phase, 0.0) + seconds
+            self.emit(PhaseTimed(phase, seconds, dict(meta)))
+
+    def total(self, phase: str) -> float:
+        """Accumulated seconds recorded for a phase (0.0 if never timed)."""
+        return self.timings.get(phase, 0.0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of counters and timings (for reports/tests)."""
+        with self._lock:
+            return {"counters": dict(self.counters), "timings": dict(self.timings)}

@@ -35,6 +35,12 @@ class ExperimentConfig:
     seed: int = 7
     solver_backend: str = "auto"
     solver_time_limit: float = 600.0  # the paper's observed CPLEX budget
+    #: threads for the engine's min/max solves (1 = strictly serial)
+    solve_workers: int = 1
+    #: threads for MC per-world query evaluation (1 = strictly serial)
+    mc_workers: int = 1
+    #: LRU capacity of each encoding's solve cache (0 disables caching)
+    solve_cache_size: int = 128
     params: QueryParams = field(default_factory=QueryParams)
 
     def __post_init__(self):

@@ -3,12 +3,18 @@
 Encoding an anonymized dataset is the expensive *L-model* phase; the cache
 here builds each (scheme, k) encoding once per process so Figures 5, 6 and
 7 can share it, while still recording the paper's L-model timing.
+
+Each encoding also gets one :class:`~repro.engine.session.SolveSession`,
+shared by every query answered against it: a Figure-5 style sweep that
+issues structurally repeated aggregate queries is served from the
+session's solve cache instead of re-solving, and all phase timings flow
+into one :class:`~repro.engine.telemetry.Telemetry` (``context.telemetry``)
+instead of ad-hoc ``perf_counter`` bookkeeping.
 """
 
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
@@ -24,6 +30,8 @@ from repro.anonymize import (
     safe_grouping,
 )
 from repro.data import TransactionDataset, generate
+from repro.engine.session import SolveSession
+from repro.engine.telemetry import Telemetry
 from repro.experiments.config import ExperimentConfig
 from repro.mc import run_monte_carlo
 from repro.queries import answer_licm, query1, query2, query3
@@ -48,13 +56,15 @@ class EncodingRecord:
 
 
 class ExperimentContext:
-    """Caches the dataset and the per-(scheme, k) encodings."""
+    """Caches the dataset, the per-(scheme, k) encodings and solve sessions."""
 
     def __init__(self, config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
+        self.telemetry = Telemetry()
         self._dataset: TransactionDataset | None = None
         self._hierarchy: Hierarchy | None = None
         self._encodings: Dict[Tuple[str, int], EncodingRecord] = {}
+        self._sessions: Dict[Tuple[str, int], SolveSession] = {}
 
     @property
     def dataset(self) -> TransactionDataset:
@@ -80,45 +90,64 @@ class ExperimentContext:
         if key in self._encodings:
             return self._encodings[key]
         logger.info("anonymizing + encoding %s (k=%d)...", scheme, k)
-        started = time.perf_counter()
-        if scheme == "km":
-            anonymized = km_anonymize(self.dataset, self.hierarchy, k, self.config.km_m)
-            encode: Callable = encode_generalized
-        elif scheme == "k-anonymity":
-            anonymized = k_anonymize(self.dataset, self.hierarchy, k)
-            encode = encode_generalized
-        elif scheme == "bipartite":
-            anonymized = safe_grouping(self.dataset, k)
-            encode = encode_bipartite
-        elif scheme == "coherence":
-            # Private items: the least popular decile (the natural "rare,
-            # sensitive purchases" reading); p=1 keeps suppression tractable.
-            supports = self.dataset.item_supports()
-            ranked = sorted(self.dataset.items, key=lambda i: supports.get(i, 0))
-            private = set(ranked[: max(1, len(ranked) // 10)])
-            anonymized = coherence_suppress(
-                self.dataset, private_items=private, h=0.8, k=k, p=1
-            )
-            encode = encode_suppressed
-        else:
-            raise ValueError(f"unknown scheme {scheme!r}")
-        anonymize_time = time.perf_counter() - started
+        with self.telemetry.timer("anonymize", scheme=scheme, k=k) as anonymize_clock:
+            if scheme == "km":
+                anonymized = km_anonymize(
+                    self.dataset, self.hierarchy, k, self.config.km_m
+                )
+                encode: Callable = encode_generalized
+            elif scheme == "k-anonymity":
+                anonymized = k_anonymize(self.dataset, self.hierarchy, k)
+                encode = encode_generalized
+            elif scheme == "bipartite":
+                anonymized = safe_grouping(self.dataset, k)
+                encode = encode_bipartite
+            elif scheme == "coherence":
+                # Private items: the least popular decile (the natural "rare,
+                # sensitive purchases" reading); p=1 keeps suppression tractable.
+                supports = self.dataset.item_supports()
+                ranked = sorted(self.dataset.items, key=lambda i: supports.get(i, 0))
+                private = set(ranked[: max(1, len(ranked) // 10)])
+                anonymized = coherence_suppress(
+                    self.dataset, private_items=private, h=0.8, k=k, p=1
+                )
+                encode = encode_suppressed
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
 
-        started = time.perf_counter()
-        encoded = encode(anonymized)
-        model_time = time.perf_counter() - started
+        with self.telemetry.timer("l_model", scheme=scheme, k=k) as model_clock:
+            encoded = encode(anonymized)
 
-        record = EncodingRecord(encoded, anonymize_time, model_time)
+        record = EncodingRecord(encoded, anonymize_clock.elapsed, model_clock.elapsed)
         self._encodings[key] = record
         logger.info(
             "%s k=%d: anonymize %.1fs, encode %.1fs, %s",
             scheme,
             k,
-            anonymize_time,
-            model_time,
+            record.anonymize_time,
+            record.model_time,
             encoded.stats,
         )
         return record
+
+    def session(self, scheme: str, k: int) -> SolveSession:
+        """The shared solve session for one encoding (created on demand)."""
+        key = (scheme, k)
+        if key not in self._sessions:
+            self._sessions[key] = SolveSession(
+                self.encoding(scheme, k).encoded.model,
+                options=self.solver_options(),
+                cache_size=self.config.solve_cache_size,
+                max_workers=self.config.solve_workers,
+                telemetry=self.telemetry,
+            )
+        return self._sessions[key]
+
+    def close(self) -> None:
+        """Shut down the sessions' executors (no-op for serial configs)."""
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
 
     def plan(self, query: str, encoded: EncodedDatabase) -> PlanNode:
         builders = {"Q1": query1, "Q2": query2, "Q3": query3}
@@ -133,7 +162,7 @@ class ExperimentContext:
     def licm_answer(self, query: str, scheme: str, k: int):
         record = self.encoding(scheme, k)
         plan = self.plan(query, record.encoded)
-        answer = answer_licm(record.encoded, plan, self.solver_options())
+        answer = answer_licm(record.encoded, plan, session=self.session(scheme, k))
         logger.info("%s/%s k=%d LICM %r", query, scheme, k, answer)
         return answer
 
@@ -141,5 +170,10 @@ class ExperimentContext:
         record = self.encoding(scheme, k)
         plan = self.plan(query, record.encoded)
         return run_monte_carlo(
-            record.encoded, plan, self.config.mc_samples, seed=self.config.seed
+            record.encoded,
+            plan,
+            self.config.mc_samples,
+            seed=self.config.seed,
+            max_workers=self.config.mc_workers,
+            telemetry=self.telemetry,
         )

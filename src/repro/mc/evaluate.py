@@ -9,11 +9,12 @@ exact L_min / L_max.
 from __future__ import annotations
 
 import random
-import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.anonymize.encode import EncodedDatabase
+from repro.engine.telemetry import Stopwatch, Telemetry
 from repro.errors import SamplingError
 from repro.mc.sampler import sample_world
 from repro.relational.query import PlanNode, evaluate
@@ -55,23 +56,48 @@ def run_monte_carlo(
     plan: PlanNode,
     samples: int = 20,
     seed: int = 0,
+    max_workers: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> MCResult:
     """Sample ``samples`` worlds (the paper uses 20) and evaluate the plan.
 
     The plan must end in a terminal aggregate (CountStar / SumAttr).
+
+    Sampling is always serial (the RNG stream defines the worlds, so the
+    result is identical for any ``max_workers``); the per-world query
+    evaluations fan out over a thread pool when ``max_workers > 1``.
+    ``sample_time``/``query_time`` are summed per-world CPU-ish costs, not
+    wall time — unchanged semantics from the serial implementation.
     """
     if samples < 1:
         raise SamplingError("need at least one sample")
+    telemetry = telemetry or Telemetry()
     rng = random.Random(seed)
     result = MCResult()
-    for _ in range(samples):
-        started = time.perf_counter()
-        db = sample_world(encoded, rng)
-        result.sample_time += time.perf_counter() - started
 
-        started = time.perf_counter()
+    with telemetry.timer("mc_sample"):
+        worlds = []
+        for _ in range(samples):
+            per_world = Stopwatch()
+            worlds.append(sample_world(encoded, rng))
+            result.sample_time += per_world.stop()
+
+    def evaluate_one(db):
+        per_world = Stopwatch()
         value = evaluate(plan, db)
-        result.query_time += time.perf_counter() - started
+        return value, per_world.stop()
+
+    with telemetry.timer("mc_evaluate"):
+        if max_workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-mc"
+            ) as pool:
+                outcomes = list(pool.map(evaluate_one, worlds))
+        else:
+            outcomes = [evaluate_one(db) for db in worlds]
+
+    for value, elapsed in outcomes:
+        result.query_time += elapsed
         if not isinstance(value, int):
             raise SamplingError("Monte Carlo evaluation requires an aggregate plan")
         result.values.append(value)

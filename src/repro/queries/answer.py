@@ -5,17 +5,22 @@ data -> LICM database; measured at encoding time), *L-query* (applying the
 LICM operators and pruning), and *L-solve* (both BIP solves).  This module
 produces the latter two around a single plan, returning the bounds plus the
 timing/size stats the experiment harness prints.
+
+``answer_licm`` is a facade over :class:`repro.engine.session.SolveSession`;
+pass a session to share its solve cache, executor and telemetry across a
+sweep (the experiment harness does — see
+:meth:`repro.experiments.runner.ExperimentContext.session`).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.anonymize.encode import EncodedDatabase
-from repro.core.bounds import AggregateBounds, objective_bounds
+from repro.core.bounds import AggregateBounds
 from repro.core.linexpr import LinearExpr
+from repro.engine.telemetry import Stopwatch
 from repro.errors import QueryError
 from repro.queries.licm_eval import evaluate_licm
 from repro.relational.query import PlanNode
@@ -50,37 +55,48 @@ def answer_licm(
     plan: PlanNode,
     options: Optional[SolverOptions] = None,
     prune_method: str = "lineage",
+    session=None,
 ) -> LICMAnswer:
     """Evaluate an aggregate plan over an encoded database and bound it.
 
     ``CountStar``/``SumAttr`` plans become one BIP objective solved in both
     directions; ``MinAttr``/``MaxAttr`` plans are resolved with the
     case-based feasibility probes of :func:`repro.core.bounds.minmax_bounds`.
+
+    When ``session`` is given, ``options``/``prune_method`` are taken from
+    it and repeated structurally identical queries are served from its
+    solve cache (``bounds.stats['cache_hits']`` reports how many of the
+    two directions were).
     """
     from repro.core.bounds import minmax_bounds
+    from repro.engine.session import SolveSession
     from repro.relational.query import MaxAttr, MinAttr
 
-    started = time.perf_counter()
-    if isinstance(plan, (MinAttr, MaxAttr)):
-        relation = evaluate_licm(plan.child, encoded.relations)
-        agg = "min" if isinstance(plan, MinAttr) else "max"
-        bounds = minmax_bounds(relation, plan.attribute, agg, options)
-        total = time.perf_counter() - started
-        return LICMAnswer(bounds=bounds, query_time=total, solve_time=0.0)
+    if session is None:
+        session = SolveSession(
+            encoded.model, options=options, prune_method=prune_method
+        )
+    telemetry = session.telemetry
 
-    objective = evaluate_licm(plan, encoded.relations)
+    total = Stopwatch()
+    if isinstance(plan, (MinAttr, MaxAttr)):
+        with telemetry.timer("l_query"):
+            relation = evaluate_licm(plan.child, encoded.relations)
+        agg = "min" if isinstance(plan, MinAttr) else "max"
+        bounds = minmax_bounds(relation, plan.attribute, agg, session=session)
+        return LICMAnswer(bounds=bounds, query_time=total.stop(), solve_time=0.0)
+
+    with telemetry.timer("l_query"):
+        objective = evaluate_licm(plan, encoded.relations)
     if not isinstance(objective, LinearExpr):
         raise QueryError(
             "answer_licm requires a plan ending in CountStar, SumAttr, "
             "MinAttr or MaxAttr"
         )
-    bounds = objective_bounds(
-        encoded.model, objective, options, prune_method=prune_method
-    )
-    total = time.perf_counter() - started
+    bounds = session.bounds(objective)
     solve_time = bounds.stats.get("solve_time", 0.0)
     return LICMAnswer(
         bounds=bounds,
-        query_time=max(total - solve_time, 0.0),
+        query_time=max(total.stop() - solve_time, 0.0),
         solve_time=solve_time,
     )

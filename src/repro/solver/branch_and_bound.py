@@ -14,9 +14,9 @@ import heapq
 import itertools
 import logging
 import math
-import time
 from typing import Optional
 
+from repro.engine.telemetry import Stopwatch
 from repro.errors import InfeasibleError
 from repro.solver.heuristics import round_and_repair
 from repro.solver.model import BIPProblem
@@ -37,7 +37,7 @@ def solve_bip(
     the objective.
     """
     options = options or SolverOptions()
-    start = time.perf_counter()
+    clock = Stopwatch()
 
     if sense == "min":
         negated = BIPProblem(
@@ -66,7 +66,7 @@ def solve_bip(
             return Solution(
                 status="infeasible",
                 nodes=0,
-                solve_time=time.perf_counter() - start,
+                solve_time=clock.elapsed,
                 backend="bb",
             )
         core = reduction.problem
@@ -82,7 +82,7 @@ def solve_bip(
             x=x,
             bound=float(core.objective_constant),
             nodes=0,
-            solve_time=time.perf_counter() - start,
+            solve_time=clock.elapsed,
             backend="bb",
         )
 
@@ -106,7 +106,7 @@ def solve_bip(
                 "incumbent %s after %d nodes (%.2fs)",
                 value,
                 nodes_processed,
-                time.perf_counter() - start,
+                clock.elapsed,
             )
 
     # Root node.
@@ -115,7 +115,7 @@ def solve_bip(
         return Solution(
             status="infeasible",
             nodes=1,
-            solve_time=time.perf_counter() - start,
+            solve_time=clock.elapsed,
             backend="bb",
         )
 
@@ -125,7 +125,7 @@ def solve_bip(
         return Solution(
             status="infeasible",
             nodes=1,
-            solve_time=time.perf_counter() - start,
+            solve_time=clock.elapsed,
             backend="bb",
         )
 
@@ -168,7 +168,7 @@ def solve_bip(
         if nodes_processed >= options.node_limit:
             hit_limit = True
             break
-        if time.perf_counter() - start > options.time_limit:
+        if clock.elapsed > options.time_limit:
             hit_limit = True
             break
         neg_bound, _, domains, x_lp = heapq.heappop(heap)
@@ -227,7 +227,7 @@ def solve_bip(
             else:
                 heapq.heappush(heap, (-child_bound, next(counter), child, child_x))
 
-    elapsed = time.perf_counter() - start
+    elapsed = clock.elapsed
     if best_x is None and not hit_limit:
         return Solution(status="infeasible", nodes=nodes_processed, solve_time=elapsed, backend="bb")
 

@@ -13,15 +13,34 @@ from repro.solver.model import BIPProblem
 from repro.solver.result import Solution, SolverOptions
 
 
-def _resolve_backend(name: str) -> str:
-    if name != "auto":
-        return name
+# Memo for the 'auto' backend probe: importing scipy.optimize is not free,
+# and a session issues dozens of solves — probe once per process.
+_auto_backend: Optional[str] = None
+
+
+def _probe_scipy() -> bool:
+    """Can we import SciPy's MILP entry point?"""
     try:
         from scipy.optimize import milp  # noqa: F401
 
-        return "scipy"
-    except ImportError:  # pragma: no cover - scipy is a hard dependency here
-        return "bb"
+        return True
+    except ImportError:
+        return False
+
+
+def _reset_backend_probe() -> None:
+    """Forget the memoized 'auto' resolution (tests only)."""
+    global _auto_backend
+    _auto_backend = None
+
+
+def _resolve_backend(name: str) -> str:
+    global _auto_backend
+    if name != "auto":
+        return name
+    if _auto_backend is None:
+        _auto_backend = "scipy" if _probe_scipy() else "bb"
+    return _auto_backend
 
 
 def solve(

@@ -8,11 +8,11 @@ the ablation point.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.engine.telemetry import Stopwatch
 from repro.errors import SolverError
 from repro.solver.model import BIPProblem
 from repro.solver.result import Solution, SolverOptions
@@ -26,7 +26,7 @@ def solve_bip_scipy(
     from scipy.sparse import csr_matrix
 
     options = options or SolverOptions()
-    start = time.perf_counter()
+    clock = Stopwatch()
     n = problem.num_vars
     sign = -1.0 if sense == "max" else 1.0  # milp minimizes
 
@@ -40,7 +40,7 @@ def solve_bip_scipy(
             objective=problem.objective_constant,
             x=[],
             bound=float(problem.objective_constant),
-            solve_time=time.perf_counter() - start,
+            solve_time=clock.elapsed,
             backend="scipy",
         )
 
@@ -73,7 +73,7 @@ def solve_bip_scipy(
         options={"time_limit": options.time_limit},
         **kwargs,
     )
-    elapsed = time.perf_counter() - start
+    elapsed = clock.stop()
 
     if result.status == 2:  # infeasible
         return Solution(status="infeasible", solve_time=elapsed, backend="scipy")

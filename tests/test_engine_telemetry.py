@@ -1,0 +1,185 @@
+"""Unit tests for the engine's building blocks: telemetry, canonicalizer,
+LRU solve cache, and the constraint store's generation counter."""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.core.constraints import ConstraintStore
+from repro.core.database import LICMModel
+from repro.core.linexpr import linear_sum
+from repro.engine.cache import CachedSolve, SolveCache
+from repro.engine.canonical import canonicalize
+from repro.engine.telemetry import (
+    CounterBumped,
+    ListSink,
+    LoggingSink,
+    PhaseTimed,
+    Stopwatch,
+    Telemetry,
+)
+
+
+# -- Stopwatch / Telemetry ---------------------------------------------------
+
+
+def test_stopwatch_freezes_on_stop():
+    sw = Stopwatch()
+    first = sw.stop()
+    assert first >= 0.0
+    assert sw.elapsed == first  # frozen
+    sw.restart()
+    assert sw.elapsed >= 0.0
+
+
+def test_timer_accumulates_and_emits():
+    sink = ListSink()
+    telemetry = Telemetry([sink])
+    with telemetry.timer("phase_a", detail=1):
+        pass
+    with telemetry.timer("phase_a"):
+        pass
+    events = sink.of_type(PhaseTimed)
+    assert [e.phase for e in events] == ["phase_a", "phase_a"]
+    assert events[0].meta == {"detail": 1}
+    assert telemetry.total("phase_a") >= sum(e.seconds for e in events) * 0.99
+    assert telemetry.total("missing") == 0.0
+
+
+def test_counters_and_snapshot():
+    sink = ListSink()
+    telemetry = Telemetry([sink])
+    assert telemetry.count("cache_hits") == 1
+    assert telemetry.count("cache_hits", 2) == 3
+    bumps = sink.of_type(CounterBumped)
+    assert [(b.delta, b.total) for b in bumps] == [(1, 1), (2, 3)]
+    snap = telemetry.snapshot()
+    assert snap["counters"] == {"cache_hits": 3}
+
+
+def test_counters_thread_safe():
+    telemetry = Telemetry()
+    threads = [
+        threading.Thread(target=lambda: [telemetry.count("n") for _ in range(500)])
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert telemetry.counters["n"] == 2000
+
+
+def test_logging_sink(caplog):
+    telemetry = Telemetry([LoggingSink(level=logging.INFO)])
+    with caplog.at_level(logging.INFO, logger="repro.engine"):
+        telemetry.count("x")
+    assert "CounterBumped" in caplog.text
+
+
+# -- canonicalizer -----------------------------------------------------------
+
+
+def _constraints_of(model):
+    return list(model.constraints)
+
+
+def test_fingerprint_stable_under_index_shift():
+    """Structurally identical problems over shifted variable indices
+    canonicalize to the same fingerprint."""
+
+    def build(offset: int):
+        model = LICMModel()
+        model.new_vars(offset)  # burn indices
+        a, b, c = model.new_vars(3)
+        model.add(linear_sum([a, b, c]) >= 1)
+        model.add((a + b) <= 1)
+        return canonicalize(a + b + c, _constraints_of(model))
+
+    assert build(0).fingerprint == build(7).fingerprint
+
+
+def test_fingerprint_ignores_constraint_order():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    c1, c2 = (a + b) >= 1, (a + 0) <= 1
+    fp_ab = canonicalize(a + b, [c1, c2]).fingerprint
+    fp_ba = canonicalize(a + b, [c2, c1]).fingerprint
+    assert fp_ab == fp_ba
+
+
+def test_fingerprint_distinguishes_different_problems():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    base = canonicalize(a + b, [(a + b) >= 1])
+    assert base.fingerprint != canonicalize(a + b, [(a + b) >= 2]).fingerprint
+    assert base.fingerprint != canonicalize(a - b, [(a + b) >= 1]).fingerprint
+    assert base.fingerprint != canonicalize(a + b, [(a + b) <= 1]).fingerprint
+
+
+def test_witness_translation_roundtrip():
+    model = LICMModel()
+    model.new_vars(4)
+    a, b = model.new_vars(2)
+    canonical = canonicalize(a + b, [(a + b) >= 1])
+    assert canonical.num_vars == 2
+    witness = canonical.witness((1, 0))
+    assert witness == {a.index: 1, b.index: 0}
+
+
+# -- solve cache -------------------------------------------------------------
+
+
+def _entry(value: int) -> CachedSolve:
+    return CachedSolve("optimal", value, (1,), float(value), 0, "bb")
+
+
+def test_cache_lru_discipline():
+    cache = SolveCache(maxsize=2)
+    cache.put("a", _entry(1))
+    cache.put("b", _entry(2))
+    assert cache.get("a").objective == 1  # refresh 'a'
+    cache.put("c", _entry(3))  # evicts 'b'
+    assert cache.get("b") is None
+    assert cache.get("a") is not None and cache.get("c") is not None
+    assert cache.stats["evictions"] == 1
+
+
+def test_cache_clear_counts_invalidations():
+    cache = SolveCache()
+    cache.clear()  # empty clear is not an invalidation
+    assert cache.stats["invalidations"] == 0
+    cache.put("a", _entry(1))
+    cache.clear()
+    assert cache.stats["invalidations"] == 1
+    assert len(cache) == 0
+
+
+def test_cache_size_zero_disables():
+    cache = SolveCache(maxsize=0)
+    cache.put("a", _entry(1))
+    assert cache.get("a") is None
+    assert cache.stats == {
+        "size": 0,
+        "maxsize": 0,
+        "hits": 0,
+        "misses": 1,
+        "evictions": 0,
+        "invalidations": 0,
+    }
+
+
+# -- constraint store generation --------------------------------------------
+
+
+def test_store_generation_counts_mutations():
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    store: ConstraintStore = model.constraints
+    assert store.generation == 0
+    model.add((a + b) >= 1)
+    assert store.generation == 1
+    model.add_all([(a + 0) <= 1, (b + 0) <= 1])
+    assert store.generation == 3
+    assert store.copy().generation == 3

@@ -1,0 +1,65 @@
+"""The 'auto' backend probe is resolved once per process, not per solve."""
+
+from __future__ import annotations
+
+import builtins
+
+import pytest
+
+from repro.solver import interface
+
+
+@pytest.fixture(autouse=True)
+def fresh_probe():
+    interface._reset_backend_probe()
+    yield
+    interface._reset_backend_probe()
+
+
+def test_explicit_backends_bypass_probe(monkeypatch):
+    def boom():  # pragma: no cover - must not run
+        raise AssertionError("probe should not fire for explicit backends")
+
+    monkeypatch.setattr(interface, "_probe_scipy", boom)
+    assert interface._resolve_backend("bb") == "bb"
+    assert interface._resolve_backend("scipy") == "scipy"
+
+
+def test_auto_resolves_scipy_when_import_succeeds(monkeypatch):
+    calls = []
+
+    def probed():
+        calls.append(1)
+        return True
+
+    monkeypatch.setattr(interface, "_probe_scipy", probed)
+    assert interface._resolve_backend("auto") == "scipy"
+    assert interface._resolve_backend("auto") == "scipy"
+    assert len(calls) == 1  # memoized after the first probe
+
+
+def test_auto_falls_back_when_import_fails(monkeypatch):
+    """Monkeypatch the import machinery so ``from scipy.optimize import
+    milp`` raises, exercising the real probe's failure branch."""
+    real_import = builtins.__import__
+    attempts = []
+
+    def failing_import(name, *args, **kwargs):
+        if name.startswith("scipy"):
+            attempts.append(name)
+            raise ImportError(f"forced failure for {name}")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", failing_import)
+    monkeypatch.delitem(__import__("sys").modules, "scipy.optimize", raising=False)
+    assert interface._resolve_backend("auto") == "bb"
+    assert attempts  # the probe really attempted the import
+    # memoized: a second resolution does not re-attempt the import
+    attempts.clear()
+    assert interface._resolve_backend("auto") == "bb"
+    assert attempts == []
+
+
+def test_auto_succeeds_via_real_import():
+    """With scipy actually installed the probe picks the scipy backend."""
+    assert interface._resolve_backend("auto") == "scipy"
