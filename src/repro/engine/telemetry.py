@@ -17,9 +17,12 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
+
+logger = logging.getLogger("repro.engine")
 
 
 class Stopwatch:
@@ -119,16 +122,29 @@ Sink = Callable[[TelemetryEvent], None]
 
 
 class ListSink:
-    """Collects every event in order — the test/benchmark sink."""
+    """Collects every event in order — the test/benchmark sink.
 
-    def __init__(self):
-        self.events: list = []
+    :param maxlen: when given, keep only the most recent ``maxlen``
+        events (a ring buffer), so a long experiment run with a
+        permanently installed sink cannot grow memory unboundedly.  The
+        default (``None``) keeps everything, preserving historical test
+        behavior.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None):
+        self.maxlen = maxlen
+        self.events = deque(maxlen=maxlen) if maxlen is not None else []
+        self.seen = 0  # total events observed, including any rotated out
 
     def __call__(self, event) -> None:
         self.events.append(event)
+        self.seen += 1
 
     def of_type(self, *types) -> list:
         return [e for e in self.events if isinstance(e, types)]
+
+    def __len__(self) -> int:
+        return len(self.events)
 
 
 class LoggingSink:
@@ -159,11 +175,31 @@ class Telemetry:
         self._lock = threading.Lock()
 
     def add_sink(self, sink: Sink) -> None:
-        self.sinks.append(sink)
+        with self._lock:
+            self.sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        with self._lock:
+            try:
+                self.sinks.remove(sink)
+            except ValueError:
+                pass
 
     def emit(self, event) -> None:
-        for sink in self.sinks:
-            sink(event)
+        """Fan one event out to every sink.
+
+        The sink list is snapshotted under the lock — ``add_sink`` from a
+        harness thread must not race the solver workers' iteration — and a
+        raising sink is logged and skipped: observability failures never
+        abort the solve pipeline.
+        """
+        with self._lock:
+            sinks = tuple(self.sinks)
+        for sink in sinks:
+            try:
+                sink(event)
+            except Exception:  # noqa: BLE001 - a sink must never kill a solve
+                logger.exception("telemetry sink %r failed on %r", sink, event)
 
     def count(self, name: str, delta: int = 1) -> int:
         """Bump an aggregate counter and emit a :class:`CounterBumped`."""

@@ -143,6 +143,14 @@ class ExperimentContext:
             )
         return self._sessions[key]
 
+    def cache_stats(self) -> Dict[str, dict]:
+        """Per-session solve-cache stats, keyed ``'<scheme>-k<k>'`` (for
+        the run manifest)."""
+        return {
+            f"{scheme}-k{k}": dict(session.cache.stats)
+            for (scheme, k), session in sorted(self._sessions.items())
+        }
+
     def close(self) -> None:
         """Shut down the sessions' executors (no-op for serial configs)."""
         for session in self._sessions.values():

@@ -17,6 +17,7 @@ from repro.anonymize.encode import EncodedDatabase
 from repro.engine.telemetry import Stopwatch, Telemetry
 from repro.errors import SamplingError
 from repro.mc.sampler import sample_world
+from repro.obs.tracer import current_tracer
 from repro.relational.query import PlanNode, evaluate
 
 
@@ -72,33 +73,45 @@ def run_monte_carlo(
     if samples < 1:
         raise SamplingError("need at least one sample")
     telemetry = telemetry or Telemetry()
+    tracer = current_tracer()
     rng = random.Random(seed)
     result = MCResult()
 
-    with telemetry.timer("mc_sample"):
-        worlds = []
-        for _ in range(samples):
+    with tracer.span("mc.sample", samples=samples) as sample_span:
+        with telemetry.timer("mc_sample"):
+            worlds = []
+            for _ in range(samples):
+                per_world = Stopwatch()
+                worlds.append(sample_world(encoded, rng))
+                result.sample_time += per_world.stop()
+        if result.sample_time > 0:
+            sample_span.set("worlds_per_s", samples / result.sample_time)
+
+    # Worker threads inherit this span explicitly so their per-world spans
+    # stay attached to the trace tree.
+    def evaluate_one_traced(db, parent):
+        with tracer.span("mc.world_eval", parent=parent):
             per_world = Stopwatch()
-            worlds.append(sample_world(encoded, rng))
-            result.sample_time += per_world.stop()
+            value = evaluate(plan, db)
+            return value, per_world.stop()
 
-    def evaluate_one(db):
-        per_world = Stopwatch()
-        value = evaluate(plan, db)
-        return value, per_world.stop()
+    with tracer.span("mc.evaluate", samples=samples, workers=max_workers) as eval_span:
+        with telemetry.timer("mc_evaluate"):
+            if max_workers > 1:
+                with ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="repro-mc"
+                ) as pool:
+                    outcomes = list(
+                        pool.map(lambda db: evaluate_one_traced(db, eval_span), worlds)
+                    )
+            else:
+                outcomes = [evaluate_one_traced(db, eval_span) for db in worlds]
 
-    with telemetry.timer("mc_evaluate"):
-        if max_workers > 1:
-            with ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="repro-mc"
-            ) as pool:
-                outcomes = list(pool.map(evaluate_one, worlds))
-        else:
-            outcomes = [evaluate_one(db) for db in worlds]
-
-    for value, elapsed in outcomes:
-        result.query_time += elapsed
-        if not isinstance(value, int):
-            raise SamplingError("Monte Carlo evaluation requires an aggregate plan")
-        result.values.append(value)
+        for value, elapsed in outcomes:
+            result.query_time += elapsed
+            if not isinstance(value, int):
+                raise SamplingError("Monte Carlo evaluation requires an aggregate plan")
+            result.values.append(value)
+        if result.query_time > 0:
+            eval_span.set("worlds_per_s", samples / result.query_time)
     return result

@@ -1,0 +1,55 @@
+"""Observability: hierarchical tracing, metrics export, run manifests.
+
+The repo-wide answer to "where did this run spend its time":
+
+* :mod:`repro.obs.tracer` — the span tracer threaded through the
+  relational operators, LICM translation, solve engine, branch-and-bound
+  search and the MC baseline.  Off by default (a shared no-op tracer);
+  enable per run with ``activate(Tracer())``.
+* :mod:`repro.obs.export` — :class:`JsonlSink` (streaming trace file),
+  :class:`MetricsRegistry` (Prometheus text), :func:`render_report`.
+* :mod:`repro.obs.manifest` — the per-run JSON manifest plus the
+  validators the CI smoke job uses.
+
+See ``docs/observability.md`` and ``python -m repro trace``.
+"""
+
+from repro.obs.export import (
+    JsonlSink,
+    MetricsRegistry,
+    build_metrics,
+    read_jsonl,
+    render_report,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    validate_manifest,
+    validate_trace,
+    write_manifest,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "build_manifest",
+    "build_metrics",
+    "current_tracer",
+    "read_jsonl",
+    "render_report",
+    "validate_manifest",
+    "validate_trace",
+    "write_manifest",
+]

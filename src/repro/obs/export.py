@@ -1,0 +1,339 @@
+"""Trace/metric exporters: JSONL traces, Prometheus text, human reports.
+
+Three ways out of a traced run:
+
+* :class:`JsonlSink` — streams every finished span as one JSON line
+  (attach it to a :class:`~repro.obs.tracer.Tracer`); the file is the
+  machine-readable trace the CI smoke run validates.
+* :class:`MetricsRegistry` — counters/gauges/histograms rendered in the
+  Prometheus text exposition format (``metrics.txt``);
+  :func:`build_metrics` populates one from a telemetry snapshot and a
+  tracer's spans.
+* :func:`render_report` — the human view: a span tree plus a per-name
+  aggregate table, printed by ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import IO, Iterable, Optional, Union
+
+from repro.obs.tracer import Span, Tracer, iter_tree
+
+__all__ = [
+    "JsonlSink",
+    "MetricsRegistry",
+    "build_metrics",
+    "read_jsonl",
+    "render_report",
+]
+
+
+def _jsonable(value):
+    """Coerce arbitrary span attribute values into JSON-safe ones."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class JsonlSink:
+    """Streams finished spans to a JSONL file, one span per line.
+
+    Usable as a tracer sink and as a context manager; ``close()`` is
+    idempotent.  Lines are flushed as written so a crashed run still
+    leaves a readable prefix.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        self.path: Optional[str] = None
+        if isinstance(target, str):
+            self.path = target
+            self._file: Optional[IO[str]] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def __call__(self, span: Span) -> None:
+        record = span.to_dict()
+        record["attributes"] = _jsonable(record.get("attributes", {}))
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and self._owns:
+                self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL trace back into a list of span dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Prometheus-text metrics -------------------------------------------------
+
+#: default histogram buckets for span durations, in seconds
+DURATION_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+def _labels_key(labels: Optional[dict]) -> tuple:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _format_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Instrument:
+    kind = ""
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help = help_text
+        self.series: dict[tuple, float] = {}
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self.series):
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(self.series[key])}"
+            )
+        return lines
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def inc(self, value: float = 1, labels: Optional[dict] = None) -> None:
+        key = _labels_key(labels)
+        self.series[key] = self.series.get(key, 0) + value
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def set(self, value: float, labels: Optional[dict] = None) -> None:
+        self.series[_labels_key(labels)] = float(value)
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, buckets=DURATION_BUCKETS):
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        self._data: dict[tuple, dict] = {}
+
+    def observe(self, value: float, labels: Optional[dict] = None) -> None:
+        key = _labels_key(labels)
+        data = self._data.setdefault(
+            key, {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+        )
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                data["counts"][index] += 1
+        data["sum"] += value
+        data["count"] += 1
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self._data):
+            data = self._data[key]
+            for bound, count in zip(self.buckets, data["counts"]):
+                bucket_key = key + (("le", _format_value(bound)),)
+                lines.append(f"{self.name}_bucket{_format_labels(bucket_key)} {count}")
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_format_labels(inf_key)} {data['count']}")
+            lines.append(f"{self.name}_sum{_format_labels(key)} {_format_value(data['sum'])}")
+            lines.append(f"{self.name}_count{_format_labels(key)} {data['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """A tiny dependency-free Prometheus-text metrics registry.
+
+    ``counter``/``gauge``/``histogram`` get-or-create instruments by name;
+    ``render()`` produces the exposition text and ``write(path)`` the
+    ``metrics.txt`` the experiment harness ships with every traced run.
+    """
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = prefix
+        self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, help_text: str, **kwargs):
+        full = f"{self.prefix}_{name}" if self.prefix else name
+        with self._lock:
+            instrument = self._instruments.get(full)
+            if instrument is None:
+                instrument = cls(full, help_text, **kwargs)
+                self._instruments[full] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {full!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "", buckets=DURATION_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help_text, buckets=buckets)
+
+    def render(self) -> str:
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+
+def build_metrics(
+    telemetry=None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Populate a registry from a run's telemetry totals and span tree.
+
+    Produces the standard metric families every traced run exports:
+
+    * ``repro_phase_seconds_total{phase=...}`` — accumulated telemetry
+      phase timings (prune, normalize, solve_min, l_query, mc_*, ...);
+    * ``repro_counter_total{name=...}`` — telemetry counters (cache hits,
+      solver nodes, ...);
+    * ``repro_span_duration_seconds{name=...}`` — histogram over span
+      durations, plus ``repro_spans_total{name=...}``.
+    """
+    registry = registry or MetricsRegistry()
+    if telemetry is not None:
+        snapshot = telemetry.snapshot()
+        phase = registry.counter(
+            "phase_seconds_total", "Accumulated telemetry phase wall time"
+        )
+        for name, seconds in sorted(snapshot["timings"].items()):
+            phase.inc(seconds, labels={"phase": name})
+        counters = registry.counter("counter_total", "Telemetry counters")
+        for name, total in sorted(snapshot["counters"].items()):
+            counters.inc(total, labels={"name": name})
+    if tracer is not None and tracer.enabled:
+        spans = registry.counter("spans_total", "Finished spans per span name")
+        durations = registry.histogram(
+            "span_duration_seconds", "Span durations per span name"
+        )
+        for span in list(tracer.spans):
+            spans.inc(labels={"name": span.name})
+            if span.duration is not None:
+                durations.observe(span.duration, labels={"name": span.name})
+    return registry
+
+
+# -- human report ------------------------------------------------------------
+
+
+def _format_attrs(span: Span, limit: int = 5) -> str:
+    parts = []
+    for key, value in span.attributes.items():
+        if isinstance(value, list):
+            value = f"[{len(value)} events]"
+        elif isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+        if len(parts) >= limit:
+            parts.append("…")
+            break
+    return " ".join(parts)
+
+
+def render_report(tracer: Tracer, max_depth: int = 12) -> str:
+    """A human tree + aggregate table of one trace (for terminals/docs)."""
+    lines = [f"trace {tracer.trace_id} — {len(tracer)} spans"]
+    lines.append("")
+    for depth, span in iter_tree(tracer):
+        if depth > max_depth:
+            continue
+        took = f"{span.duration * 1e3:8.2f}ms" if span.duration is not None else "    open"
+        indent = "  " * depth
+        attrs = _format_attrs(span)
+        lines.append(f"{took}  {indent}{span.name}" + (f"  [{attrs}]" if attrs else ""))
+    lines.append("")
+    lines.append(_aggregate_table(tracer.spans))
+    return "\n".join(lines)
+
+
+def _aggregate_table(spans: Iterable[Span]) -> str:
+    totals: dict[str, list] = {}
+    for span in spans:
+        entry = totals.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        if span.duration is not None:
+            entry[1] += span.duration
+            entry[2] = max(entry[2], span.duration)
+    headers = ("span", "count", "total_ms", "max_ms")
+    rows = [
+        (name, str(count), f"{total * 1e3:.2f}", f"{worst * 1e3:.2f}")
+        for name, (count, total, worst) in sorted(
+            totals.items(), key=lambda item: -item[1][1]
+        )
+    ]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -22,6 +22,7 @@ from repro.core.bounds import AggregateBounds
 from repro.core.linexpr import LinearExpr
 from repro.engine.telemetry import Stopwatch
 from repro.errors import QueryError
+from repro.obs.tracer import current_tracer
 from repro.queries.licm_eval import evaluate_licm
 from repro.relational.query import PlanNode
 from repro.solver.result import SolverOptions
@@ -78,25 +79,30 @@ def answer_licm(
         )
     telemetry = session.telemetry
 
-    total = Stopwatch()
-    if isinstance(plan, (MinAttr, MaxAttr)):
-        with telemetry.timer("l_query"):
-            relation = evaluate_licm(plan.child, encoded.relations)
-        agg = "min" if isinstance(plan, MinAttr) else "max"
-        bounds = minmax_bounds(relation, plan.attribute, agg, session=session)
-        return LICMAnswer(bounds=bounds, query_time=total.stop(), solve_time=0.0)
+    with current_tracer().span(
+        "query.answer_licm", plan=type(plan).__name__
+    ) as root_span:
+        total = Stopwatch()
+        if isinstance(plan, (MinAttr, MaxAttr)):
+            with telemetry.timer("l_query"):
+                relation = evaluate_licm(plan.child, encoded.relations)
+            agg = "min" if isinstance(plan, MinAttr) else "max"
+            bounds = minmax_bounds(relation, plan.attribute, agg, session=session)
+            return LICMAnswer(bounds=bounds, query_time=total.stop(), solve_time=0.0)
 
-    with telemetry.timer("l_query"):
-        objective = evaluate_licm(plan, encoded.relations)
-    if not isinstance(objective, LinearExpr):
-        raise QueryError(
-            "answer_licm requires a plan ending in CountStar, SumAttr, "
-            "MinAttr or MaxAttr"
+        with telemetry.timer("l_query"):
+            objective = evaluate_licm(plan, encoded.relations)
+        if not isinstance(objective, LinearExpr):
+            raise QueryError(
+                "answer_licm requires a plan ending in CountStar, SumAttr, "
+                "MinAttr or MaxAttr"
+            )
+        bounds = session.bounds(objective)
+        solve_time = bounds.stats.get("solve_time", 0.0)
+        root_span.set("lower", bounds.lower).set("upper", bounds.upper)
+        root_span.set("solve_time", solve_time)
+        return LICMAnswer(
+            bounds=bounds,
+            query_time=max(total.stop() - solve_time, 0.0),
+            solve_time=solve_time,
         )
-    bounds = session.bounds(objective)
-    solve_time = bounds.stats.get("solve_time", 0.0)
-    return LICMAnswer(
-        bounds=bounds,
-        query_time=max(total.stop() - solve_time, 0.0),
-        solve_time=solve_time,
-    )

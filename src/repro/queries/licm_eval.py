@@ -23,6 +23,7 @@ from repro.core.operators import (
 )
 from repro.core.relation import LICMRelation
 from repro.errors import QueryError
+from repro.obs.tracer import current_tracer
 from repro.relational.query import (
     CountStar,
     Difference,
@@ -50,7 +51,31 @@ def evaluate_licm(plan: PlanNode, relations: dict[str, LICMRelation]):
         :class:`LinearExpr` objective for the terminal ``CountStar`` /
         ``SumAttr`` aggregates (feed it to
         :func:`repro.core.bounds.objective_bounds`).
+
+    With an active tracer every plan node gets a ``licm.<NodeType>`` span
+    recording the lineage variables/constraints the operator (and its
+    subtree — children are nested spans) appended to the shared model, and
+    the output size — the paper's "constraint growth" axis, per operator.
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _dispatch(plan, relations)
+    model = next((rel.model for rel in relations.values()), None)
+    with tracer.span(f"licm.{type(plan).__name__}") as span:
+        before_vars = model.num_variables if model is not None else 0
+        before_constraints = model.num_constraints if model is not None else 0
+        result = _dispatch(plan, relations)
+        if model is not None:
+            span.set("vars_emitted", model.num_variables - before_vars)
+            span.set("constraints_emitted", model.num_constraints - before_constraints)
+        if isinstance(result, LICMRelation):
+            span.set("rows_out", len(result))
+        else:  # a LinearExpr objective
+            span.set("objective_terms", len(result.coeffs))
+    return result
+
+
+def _dispatch(plan: PlanNode, relations: dict[str, LICMRelation]):
     if isinstance(plan, Scan):
         try:
             return relations[plan.table]

@@ -8,15 +8,46 @@ world by world.
 
 from __future__ import annotations
 
+import functools
 from collections import Counter, defaultdict
 from typing import Sequence
 
 from repro.errors import SchemaError
+from repro.obs.tracer import current_tracer
 from repro.relational.predicates import Predicate
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
 
+def _traced(fn):
+    """Span per operator call (``ra.<op>``) when a tracer is active.
+
+    Relations materialize their rows eagerly, so the span covers the
+    operator's real work; input/output cardinalities become attributes.
+    With the default no-op tracer the wrapper is a single branch.
+    """
+
+    op_name = f"ra.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return fn(*args, **kwargs)
+        with tracer.span(op_name) as span:
+            rows_in = sum(len(arg) for arg in args if isinstance(arg, Relation))
+            span.set("rows_in", rows_in)
+            result = fn(*args, **kwargs)
+            if isinstance(result, Relation):
+                span.set("rows_out", len(result))
+            else:
+                span.set("value", result)
+            return result
+
+    return wrapper
+
+
+@_traced
 def select(relation: Relation, predicate: Predicate, name: str | None = None) -> Relation:
     """σ: keep rows matching the predicate."""
     fn = predicate.compile(relation.schema.position)
@@ -27,6 +58,7 @@ def select(relation: Relation, predicate: Predicate, name: str | None = None) ->
     )
 
 
+@_traced
 def project(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
     """π with set semantics, as in the paper's Algorithm 1 counterpart."""
     positions = relation.schema.positions(attributes)
@@ -36,6 +68,7 @@ def project(relation: Relation, attributes: Sequence[str], name: str | None = No
     return Relation(name or f"project({relation.name})", Schema(attributes), seen.keys())
 
 
+@_traced
 def intersect(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """∩ over identically-schemed relations (set semantics)."""
     if left.schema != right.schema:
@@ -48,6 +81,7 @@ def intersect(left: Relation, right: Relation, name: str | None = None) -> Relat
     return Relation(name or f"({left.name} ∩ {right.name})", left.schema, seen.keys())
 
 
+@_traced
 def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """∪ with set semantics."""
     if left.schema != right.schema:
@@ -60,6 +94,7 @@ def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
     return Relation(name or f"({left.name} ∪ {right.name})", left.schema, seen.keys())
 
 
+@_traced
 def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """Set difference."""
     if left.schema != right.schema:
@@ -72,6 +107,7 @@ def difference(left: Relation, right: Relation, name: str | None = None) -> Rela
     return Relation(name or f"({left.name} - {right.name})", left.schema, seen.keys())
 
 
+@_traced
 def product(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """× Cartesian product; clashing attribute names must be renamed first."""
     schema = left.schema.concat(right.schema)
@@ -79,12 +115,14 @@ def product(left: Relation, right: Relation, name: str | None = None) -> Relatio
     return Relation(name or f"({left.name} × {right.name})", schema, rows)
 
 
+@_traced
 def rename(relation: Relation, mapping: dict[str, str], name: str | None = None) -> Relation:
     """ρ: rename attributes (needed before self-joins)."""
     attributes = [mapping.get(a, a) for a in relation.schema.attributes]
     return Relation(name or relation.name, Schema(attributes), relation.rows)
 
 
+@_traced
 def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """⋈ hash join on the shared attributes."""
     shared = [a for a in left.schema.attributes if a in right.schema]
@@ -110,6 +148,7 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
     return Relation(name or f"({left.name} ⋈ {right.name})", schema, rows)
 
 
+@_traced
 def group_count(
     relation: Relation, group_by: Sequence[str], name: str | None = None
 ) -> Relation:
@@ -133,6 +172,7 @@ def group_count(
     )
 
 
+@_traced
 def having_count(
     relation: Relation,
     group_by: Sequence[str],
@@ -160,11 +200,13 @@ def having_count(
     return Relation(name or f"having({relation.name})", Schema(group_by), rows)
 
 
+@_traced
 def count_rows(relation: Relation) -> int:
     """COUNT(*) with set semantics (distinct rows)."""
     return len(set(relation.rows))
 
 
+@_traced
 def sum_attribute(relation: Relation, attribute: str) -> int:
     """SUM over distinct rows, mirroring LICM's set-semantics aggregation."""
     pos = relation.schema.position(attribute)

@@ -6,6 +6,14 @@ heuristics for incumbents, best-bound node selection, and configurable
 branching rules.  Because LICM objectives have integer coefficients, dual
 bounds are floored to the nearest integer, which prunes far earlier than
 the raw LP value.
+
+When a tracer is active (:mod:`repro.obs.tracer`) the search opens a
+``bb.search`` span with node-level profiling: nodes expanded, maximum
+depth, incumbent updates, global-bound improvements, prune counts by
+reason (bound, propagation, LP-infeasible, integral leaf) and a bounded
+stream of sampled node records (one per ``tracer.sample_every`` expanded
+nodes) — enough to see *where* a hard instance spends its search without
+paying per-node export costs.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Optional
 
 from repro.engine.telemetry import Stopwatch
 from repro.errors import InfeasibleError
+from repro.obs.tracer import NullSpan, current_tracer
 from repro.solver.heuristics import round_and_repair
 from repro.solver.model import BIPProblem
 from repro.solver.presolve import presolve
@@ -26,6 +35,8 @@ from repro.solver.relaxation import solve_relaxation
 from repro.solver.result import Solution, SolverOptions
 
 logger = logging.getLogger(__name__)
+
+_NULL_SPAN = NullSpan()
 
 
 def solve_bip(
@@ -37,7 +48,6 @@ def solve_bip(
     the objective.
     """
     options = options or SolverOptions()
-    clock = Stopwatch()
 
     if sense == "min":
         negated = BIPProblem(
@@ -58,11 +68,32 @@ def solve_bip(
             backend=inner.backend,
         )
 
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _solve_max(problem, options, _NULL_SPAN, 0)
+    with tracer.span(
+        "bb.search", vars=problem.num_vars, constraints=problem.num_constraints
+    ) as span:
+        solution = _solve_max(problem, options, span, tracer.sample_every)
+        span.set("status", solution.status).set("nodes", solution.nodes)
+        span.set("objective", solution.objective)
+        return solution
+
+
+def _solve_max(
+    problem: BIPProblem, options: SolverOptions, span, sample_every: int
+) -> Solution:
+    """The maximization search.  ``span`` is the profiling sink — a real
+    :class:`~repro.obs.tracer.Span` under tracing, a shared no-op span
+    otherwise, so the hot loop has no branching on "is tracing on"."""
+    clock = Stopwatch()
+
     # ---- presolve --------------------------------------------------------
     if options.use_presolve:
         try:
             reduction = presolve(problem)
         except InfeasibleError:
+            span.set("prune_presolve", 1)
             return Solution(
                 status="infeasible",
                 nodes=0,
@@ -93,15 +124,31 @@ def solve_bip(
     nodes_processed = 0
     pseudocosts = [1.0] * core.num_vars  # crude degradation estimates
 
+    # search-profiling accumulators (attached to the span after the loop)
+    incumbent_updates = 0
+    bound_improvements = 0
+    max_depth = 0
+    prunes = {"bound": 0, "child_bound": 0, "propagation": 0, "lp_infeasible": 0}
+    integral_leaves = 0
+    heuristic_incumbents = 0
+    last_global_bound = math.inf
+
     def integral_objective(x_int: list[int]) -> int:
         return core.objective_value(x_int)
 
-    def try_incumbent(x_int: list[int]) -> None:
-        nonlocal best_x, best_obj
+    def try_incumbent(x_int: list[int], source: str) -> None:
+        nonlocal best_x, best_obj, incumbent_updates, heuristic_incumbents
         value = integral_objective(x_int)
         if value > best_obj and core.is_feasible(x_int):
             best_obj = value
             best_x = list(x_int)
+            incumbent_updates += 1
+            if source == "heuristic":
+                heuristic_incumbents += 1
+            span.event(
+                "incumbents",
+                {"node": nodes_processed, "objective": value, "source": source},
+            )
             logger.debug(
                 "incumbent %s after %d nodes (%.2fs)",
                 value,
@@ -119,7 +166,8 @@ def solve_bip(
             backend="bb",
         )
 
-    # Heap of (-bound, tiebreak, domains). Bound is the floored LP value.
+    # Heap of (-bound, tiebreak, domains, x_lp, depth). Bound is the floored
+    # LP value.
     status_root, lp_value, x_lp = solve_relaxation(core, root_domains, options.lp_engine)
     if status_root == "infeasible":
         return Solution(
@@ -133,6 +181,7 @@ def solve_bip(
     # branching (the "branch-and-cut" ingredient the paper credits solvers
     # with).  Cuts are valid for every integer-feasible point, so the
     # optimum is unchanged; only the LP bound tightens.
+    cuts_added = 0
     if options.cut_rounds > 0:
         from repro.solver.cuts import separate_cover_cuts
 
@@ -146,6 +195,7 @@ def solve_bip(
             cuts = separate_cover_cuts(core, x_lp)
             if not cuts:
                 break
+            cuts_added += len(cuts)
             core = BIPProblem(
                 num_vars=core.num_vars,
                 constraints=core.constraints + cuts,
@@ -157,11 +207,20 @@ def solve_bip(
             status_root, lp_value, x_lp = solve_relaxation(
                 core, root_domains, options.lp_engine
             )
-            if status_root == "infeasible":  # pragma: no cover - cuts are valid
-                break
+            if status_root == "infeasible":
+                # Cuts are valid for every integer point, so a cut-tightened
+                # LP going empty proves the instance has no integer solution.
+                span.set("root_cuts", cuts_added).set("prune_cuts", 1)
+                return Solution(
+                    status="infeasible",
+                    nodes=1,
+                    solve_time=clock.elapsed,
+                    backend="bb",
+                )
+    span.set("root_cuts", cuts_added).set("root_lp_bound", lp_value)
 
     root_bound = math.floor(lp_value + 1e-7)
-    heap = [(-root_bound, next(counter), root_domains, x_lp)]
+    heap = [(-root_bound, next(counter), root_domains, x_lp, 0)]
     hit_limit = False
 
     while heap:
@@ -171,11 +230,30 @@ def solve_bip(
         if clock.elapsed > options.time_limit:
             hit_limit = True
             break
-        neg_bound, _, domains, x_lp = heapq.heappop(heap)
+        neg_bound, _, domains, x_lp, depth = heapq.heappop(heap)
         bound = -neg_bound
+        if bound < last_global_bound:
+            # best-first pops a non-increasing bound stream: each strict
+            # drop is the proven global upper bound improving.
+            last_global_bound = bound
+            bound_improvements += 1
         if bound <= best_obj:
+            prunes["bound"] += 1
             continue  # integer bound cannot improve the incumbent
         nodes_processed += 1
+        if depth > max_depth:
+            max_depth = depth
+        if sample_every and nodes_processed % sample_every == 0:
+            span.event(
+                "samples",
+                {
+                    "node": nodes_processed,
+                    "depth": depth,
+                    "bound": bound,
+                    "incumbent": None if best_obj == -math.inf else int(best_obj),
+                    "open": len(heap),
+                },
+            )
 
         # Fractionality check against the node's LP point.
         fractional = [
@@ -189,14 +267,16 @@ def solve_bip(
                 1 if domains[i] == ONE else 0 if domains[i] == ZERO else int(round(x_lp[i]))
                 for i in range(core.num_vars)
             ]
-            try_incumbent(x_int)
+            try_incumbent(x_int, "integral")
+            integral_leaves += 1
             continue
 
         if options.use_heuristics:
             repaired = round_and_repair(core, x_lp, domains)
             if repaired is not None:
-                try_incumbent(repaired)
+                try_incumbent(repaired, "heuristic")
                 if bound <= best_obj:
+                    prunes["bound"] += 1
                     continue
 
         branch_var = _pick_branch_variable(
@@ -211,23 +291,38 @@ def solve_bip(
             child[branch_var] = value
             child = propagate(compiled, child, dirty=compiled.by_var[branch_var])
             if child is None:
+                prunes["propagation"] += 1
                 continue
             status, child_lp, child_x = solve_relaxation(core, child, options.lp_engine)
             if status == "infeasible":
+                prunes["lp_infeasible"] += 1
                 continue
             pseudocosts[branch_var] = 0.5 * pseudocosts[branch_var] + 0.5 * max(
                 parent_lp - child_lp, 0.0
             )
             child_bound = math.floor(child_lp + 1e-7)
             if child_bound <= best_obj:
+                prunes["child_bound"] += 1
                 continue
             if options.node_selection == "dfs":
                 # Simulate DFS by biasing the key with depth via the counter sign.
-                heapq.heappush(heap, (-child_bound, -next(counter), child, child_x))
+                heapq.heappush(
+                    heap, (-child_bound, -next(counter), child, child_x, depth + 1)
+                )
             else:
-                heapq.heappush(heap, (-child_bound, next(counter), child, child_x))
+                heapq.heappush(
+                    heap, (-child_bound, next(counter), child, child_x, depth + 1)
+                )
 
     elapsed = clock.elapsed
+    span.set("max_depth", max_depth).set("incumbent_updates", incumbent_updates)
+    span.set("bound_improvements", bound_improvements)
+    span.set("integral_leaves", integral_leaves)
+    span.set("heuristic_incumbents", heuristic_incumbents)
+    span.set("open_nodes", len(heap)).set("hit_limit", hit_limit)
+    for reason, count in prunes.items():
+        span.set(f"prune_{reason}", count)
+
     if best_x is None and not hit_limit:
         return Solution(status="infeasible", nodes=nodes_processed, solve_time=elapsed, backend="bb")
 

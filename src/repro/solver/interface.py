@@ -57,15 +57,28 @@ def solve(
         raise SolverError(f"sense must be 'max' or 'min', got {sense!r}")
     options = options or SolverOptions()
     backend = _resolve_backend(options.backend)
-    if backend == "bb":
-        from repro.solver.branch_and_bound import solve_bip
+    from repro.obs.tracer import current_tracer
 
-        return solve_bip(problem, sense, options)
-    if backend == "scipy":
-        from repro.solver.scipy_backend import solve_bip_scipy
+    with current_tracer().span(
+        "solver.solve",
+        backend=backend,
+        sense=sense,
+        vars=problem.num_vars,
+        constraints=problem.num_constraints,
+    ) as span:
+        if backend == "bb":
+            from repro.solver.branch_and_bound import solve_bip
 
-        return solve_bip_scipy(problem, sense, options)
-    raise SolverError(f"unknown backend {backend!r}")
+            solution = solve_bip(problem, sense, options)
+        elif backend == "scipy":
+            from repro.solver.scipy_backend import solve_bip_scipy
+
+            solution = solve_bip_scipy(problem, sense, options)
+        else:
+            raise SolverError(f"unknown backend {backend!r}")
+        span.set("status", solution.status).set("nodes", solution.nodes)
+        span.set("objective", solution.objective)
+        return solution
 
 
 def maximize(problem: BIPProblem, options: Optional[SolverOptions] = None) -> Solution:

@@ -73,6 +73,17 @@ def solve_bip_scipy(
         options={"time_limit": options.time_limit},
         **kwargs,
     )
+    if result.status == 4:
+        # HiGHS presolve occasionally reports "Solve error" on tiny
+        # infeasible equality systems; retrying without presolve yields a
+        # definitive verdict.
+        result = milp(
+            c,
+            integrality=np.ones(n),
+            bounds=Bounds(0, 1),
+            options={"time_limit": options.time_limit, "presolve": False},
+            **kwargs,
+        )
     elapsed = clock.stop()
 
     if result.status == 2:  # infeasible

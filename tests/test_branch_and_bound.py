@@ -63,6 +63,21 @@ def test_infeasible():
     assert solve(problem, "max", BB).status == "infeasible"
 
 
+def test_infeasible_equality_proven_by_cuts():
+    # 3(x0 - x1 - x2) == -1 has a feasible LP relaxation but no binary
+    # solution; cover cuts tighten the root LP until it goes empty, which
+    # must surface as "infeasible" rather than a crash on a missing LP point.
+    problem = _problem([(((3, 0), (-3, 1), (-3, 2)), "==", -1)], 3, {})
+    assert solve(problem, "max", BB).status == "infeasible"
+
+
+def test_scipy_retries_highs_presolve_error():
+    # scipy 1.17 HiGHS presolve reports "Solve error" on this tiny
+    # infeasible equality; the backend retries without presolve.
+    problem = _problem([(((3, 0), (-2, 1), (-3, 2)), "==", -1)], 3, {})
+    assert solve_bip_scipy(problem, "max").status == "infeasible"
+
+
 def test_objective_constant_carried():
     problem = _problem([], 1, {0: 1}, constant=10)
     assert solve(problem, "max", BB).objective == 11

@@ -78,6 +78,73 @@ def test_logging_sink(caplog):
     assert "CounterBumped" in caplog.text
 
 
+def test_emit_does_not_race_add_sink():
+    """emit snapshots the sink list under the lock, so concurrent
+    add_sink calls can't blow up the iteration mid-emit."""
+    telemetry = Telemetry()
+    stop = threading.Event()
+    errors = []
+
+    def emitter():
+        try:
+            while not stop.is_set():
+                telemetry.count("n")
+        except Exception as exc:  # pragma: no cover - the bug under test
+            errors.append(exc)
+
+    worker = threading.Thread(target=emitter)
+    worker.start()
+    sinks = [ListSink() for _ in range(200)]
+    for sink in sinks:
+        telemetry.add_sink(sink)
+    stop.set()
+    worker.join()
+    assert not errors
+    # late sinks only see events emitted after their registration
+    assert len(sinks[0].events) >= len(sinks[-1].events)
+
+
+def test_failing_sink_logs_and_continues(caplog):
+    def bad_sink(event):
+        raise RuntimeError("sink exploded")
+
+    good = ListSink()
+    telemetry = Telemetry([bad_sink, good])
+    with caplog.at_level(logging.ERROR, logger="repro.engine"):
+        telemetry.count("survives")
+    assert telemetry.counters["survives"] == 1
+    assert len(good.events) == 1  # later sinks still reached
+    assert "sink" in caplog.text
+
+
+def test_remove_sink_is_idempotent():
+    sink = ListSink()
+    telemetry = Telemetry([sink])
+    telemetry.remove_sink(sink)
+    telemetry.remove_sink(sink)  # absent: no error
+    telemetry.count("n")
+    assert sink.events == [] if isinstance(sink.events, list) else not sink.events
+
+
+def test_list_sink_ring_buffer():
+    sink = ListSink(maxlen=3)
+    telemetry = Telemetry([sink])
+    for _ in range(10):
+        telemetry.count("n")
+    assert len(sink) == 3
+    assert sink.seen == 10
+    assert [e.total for e in sink.of_type(CounterBumped)] == [8, 9, 10]
+
+
+def test_list_sink_default_keeps_everything():
+    sink = ListSink()
+    for index in range(5):
+        sink(index)
+    assert isinstance(sink.events, list)
+    assert sink.events == [0, 1, 2, 3, 4]
+    assert sink.seen == len(sink) == 5
+
+
 # -- canonicalizer -----------------------------------------------------------
 
 
