@@ -1,4 +1,4 @@
-"""``python -m repro`` — package banner, pointers, and the trace demo.
+"""``python -m repro`` — package banner, the trace demo, and the server.
 
 The experiment harness lives at ``python -m repro.experiments``; the
 ``trace`` subcommand here runs one demo query end-to-end with the span
@@ -12,6 +12,14 @@ emits ``trace_out/trace.jsonl`` (hierarchical span trace),
 (run manifest), and prints the human span-tree report.  The demo forces
 the from-scratch ``bb`` solver backend so the trace includes node-level
 branch-and-bound search profiling.
+
+The ``serve`` subcommand starts the long-lived aggregate-query service
+(see docs/service.md): it generates and encodes a fixture database, keeps
+one solve session per ``(scheme, k)`` resident, and answers
+``POST /v1/query`` concurrently with deadlines, in-flight dedup and
+Monte Carlo degradation::
+
+    python -m repro serve --port 8080 --schemes km --k 2
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ def _banner() -> int:
         "  python -m repro.experiments all        regenerate figures 5/6/7\n"
         "  python -m repro.experiments utility    Section V-D utility table\n"
         "  python -m repro trace Q1               traced demo query + metrics\n"
+        "  python -m repro serve                  HTTP aggregate-query service\n"
         "  python examples/quickstart.py          the paper's running example\n"
         "  pytest tests/                          the test suite\n"
         "  pytest benchmarks/ --benchmark-only    benchmark + ablation suite\n"
@@ -105,11 +114,41 @@ def _trace(args: argparse.Namespace) -> int:
     print(f"trace:    {trace_path} ({sink.written} spans)")
     print(f"metrics:  {metrics_path}")
     print(f"manifest: {manifest_path}")
-    problems = validate_trace(trace_path) + validate_manifest(manifest_path)
+    problems = validate_trace(trace_path, single_trace=True) + validate_manifest(
+        manifest_path
+    )
     if problems:
         print("VALIDATION PROBLEMS:", *problems, sep="\n  ", file=sys.stderr)
         return 1
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.service.server import serve
+
+    config = ExperimentConfig(
+        num_transactions=args.transactions,
+        num_items=args.items,
+        mc_samples=args.mc_samples,
+        seed=args.seed,
+        solver_backend=args.backend,
+        solve_workers=args.solve_workers,
+    )
+    result = serve(
+        host=args.host,
+        port=args.port,
+        config=config,
+        schemes=tuple(args.schemes),
+        k_values=tuple(args.k),
+        workers=args.workers,
+        max_queue=args.queue_size,
+        default_deadline_ms=args.default_deadline_ms,
+        allow_cold=args.allow_cold,
+        trace_path=args.trace,
+        ready_file=args.ready_file,
+    )
+    return int(result) if isinstance(result, int) else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,9 +174,64 @@ def main(argv: list[str] | None = None) -> int:
         default=16,
         help="B&B node-sampling stride (1 records every node)",
     )
+    server = sub.add_parser(
+        "serve", help="start the HTTP aggregate-query service on a fixture database"
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port"
+    )
+    server.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["km"],
+        help="anonymization schemes to pre-encode (km, k-anonymity, bipartite, coherence)",
+    )
+    server.add_argument(
+        "--k", type=int, nargs="+", default=[2], help="anonymity parameters to pre-encode"
+    )
+    server.add_argument(
+        "--workers", type=int, default=4, help="scheduler worker threads"
+    )
+    server.add_argument(
+        "--queue-size", type=int, default=64, help="admission queue bound (429 when full)"
+    )
+    server.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to requests that carry none",
+    )
+    server.add_argument(
+        "--allow-cold",
+        action="store_true",
+        help="build encodings on first request instead of rejecting un-warmed pairs",
+    )
+    server.add_argument(
+        "--transactions", type=int, default=300, help="fixture dataset size"
+    )
+    server.add_argument("--items", type=int, default=96, help="fixture item count")
+    server.add_argument(
+        "--mc-samples", type=int, default=8, help="Monte Carlo fallback sample count"
+    )
+    server.add_argument("--seed", type=int, default=3)
+    server.add_argument("--backend", default="auto", help="solver backend")
+    server.add_argument(
+        "--solve-workers", type=int, default=1, help="threads per solve session"
+    )
+    server.add_argument(
+        "--trace", default=None, help="stream per-request JSONL spans to this file"
+    )
+    server.add_argument(
+        "--ready-file",
+        default=None,
+        help="write {host, port, url} JSON here once listening (for scripts)",
+    )
     args = parser.parse_args(argv)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "serve":
+        return _serve(args)
     return _banner()
 
 

@@ -267,11 +267,19 @@ def minmax_bounds(
     undefined; such worlds are ignored (SQL semantics would yield NULL).
     All probes share one solve session, so repeated cut structures hit the
     session's cache.
+
+    When ``session`` is given, ``options`` (if also given) overrides its
+    solver options per probe — the service layer passes a deadline-clamped
+    copy so MIN/MAX requests honour their budget too.
     """
     if agg not in ("min", "max"):
         raise QueryError(f"agg must be 'min' or 'max', got {agg!r}")
     model = relation.model
-    session = _session_for(model, options, "lineage", session)
+    if session is None:
+        session = _session_for(model, options, "lineage", None)
+        probe_options = None
+    else:
+        probe_options = options
     position = relation.position(attribute)
     rows = relation.rows
     if not rows:
@@ -286,7 +294,7 @@ def minmax_bounds(
                 return value
             for row in group:
                 force = [(row.ext + 0) >= 1]
-                if session.feasible(force):
+                if session.feasible(force, options=probe_options):
                     return value
         return None
 
@@ -311,7 +319,7 @@ def minmax_bounds(
             # be defined; certain tuples guarantee it.
             if not any(r.certain for r in here_or_below):
                 extra.append(linear_sum([r.ext for r in here_or_below]) >= 1)
-            if session.feasible(extra):
+            if session.feasible(extra, options=probe_options):
                 return value
         return None
 

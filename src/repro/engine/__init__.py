@@ -9,7 +9,7 @@ facades over this package.
 
 from repro.engine.cache import CachedSolve, SolveCache
 from repro.engine.canonical import CanonicalBIP, canonicalize
-from repro.engine.session import SolveSession
+from repro.engine.session import PreparedProblem, SolveSession
 from repro.engine.telemetry import (
     CacheProbe,
     CounterBumped,
@@ -31,6 +31,7 @@ __all__ = [
     "ListSink",
     "LoggingSink",
     "PhaseTimed",
+    "PreparedProblem",
     "ProblemPrepared",
     "SolveCache",
     "SolveFinished",

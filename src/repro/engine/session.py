@@ -27,6 +27,7 @@ callers and their signatures are untouched.
 from __future__ import annotations
 
 from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.constraints import LinearConstraint
@@ -41,13 +42,34 @@ from repro.engine.telemetry import (
     Stopwatch,
     Telemetry,
 )
-from repro.errors import InfeasibleError
+from repro.errors import EngineError, InfeasibleError
 from repro.obs.tracer import current_tracer
 from repro.solver.interface import solve
 from repro.solver.model import from_licm
 from repro.solver.result import Solution, SolverOptions
 
 _SENSES = ("min", "max")
+
+
+@dataclass
+class PreparedProblem:
+    """A pruned, densified, canonicalized problem — ready to solve.
+
+    Produced by :meth:`SolveSession.prepare`; its ``fingerprint`` is the
+    dedup key the service scheduler coalesces identical in-flight requests
+    on, *before* any solver work happens.  Hand it back to
+    :meth:`SolveSession.solve_prepared` for the bounds.
+    """
+
+    problem: object
+    dense: dict
+    canonical: CanonicalBIP
+    prune_stats: dict = field(default_factory=dict)
+    prep_time: float = 0.0
+
+    @property
+    def fingerprint(self) -> str:
+        return self.canonical.fingerprint
 
 
 class SolveSession:
@@ -84,6 +106,7 @@ class SolveSession:
         self.telemetry = telemetry or Telemetry()
         self._external_executor = executor
         self._executor: Optional[Executor] = executor
+        self._closed = False
         self._seen_generation = model.constraints.generation
         self._seen_length = len(model.constraints)
 
@@ -95,10 +118,21 @@ class SolveSession:
         self.close()
 
     def close(self) -> None:
-        """Shut down the session-owned executor (injected ones are kept)."""
+        """Shut down the session-owned executor (injected ones are kept).
+
+        Idempotent: closing twice is a no-op.  Any solve attempted after
+        the first ``close()`` raises :class:`~repro.errors.EngineError`.
+        """
+        if self._closed:
+            return
         if self._executor is not None and self._external_executor is None:
             self._executor.shutdown(wait=True)
         self._executor = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _pool(self) -> Executor:
         if self._executor is None:
@@ -123,6 +157,12 @@ class SolveSession:
         repeated query evaluations.  Any other append — a user
         correlation, a manual ``model.add`` — clears the cache.
         """
+        if self._closed:
+            raise EngineError(
+                f"SolveSession for {self.model!r} is closed "
+                "(close() was called; its executor is shut down) — "
+                "create a new session to keep solving"
+            )
         store = self.model.constraints
         generation = store.generation
         if generation == self._seen_generation:
@@ -184,7 +224,13 @@ class SolveSession:
         return problem, dense, canonical, prune_stats
 
     def _solve_sense(
-        self, problem, dense: dict, canonical: CanonicalBIP, sense: str, parent_span=None
+        self,
+        problem,
+        dense: dict,
+        canonical: CanonicalBIP,
+        sense: str,
+        parent_span=None,
+        options: Optional[SolverOptions] = None,
     ) -> Tuple[CachedSolve, bool, float]:
         """One direction through the cache. Returns
         ``(entry, was_cached, wall_seconds_spent_solving)``.
@@ -196,7 +242,7 @@ class SolveSession:
             f"engine.solve.{sense}", parent=parent_span
         ) as span:
             entry, cached, seconds = self._solve_sense_inner(
-                problem, dense, canonical, sense
+                problem, dense, canonical, sense, options
             )
             span.set("cached", cached).set("status", entry.status)
             span.set("objective", entry.objective).set("nodes", entry.nodes)
@@ -204,7 +250,12 @@ class SolveSession:
             return entry, cached, seconds
 
     def _solve_sense_inner(
-        self, problem, dense: dict, canonical: CanonicalBIP, sense: str
+        self,
+        problem,
+        dense: dict,
+        canonical: CanonicalBIP,
+        sense: str,
+        options: Optional[SolverOptions] = None,
     ) -> Tuple[CachedSolve, bool, float]:
         key = (canonical.fingerprint, sense)
         entry = self.cache.get(key)
@@ -227,7 +278,7 @@ class SolveSession:
         self.telemetry.count("cache_misses")
         self.telemetry.emit(CacheProbe("miss", canonical.fingerprint, len(self.cache)))
         with self.telemetry.timer(f"solve_{sense}") as sw:
-            solution = solve(problem, sense, self.options)
+            solution = solve(problem, sense, options or self.options)
         x_canonical = None
         if solution.x is not None:
             x_canonical = tuple(
@@ -241,8 +292,14 @@ class SolveSession:
             nodes=solution.nodes,
             backend=solution.backend,
         )
-        self.cache.put(key, entry)
-        self.telemetry.emit(CacheProbe("store", canonical.fingerprint, len(self.cache)))
+        # A solve truncated by per-call options (a request deadline) is not
+        # authoritative for the fingerprint: only cache it when optimal, so
+        # a degraded request never poisons later full-budget answers.
+        if options is None or solution.status == "optimal":
+            self.cache.put(key, entry)
+            self.telemetry.emit(
+                CacheProbe("store", canonical.fingerprint, len(self.cache))
+            )
         self.telemetry.count("solver_nodes", solution.nodes)
         self.telemetry.emit(
             SolveFinished(
@@ -259,28 +316,48 @@ class SolveSession:
         return entry, False, solution.solve_time
 
     # -- public API --------------------------------------------------------
-    def bounds(
+    def prepare(
         self,
         objective: LinearExpr,
         extra_constraints: Sequence[LinearConstraint] = (),
         do_prune: bool = True,
-    ):
-        """Min/max of a linear objective over all possible worlds.
+    ) -> PreparedProblem:
+        """Run the prune/normalize/canonicalize phases without solving.
 
-        The engine-native equivalent of
-        :func:`repro.core.bounds.objective_bounds`: both directions go
-        through the cache, and on a cold cache they run concurrently when
-        the session is parallel.  Returns
-        :class:`~repro.core.bounds.AggregateBounds`.
+        The returned :class:`PreparedProblem` carries the canonical
+        fingerprint, so callers (the service scheduler's in-flight dedup)
+        can recognise a structurally identical problem *before* paying for
+        the BIP solves, then finish via :meth:`solve_prepared`.
         """
-        from repro.core.bounds import AggregateBounds
-
         self._ensure_fresh()
         prep = Stopwatch()
         problem, dense, canonical, prune_stats = self._prepare(
             objective, extra_constraints, do_prune
         )
-        prep_time = prep.stop()
+        return PreparedProblem(
+            problem=problem,
+            dense=dense,
+            canonical=canonical,
+            prune_stats=prune_stats,
+            prep_time=prep.stop(),
+        )
+
+    def solve_prepared(
+        self,
+        prepared: PreparedProblem,
+        options: Optional[SolverOptions] = None,
+    ):
+        """Both directions of an already-prepared problem.
+
+        ``options`` overrides the session's solver options for this call
+        only (the service layer passes a deadline-clamped copy); results
+        from overridden solves enter the cache only when optimal.  Returns
+        :class:`~repro.core.bounds.AggregateBounds`.
+        """
+        from repro.core.bounds import AggregateBounds
+
+        self._ensure_fresh()
+        problem, dense, canonical = prepared.problem, prepared.dense, prepared.canonical
 
         if self.parallel:
             # Pool threads have no span stack: hand them the caller's span
@@ -288,14 +365,22 @@ class SolveSession:
             parent_span = current_tracer().current()
             futures = {
                 sense: self._pool().submit(
-                    self._solve_sense, problem, dense, canonical, sense, parent_span
+                    self._solve_sense,
+                    problem,
+                    dense,
+                    canonical,
+                    sense,
+                    parent_span,
+                    options,
                 )
                 for sense in _SENSES
             }
             outcomes = {sense: futures[sense].result() for sense in _SENSES}
         else:
             outcomes = {
-                sense: self._solve_sense(problem, dense, canonical, sense)
+                sense: self._solve_sense(
+                    problem, dense, canonical, sense, options=options
+                )
                 for sense in _SENSES
             }
 
@@ -321,10 +406,10 @@ class SolveSession:
             lower_bound_proven=min_entry.bound,
             upper_bound_proven=max_entry.bound,
             stats={
-                **prune_stats,
+                **prepared.prune_stats,
                 "problem_variables": problem.num_vars,
                 "problem_constraints": problem.num_constraints,
-                "prep_time": prep_time,
+                "prep_time": prepared.prep_time,
                 "solve_time": min_time + max_time,
                 "nodes": min_entry.nodes + max_entry.nodes,
                 "backend": max_entry.backend,
@@ -333,11 +418,32 @@ class SolveSession:
             },
         )
 
+    def bounds(
+        self,
+        objective: LinearExpr,
+        extra_constraints: Sequence[LinearConstraint] = (),
+        do_prune: bool = True,
+        options: Optional[SolverOptions] = None,
+    ):
+        """Min/max of a linear objective over all possible worlds.
+
+        The engine-native equivalent of
+        :func:`repro.core.bounds.objective_bounds`: both directions go
+        through the cache, and on a cold cache they run concurrently when
+        the session is parallel.  Equivalent to :meth:`prepare` followed
+        by :meth:`solve_prepared`.  Returns
+        :class:`~repro.core.bounds.AggregateBounds`.
+        """
+        return self.solve_prepared(
+            self.prepare(objective, extra_constraints, do_prune), options=options
+        )
+
     def optimize(
         self,
         objective: LinearExpr,
         sense: str,
         extra_constraints: Sequence[LinearConstraint] = (),
+        options: Optional[SolverOptions] = None,
     ) -> Tuple[Solution, dict]:
         """One direction with query-local side constraints.
 
@@ -349,7 +455,9 @@ class SolveSession:
         problem, dense, canonical, _ = self._prepare(
             objective, extra_constraints, do_prune=True
         )
-        entry, _, _ = self._solve_sense(problem, dense, canonical, sense)
+        entry, _, _ = self._solve_sense(
+            problem, dense, canonical, sense, options=options
+        )
         x = None
         if entry.x_canonical is not None:
             x = [0] * problem.num_vars
@@ -365,9 +473,15 @@ class SolveSession:
         )
         return solution, dense
 
-    def feasible(self, extra_constraints: Iterable[LinearConstraint]) -> bool:
+    def feasible(
+        self,
+        extra_constraints: Iterable[LinearConstraint],
+        options: Optional[SolverOptions] = None,
+    ) -> bool:
         """Is there a valid world satisfying the extra constraints too?"""
-        solution, _ = self.optimize(LinearExpr({}, 0), "max", list(extra_constraints))
+        solution, _ = self.optimize(
+            LinearExpr({}, 0), "max", list(extra_constraints), options=options
+        )
         return solution.status != "infeasible"
 
     def map(self, fn, items):

@@ -58,8 +58,26 @@ class SolverLimitReached(SolverError):
         self.solution = solution
 
 
+class EngineError(ReproError):
+    """A solve-engine session was misused (e.g. solving after ``close()``)."""
+
+
 class QueryError(ReproError):
     """A query plan is malformed or applied to an incompatible relation."""
+
+
+class ServiceError(ReproError):
+    """The query service could not accept or execute a request."""
+
+
+class ValidationError(ServiceError):
+    """A service request failed input validation; ``problems`` lists why."""
+
+    def __init__(self, problems):
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
 
 
 class AnonymizationError(ReproError):

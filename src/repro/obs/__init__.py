@@ -34,6 +34,7 @@ from repro.obs.tracer import (
     Tracer,
     activate,
     current_tracer,
+    new_trace_id,
 )
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "build_manifest",
     "build_metrics",
     "current_tracer",
+    "new_trace_id",
     "read_jsonl",
     "render_report",
     "validate_manifest",

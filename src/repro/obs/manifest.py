@@ -121,8 +121,14 @@ def write_manifest(path: str, manifest: dict) -> None:
         handle.write("\n")
 
 
-def validate_trace(path: str) -> list[str]:
-    """Well-formedness problems of a JSONL trace file ([] when valid)."""
+def validate_trace(path: str, single_trace: bool = False) -> list[str]:
+    """Well-formedness problems of a JSONL trace file ([] when valid).
+
+    A stream may interleave many traces (the query service starts a fresh
+    trace id per request); pass ``single_trace=True`` for artifacts that
+    must contain exactly one (the ``python -m repro trace`` demo).  In
+    either mode a span's parent must exist *and* belong to the same trace.
+    """
     problems: list[str] = []
     try:
         records = read_jsonl(path)
@@ -131,23 +137,29 @@ def validate_trace(path: str) -> list[str]:
     if not records:
         return ["trace contains no spans"]
     trace_ids = {record.get("trace_id") for record in records}
-    if len(trace_ids) != 1:
+    if single_trace and len(trace_ids) != 1:
         problems.append(f"expected one trace id, found {sorted(map(str, trace_ids))}")
-    span_ids = set()
+    span_traces: dict = {}
     for index, record in enumerate(records):
         missing = _REQUIRED_SPAN_KEYS - set(record)
         if missing:
             problems.append(f"line {index + 1}: missing keys {sorted(missing)}")
             continue
-        if record["span_id"] in span_ids:
+        if record["span_id"] in span_traces:
             problems.append(f"line {index + 1}: duplicate span id {record['span_id']}")
-        span_ids.add(record["span_id"])
+        span_traces[record["span_id"]] = record.get("trace_id")
         if record["duration"] is not None and record["duration"] < 0:
             problems.append(f"line {index + 1}: negative duration")
     for index, record in enumerate(records):
         parent = record.get("parent_id")
-        if parent is not None and parent not in span_ids:
+        if parent is None:
+            continue
+        if parent not in span_traces:
             problems.append(f"line {index + 1}: dangling parent {parent}")
+        elif span_traces[parent] != record.get("trace_id"):
+            problems.append(
+                f"line {index + 1}: parent {parent} belongs to another trace"
+            )
     return problems
 
 

@@ -38,7 +38,13 @@ __all__ = [
     "Tracer",
     "activate",
     "current_tracer",
+    "new_trace_id",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id (the format :class:`Tracer` assigns itself)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Span:
@@ -162,8 +168,20 @@ class Tracer:
         self._local = threading.local()
 
     # -- span lifecycle ----------------------------------------------------
-    def span(self, name: str, parent: Optional[Span] = None, **attributes) -> _SpanContext:
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        trace_id: Optional[str] = None,
+        **attributes,
+    ) -> _SpanContext:
         """Open a child span of ``parent`` (default: this thread's current).
+
+        Children inherit their parent's ``trace_id``; a root span may pass
+        an explicit ``trace_id`` to start a fresh logical trace on a
+        long-lived tracer — the serving process opens one such root per
+        request (see :func:`new_trace_id`) so every request's span tree is
+        distinguishable in the shared JSONL stream.
 
         Returns a context manager yielding the :class:`Span`.
         """
@@ -171,7 +189,14 @@ class Tracer:
             parent = self.current()
         with self._lock:
             span_id = f"{next(self._ids):06x}"
-        span = Span(self.trace_id, span_id, parent.span_id if parent else None, name)
+        if parent is not None:
+            trace_id = parent.trace_id
+        span = Span(
+            trace_id or self.trace_id,
+            span_id,
+            parent.span_id if parent else None,
+            name,
+        )
         if attributes:
             span.attributes.update(attributes)
         return _SpanContext(self, span)
@@ -281,7 +306,7 @@ class NullTracer:
     sample_every = 0
     spans: list = []
 
-    def span(self, name: str, parent=None, **attributes) -> _NullContext:
+    def span(self, name: str, parent=None, trace_id=None, **attributes) -> _NullContext:
         return _NULL_CONTEXT
 
     def current(self) -> None:

@@ -64,10 +64,13 @@ def answer_licm(
     directions; ``MinAttr``/``MaxAttr`` plans are resolved with the
     case-based feasibility probes of :func:`repro.core.bounds.minmax_bounds`.
 
-    When ``session`` is given, ``options``/``prune_method`` are taken from
-    it and repeated structurally identical queries are served from its
-    solve cache (``bounds.stats['cache_hits']`` reports how many of the
-    two directions were).
+    When ``session`` is given, ``prune_method`` is taken from it and
+    repeated structurally identical queries are served from its solve
+    cache (``bounds.stats['cache_hits']`` reports how many of the two
+    directions were).  ``options`` then acts as a per-call override of the
+    session's solver options — the service layer passes a
+    deadline-clamped copy — and overridden solves only enter the cache
+    when optimal.
     """
     from repro.core.bounds import minmax_bounds
     from repro.engine.session import SolveSession
@@ -77,6 +80,9 @@ def answer_licm(
         session = SolveSession(
             encoded.model, options=options, prune_method=prune_method
         )
+        solve_options = None
+    else:
+        solve_options = options
     telemetry = session.telemetry
 
     with current_tracer().span(
@@ -87,7 +93,9 @@ def answer_licm(
             with telemetry.timer("l_query"):
                 relation = evaluate_licm(plan.child, encoded.relations)
             agg = "min" if isinstance(plan, MinAttr) else "max"
-            bounds = minmax_bounds(relation, plan.attribute, agg, session=session)
+            bounds = minmax_bounds(
+                relation, plan.attribute, agg, options=solve_options, session=session
+            )
             return LICMAnswer(bounds=bounds, query_time=total.stop(), solve_time=0.0)
 
         with telemetry.timer("l_query"):
@@ -97,7 +105,7 @@ def answer_licm(
                 "answer_licm requires a plan ending in CountStar, SumAttr, "
                 "MinAttr or MaxAttr"
             )
-        bounds = session.bounds(objective)
+        bounds = session.bounds(objective, options=solve_options)
         solve_time = bounds.stats.get("solve_time", 0.0)
         root_span.set("lower", bounds.lower).set("upper", bounds.upper)
         root_span.set("solve_time", solve_time)

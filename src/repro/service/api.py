@@ -1,0 +1,218 @@
+"""Typed request/response contracts for the aggregate-query service.
+
+A request names a workload query (``Q1``/``Q2``/``Q3``) *or* an ad-hoc
+aggregate over the uncertain TRANSITEM view, the encoding to run it
+against (``scheme``, ``k``) and an optional deadline.  A response always
+carries a terminal ``status``:
+
+* ``ok``       — exact LICM bounds within the deadline;
+* ``degraded`` — the BIP solve exceeded its budget; the bounds are the
+  Monte Carlo observed range (contained in the exact range, never wider);
+* ``timeout``  — the deadline passed with no usable answer at all;
+* ``rejected`` — admission control refused the request (queue full);
+* ``error``    — the request was invalid or execution failed.
+
+Everything (de)serializes to flat JSON dicts — the wire format of
+``POST /v1/query`` — and validation happens in :meth:`QueryRequest.from_dict`
+so the HTTP layer can map :class:`~repro.errors.ValidationError` straight
+to a 400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ValidationError
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_TIMEOUT = "timeout"
+STATUS_REJECTED = "rejected"
+STATUS_ERROR = "error"
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_TIMEOUT, STATUS_REJECTED, STATUS_ERROR)
+
+#: canned workload plans (the paper's evaluation queries)
+QUERIES = ("Q1", "Q2", "Q3")
+#: ad-hoc aggregates over the uncertain TRANSITEM view
+AGGREGATES = ("count", "sum", "min", "max")
+#: anonymization schemes the service can hold encodings for
+SCHEMES = ("km", "k-anonymity", "bipartite", "coherence")
+
+#: HTTP status the front-end answers with, per terminal request status
+_HTTP_STATUS = {
+    STATUS_OK: 200,
+    STATUS_DEGRADED: 200,
+    STATUS_TIMEOUT: 504,
+    STATUS_REJECTED: 429,
+    STATUS_ERROR: 400,
+}
+
+
+def http_status_for(status: str) -> int:
+    """The HTTP code ``POST /v1/query`` responds with for ``status``."""
+    return _HTTP_STATUS.get(status, 500)
+
+
+def _new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class QueryRequest:
+    """One aggregate-bound question, as posted to ``/v1/query``.
+
+    Exactly one of ``query`` (a canned workload plan) or ``aggregate``
+    (an ad-hoc aggregate over TRANSITEM; ``sum``/``min``/``max`` apply to
+    ITEM.Price) must be set.  ``params`` optionally overrides
+    :class:`~repro.queries.workload.QueryParams` fields for canned plans.
+    """
+
+    scheme: str = "km"
+    k: int = 2
+    query: Optional[str] = None
+    aggregate: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    mc_fallback: bool = True
+    mc_samples: int = 8
+    params: dict = field(default_factory=dict)
+    request_id: str = field(default_factory=_new_request_id)
+
+    @property
+    def kind(self) -> str:
+        """``'query'`` (canned plan) or ``'aggregate'`` (ad-hoc)."""
+        return "query" if self.query is not None else "aggregate"
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> "QueryRequest":
+        """Raise :class:`~repro.errors.ValidationError` listing every problem."""
+        problems = []
+        if (self.query is None) == (self.aggregate is None):
+            problems.append("exactly one of 'query' or 'aggregate' must be set")
+        if self.query is not None and self.query not in QUERIES:
+            problems.append(f"query must be one of {QUERIES}, got {self.query!r}")
+        if self.aggregate is not None and self.aggregate not in AGGREGATES:
+            problems.append(
+                f"aggregate must be one of {AGGREGATES}, got {self.aggregate!r}"
+            )
+        if self.scheme not in SCHEMES:
+            problems.append(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
+            problems.append(f"k must be a positive integer, got {self.k!r}")
+        if self.deadline_ms is not None:
+            if not isinstance(self.deadline_ms, (int, float)) or isinstance(
+                self.deadline_ms, bool
+            ):
+                problems.append(f"deadline_ms must be a number, got {self.deadline_ms!r}")
+            elif self.deadline_ms <= 0:
+                problems.append(f"deadline_ms must be > 0, got {self.deadline_ms!r}")
+        if (
+            not isinstance(self.mc_samples, int)
+            or isinstance(self.mc_samples, bool)
+            or not 1 <= self.mc_samples <= 1000
+        ):
+            problems.append(f"mc_samples must be in [1, 1000], got {self.mc_samples!r}")
+        if not isinstance(self.params, dict):
+            problems.append(f"params must be an object, got {type(self.params).__name__}")
+        else:
+            from repro.queries.workload import QueryParams
+
+            known = {f.name for f in dataclasses.fields(QueryParams)}
+            for key in sorted(set(self.params) - known):
+                problems.append(f"unknown params key {key!r}")
+        if not isinstance(self.request_id, str) or not self.request_id:
+            problems.append("request_id must be a non-empty string")
+        if problems:
+            raise ValidationError(problems)
+        return self
+
+    # -- wire format -------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryRequest":
+        """Build and validate a request from a decoded JSON object."""
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValidationError([f"unknown field {name!r}" for name in unknown])
+        return cls(**payload).validate()
+
+    @classmethod
+    def from_json(cls, body: str) -> "QueryRequest":
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        return {key: value for key, value in out.items() if value is not None}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def dedup_key(self) -> tuple:
+        """Coarse request-level identity (the fine key is the BIP fingerprint)."""
+        return (
+            self.kind,
+            self.query or self.aggregate,
+            self.scheme,
+            self.k,
+            tuple(sorted(self.params.items())),
+        )
+
+
+@dataclass
+class QueryResponse:
+    """The terminal answer for one request (wire format of ``/v1/query``)."""
+
+    request_id: str
+    status: str
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+    exact: bool = False
+    error: Optional[str] = None
+    fingerprint: Optional[str] = None
+    dedup: bool = False  # coalesced onto another in-flight identical solve
+    cache_hits: int = 0
+    backend: Optional[str] = None
+    nodes: int = 0
+    mc_samples: int = 0  # > 0 only for degraded (MC fallback) answers
+    queue_ms: float = 0.0
+    solve_ms: float = 0.0
+    total_ms: float = 0.0
+    trace_id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ValueError(f"status must be one of {STATUSES}, got {self.status!r}")
+
+    @property
+    def http_status(self) -> int:
+        return http_status_for(self.status)
+
+    @property
+    def terminal(self) -> bool:
+        """Every response status is terminal — the no-hang invariant."""
+        return self.status in STATUSES
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResponse":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    @classmethod
+    def from_json(cls, body: str) -> "QueryResponse":
+        return cls.from_dict(json.loads(body))
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        return {key: value for key, value in out.items() if value is not None}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)

@@ -1,0 +1,96 @@
+"""A small stdlib client for the query service (tests + load generator).
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    client.healthz()
+    response = client.query(query="Q1", scheme="km", k=2, deadline_ms=500)
+    assert response.terminal
+
+Non-200 answers that still carry a response body (429 rejected,
+504 timeout) are returned as :class:`~repro.service.api.QueryResponse`
+like any other; only transport-level failures raise
+:class:`ServiceClientError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.service.api import QueryRequest, QueryResponse
+
+
+class ServiceClientError(ServiceError):
+    """The service could not be reached or answered garbage."""
+
+
+class ServiceClient:
+    """Talk to one serving process over HTTP/JSON."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(
+        self, path: str, body: Optional[bytes] = None, method: str = "GET"
+    ) -> tuple:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return reply.status, reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx with a JSON body is still a service answer.
+            return exc.code, exc.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(f"{method} {path} failed: {exc}") from exc
+
+    def _json(self, path: str, body: Optional[bytes] = None, method: str = "GET"):
+        status, text = self._request(path, body, method)
+        try:
+            return status, json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceClientError(
+                f"{method} {path} returned non-JSON ({status}): {text[:200]!r}"
+            ) from exc
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        status, payload = self._json("/healthz")
+        if status != 200:
+            raise ServiceClientError(f"healthz returned {status}: {payload}")
+        return payload
+
+    def status(self) -> dict:
+        status, payload = self._json("/v1/status")
+        if status != 200:
+            raise ServiceClientError(f"status returned {status}: {payload}")
+        return payload
+
+    def metrics(self) -> str:
+        status, text = self._request("/metrics")
+        if status != 200:
+            raise ServiceClientError(f"metrics returned {status}")
+        return text
+
+    def query(self, request: Optional[QueryRequest] = None, **fields) -> QueryResponse:
+        """POST one request (either a built one or keyword fields)."""
+        if request is None:
+            request = QueryRequest(**fields)
+        http_status, payload = self._json(
+            "/v1/query", request.to_json().encode("utf-8"), method="POST"
+        )
+        if not isinstance(payload, dict) or "status" not in payload:
+            raise ServiceClientError(
+                f"query returned malformed payload ({http_status}): {payload!r}"
+            )
+        if "request_id" not in payload:  # a 400 validation reply
+            payload = {"request_id": request.request_id, **payload}
+        return QueryResponse.from_dict(payload)

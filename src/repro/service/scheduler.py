@@ -1,0 +1,690 @@
+"""Concurrent request scheduling: admission, deadlines, in-flight dedup.
+
+The scheduler is the service's core loop.  Requests enter a *bounded*
+queue (admission control: a full queue rejects immediately with
+429-semantics rather than building unbounded backlog) and a worker pool
+drains it.  Each worker:
+
+1. opens a ``service.request`` root span under a **fresh trace id**, so
+   the request's whole scheduler → engine → solver span tree is
+   distinguishable in the shared JSONL stream;
+2. evaluates the LICM plan and *prepares* the BIP under the encoding's
+   model lock (plan evaluation appends lineage to the shared model, so it
+   must be serialized per model; the expensive solves happen outside);
+3. **dedups in-flight work** at two levels: identical requests coalesce
+   *before* plan evaluation (the request's dedup key) and reuse the
+   leader's published bounds; distinct requests that prepare to the same
+   canonical BIP fingerprint coalesce on the fingerprint and read the
+   answer through the session's solve cache — either way, identical
+   concurrent problems cost one engine solve;
+4. enforces the request **deadline** with a deadline-clamped
+   ``time_limit`` plus the solver's cooperative ``stop_check`` hook; a
+   solve cut short by its budget **degrades** to the Monte Carlo
+   estimator (observed range ⊆ exact range) instead of hanging, and a
+   request with no time left at all answers ``timeout``.
+
+Every request therefore reaches a terminal status — ``ok``, ``degraded``,
+``timeout``, ``rejected`` or ``error`` — the service's no-hang invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import queue
+import threading
+import time
+from collections import deque
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import InfeasibleError, ServiceError, ValidationError
+from repro.mc import run_monte_carlo
+from repro.obs.tracer import current_tracer, new_trace_id
+from repro.queries.licm_eval import evaluate_licm
+from repro.queries.workload import QUERY_BUILDERS
+from repro.relational.query import CountStar, MaxAttr, MinAttr, NaturalJoin, Scan, SumAttr
+from repro.service.api import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.solver.result import SolverOptions
+
+logger = logging.getLogger(__name__)
+
+
+def _percentile(samples, fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class SchedulerStats:
+    """Thread-safe counters + a bounded latency reservoir (for p50/p99)."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected_full = 0
+        self.dedup_hits = 0
+        self.deadline_misses = 0
+        self.by_status: Dict[str, int] = {}
+        self._latencies = deque(maxlen=latency_window)
+        self._solve_latencies = deque(maxlen=latency_window)
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected_full += 1
+            self.by_status[STATUS_REJECTED] = self.by_status.get(STATUS_REJECTED, 0) + 1
+
+    def record_dedup_hit(self) -> None:
+        with self._lock:
+            self.dedup_hits += 1
+
+    def record_deadline_miss(self) -> None:
+        with self._lock:
+            self.deadline_misses += 1
+
+    def record_done(self, status: str, total_s: float, solve_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self.by_status[status] = self.by_status.get(status, 0) + 1
+            self._latencies.append(total_s)
+            self._solve_latencies.append(solve_s)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            latencies = list(self._latencies)
+            solves = list(self._solve_latencies)
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected_full": self.rejected_full,
+                "dedup_hits": self.dedup_hits,
+                "deadline_misses": self.deadline_misses,
+                "by_status": dict(self.by_status),
+                "latency_p50_s": _percentile(latencies, 0.50),
+                "latency_p99_s": _percentile(latencies, 0.99),
+                "solve_p50_s": _percentile(solves, 0.50),
+                "solve_p99_s": _percentile(solves, 0.99),
+                "latency_samples": len(latencies),
+            }
+
+
+class _Flight:
+    """One in-flight unit of work, awaited by deduped followers.
+
+    The leader publishes its ``fingerprint`` and (exact) ``bounds`` before
+    setting the event; followers reuse them directly.  ``bounds`` stays
+    ``None`` when the leader failed, and inexact when its solve was cut
+    short by *its* deadline — followers then answer under their own budget.
+    """
+
+    __slots__ = ("event", "fingerprint", "bounds")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.fingerprint = None
+        self.bounds = None
+
+
+class _Pending:
+    """A submitted request waiting for (or holding) its terminal response."""
+
+    __slots__ = ("request", "enqueued", "deadline_at", "_done", "response")
+
+    def __init__(self, request: QueryRequest, deadline_at: Optional[float]):
+        self.request = request
+        self.enqueued = time.monotonic()
+        self.deadline_at = deadline_at
+        self._done = threading.Event()
+        self.response: Optional[QueryResponse] = None
+
+    def finish(self, response: QueryResponse) -> None:
+        self.response = response
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[QueryResponse]:
+        """Block until the terminal response (None only on wait timeout)."""
+        if self._done.wait(timeout):
+            return self.response
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+def _adhoc_plan(encoded, aggregate: str):
+    """An ad-hoc aggregate over the uncertain (TID, ItemName) view."""
+    view = encoded.transitem_plan()
+    if aggregate == "count":
+        return CountStar(view)
+    priced = NaturalJoin(view, Scan("ITEM"))
+    if aggregate == "sum":
+        return SumAttr(priced, "Price")
+    if aggregate == "min":
+        return MinAttr(priced, "Price")
+    return MaxAttr(priced, "Price")
+
+
+class QueryScheduler:
+    """Bounded-queue, worker-pool executor for aggregate-bound requests.
+
+    :param context: an :class:`~repro.experiments.runner.ExperimentContext`
+        holding the resident encodings and shared solve sessions.
+    :param workers: worker threads draining the queue.
+    :param max_queue: admission bound; a full queue rejects new requests.
+    :param default_deadline_ms: applied when a request carries none
+        (``None`` = no deadline).
+    :param allow_cold: build encodings on first use instead of rejecting
+        requests for un-warmed ``(scheme, k)`` pairs (tests convenience;
+        production serving should :meth:`warm` explicitly).
+    """
+
+    def __init__(
+        self,
+        context,
+        workers: int = 4,
+        max_queue: int = 64,
+        default_deadline_ms: Optional[float] = None,
+        allow_cold: bool = False,
+    ):
+        self.context = context
+        self.workers = max(1, int(workers))
+        self.max_queue = max(1, int(max_queue))
+        self.default_deadline_ms = default_deadline_ms
+        self.allow_cold = allow_cold
+        self.stats = SchedulerStats()
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue(self.max_queue)
+        # Keyed at two levels: ("request", *dedup_key) before plan
+        # evaluation and ("bip", fingerprint) after preparation.
+        self._inflight: Dict[tuple, _Flight] = {}
+        self._inflight_lock = threading.Lock()
+        self._model_locks: Dict[Tuple[str, int], threading.Lock] = {}
+        self._locks_lock = threading.Lock()
+        self._warmed: set = set()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- lifecycle ---------------------------------------------------------
+    def warm(self, pairs: Iterable[Tuple[str, int]]) -> None:
+        """Pre-build encodings + sessions so requests never pay for them."""
+        for scheme, k in pairs:
+            self.context.encoding(scheme, k)
+            self.context.session(scheme, k)
+            self._model_lock(scheme, k)
+            self._warmed.add((scheme, k))
+
+    @property
+    def warmed(self) -> set:
+        return set(self._warmed)
+
+    def close(self) -> None:
+        """Drain-stop the workers (idempotent).
+
+        Already-queued requests are answered ``rejected`` so no caller is
+        left hanging; in-progress requests finish normally.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        drained = []
+        try:
+            while True:
+                item = self._queue.get_nowait()
+                if item is not None:
+                    drained.append(item)
+        except queue.Empty:
+            pass
+        for pending in drained:
+            pending.finish(
+                QueryResponse(
+                    request_id=pending.request.request_id,
+                    status=STATUS_REJECTED,
+                    error="scheduler shut down before execution",
+                )
+            )
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- gauges ------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    # -- submission --------------------------------------------------------
+    def submit(self, request: QueryRequest) -> _Pending:
+        """Admit a request (validated) or answer ``rejected`` immediately."""
+        request.validate()
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        deadline_at = (
+            time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        pending = _Pending(request, deadline_at)
+        self.stats.record_submit()
+        if self._closed:
+            pending.finish(
+                QueryResponse(
+                    request_id=request.request_id,
+                    status=STATUS_REJECTED,
+                    error="scheduler is shut down",
+                )
+            )
+            self.stats.record_rejected()
+            return pending
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.stats.record_rejected()
+            pending.finish(
+                QueryResponse(
+                    request_id=request.request_id,
+                    status=STATUS_REJECTED,
+                    error=f"admission queue full ({self.max_queue})",
+                )
+            )
+        return pending
+
+    def execute(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Submit and block for the terminal response."""
+        pending = self.submit(request)
+        response = pending.wait(timeout)
+        if response is None:
+            raise ServiceError(
+                f"request {request.request_id} did not complete within {timeout}s"
+            )
+        return response
+
+    # -- internals ---------------------------------------------------------
+    def _model_lock(self, scheme: str, k: int) -> threading.Lock:
+        key = (scheme, k)
+        with self._locks_lock:
+            lock = self._model_locks.get(key)
+            if lock is None:
+                lock = self._model_locks[key] = threading.Lock()
+            return lock
+
+    def _worker_loop(self) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is None:
+                return
+            if pending.done:  # drained by close()
+                continue
+            try:
+                response = self._serve(pending)
+            except ValidationError as exc:
+                response = self._error_response(pending, str(exc))
+            except Exception as exc:  # noqa: BLE001 — terminal status, always
+                logger.exception("request %s failed", pending.request.request_id)
+                response = self._error_response(pending, repr(exc))
+            pending.finish(response)
+            self.stats.record_done(
+                response.status,
+                total_s=time.monotonic() - pending.enqueued,
+                solve_s=response.solve_ms / 1000.0,
+            )
+
+    def _error_response(self, pending: _Pending, message: str) -> QueryResponse:
+        return QueryResponse(
+            request_id=pending.request.request_id,
+            status=STATUS_ERROR,
+            error=message,
+            queue_ms=(time.monotonic() - pending.enqueued) * 1e3,
+            total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+        )
+
+    def _remaining_s(self, pending: _Pending) -> Optional[float]:
+        if pending.deadline_at is None:
+            return None
+        return pending.deadline_at - time.monotonic()
+
+    def _deadline_options(self, session, pending: _Pending) -> Optional[SolverOptions]:
+        remaining = self._remaining_s(pending)
+        if remaining is None:
+            return None
+        deadline_at = pending.deadline_at
+        return dataclasses.replace(
+            session.options,
+            time_limit=min(session.options.time_limit, max(remaining, 1e-3)),
+            stop_check=lambda: time.monotonic() >= deadline_at,
+        )
+
+    def _resolve(self, request: QueryRequest):
+        """The (encoded, session, model_lock) triple serving this request."""
+        key = (request.scheme, request.k)
+        if key not in self._warmed:
+            if not self.allow_cold:
+                raise ValidationError(
+                    f"encoding (scheme={request.scheme!r}, k={request.k}) is not "
+                    f"loaded; serving {sorted(self._warmed)}"
+                )
+            self.warm([key])
+        encoded = self.context.encoding(request.scheme, request.k).encoded
+        session = self.context.session(request.scheme, request.k)
+        return encoded, session, self._model_lock(request.scheme, request.k)
+
+    def _build_plan(self, request: QueryRequest, encoded):
+        if request.query is not None:
+            params = dataclasses.replace(self.context.config.params, **request.params)
+            return QUERY_BUILDERS[request.query](encoded, params)
+        return _adhoc_plan(encoded, request.aggregate)
+
+    def _serve(self, pending: _Pending) -> QueryResponse:
+        request = pending.request
+        queue_ms = (time.monotonic() - pending.enqueued) * 1e3
+        tracer = current_tracer()
+        with tracer.span(
+            "service.request",
+            trace_id=new_trace_id(),
+            request_id=request.request_id,
+            kind=request.kind,
+            query=request.query or request.aggregate,
+            scheme=request.scheme,
+            k=request.k,
+        ) as root:
+            trace_id = root.trace_id or None
+            encoded, session, model_lock = self._resolve(request)
+            plan = self._build_plan(request, encoded)
+
+            remaining = self._remaining_s(pending)
+            if remaining is not None and remaining <= 0:
+                self.stats.record_deadline_miss()
+                root.set("outcome", "deadline_before_start")
+                return self._degrade(
+                    pending, encoded, plan, queue_ms, 0.0, trace_id, cause="queue wait"
+                )
+
+            if isinstance(plan, (MinAttr, MaxAttr)):
+                return self._serve_minmax(
+                    pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
+                )
+            return self._serve_linear(
+                pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
+            )
+
+    def _join_flight(self, key: tuple) -> Tuple[_Flight, bool]:
+        """Register (leader) or join (follower) the in-flight unit ``key``."""
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _Flight()
+                return flight, True
+            return flight, False
+
+    def _finish_flight(self, key: tuple, flight: _Flight, fingerprint, bounds) -> None:
+        """Publish the leader's result and wake every follower."""
+        with self._inflight_lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+        flight.fingerprint = fingerprint
+        flight.bounds = bounds
+        flight.event.set()
+
+    def _ok_response(
+        self, pending, bounds, fingerprint, dedup, queue_ms, solve_ms, trace_id
+    ) -> QueryResponse:
+        """An ``ok`` answer from one (possibly reused) solved BIP."""
+        return QueryResponse(
+            request_id=pending.request.request_id,
+            status=STATUS_OK,
+            lower=bounds.lower,
+            upper=bounds.upper,
+            exact=bounds.exact,
+            fingerprint=fingerprint,
+            dedup=dedup,
+            cache_hits=int(bounds.stats.get("cache_hits", 0)),
+            backend=bounds.stats.get("backend") or None,
+            nodes=int(bounds.stats.get("nodes", 0)),
+            queue_ms=queue_ms,
+            solve_ms=solve_ms,
+            total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+            trace_id=trace_id,
+        )
+
+    def _serve_linear(
+        self, pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
+    ) -> QueryResponse:
+        """COUNT/SUM plans: one BIP objective, deduped at two levels.
+
+        *Request-level* first: identical in-flight requests coalesce on
+        :meth:`~repro.service.api.QueryRequest.dedup_key` **before** plan
+        evaluation, so followers skip the (per-model serialized) prepare
+        entirely and reuse the leader's published bounds.  *Fingerprint-
+        level* second: distinct requests whose plans prepare to the same
+        canonical BIP coalesce on the fingerprint and read the answer
+        through the solve cache.  Either way, identical concurrent
+        problems cost one engine solve.
+        """
+        request = pending.request
+        telemetry = session.telemetry
+
+        coarse_key = ("request",) + request.dedup_key()
+        flight, leader = self._join_flight(coarse_key)
+        dedup = False
+        if not leader:
+            self.stats.record_dedup_hit()
+            dedup = True
+            root.set("dedup", True)
+            finished = flight.event.wait(timeout=self._remaining_s(pending))
+            if not finished:
+                self.stats.record_deadline_miss()
+                return self._degrade(
+                    pending, encoded, plan, queue_ms, 0.0, trace_id,
+                    cause="deduped request exceeded deadline",
+                    fingerprint=flight.fingerprint,
+                )
+            if flight.bounds is not None and flight.bounds.exact:
+                root.set("fingerprint", flight.fingerprint)
+                root.set("outcome", STATUS_OK)
+                return self._ok_response(
+                    pending, flight.bounds, flight.fingerprint, True,
+                    queue_ms, 0.0, trace_id,
+                )
+            # The leader failed, or its solve was cut short by *its*
+            # deadline (truncated results are never cached): answer under
+            # our own budget below.
+
+        fingerprint = None
+        bounds = None
+        try:
+            # Plan evaluation appends lineage to the shared model:
+            # serialize it per encoding.  The solves run outside the lock.
+            with model_lock:
+                with telemetry.timer("l_query"):
+                    objective = evaluate_licm(plan, encoded.relations)
+                prepared = session.prepare(objective)
+            fingerprint = prepared.fingerprint
+            root.set("fingerprint", fingerprint)
+
+            bip_key = ("bip", fingerprint)
+            bip_flight, bip_leader = self._join_flight(bip_key)
+            if not bip_leader:
+                # A *different* request is already solving this exact BIP:
+                # wait for it (bounded by our own deadline), then read the
+                # answer through the solve cache.
+                self.stats.record_dedup_hit()
+                dedup = True
+                root.set("dedup", True)
+                finished = bip_flight.event.wait(timeout=self._remaining_s(pending))
+                if not finished:
+                    self.stats.record_deadline_miss()
+                    return self._degrade(
+                        pending, encoded, plan, queue_ms, 0.0, trace_id,
+                        cause="deduped solve exceeded deadline",
+                        fingerprint=fingerprint,
+                    )
+
+            options = self._deadline_options(session, pending)
+            try:
+                bounds = session.solve_prepared(prepared, options=options)
+            except InfeasibleError as exc:
+                return QueryResponse(
+                    request_id=request.request_id,
+                    status=STATUS_ERROR,
+                    error=str(exc),
+                    fingerprint=fingerprint,
+                    dedup=dedup,
+                    queue_ms=queue_ms,
+                    total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+                    trace_id=trace_id,
+                )
+            finally:
+                if bip_leader:
+                    self._finish_flight(bip_key, bip_flight, fingerprint, bounds)
+        finally:
+            if leader:
+                self._finish_flight(coarse_key, flight, fingerprint, bounds)
+
+        solve_ms = bounds.stats.get("solve_time", 0.0) * 1e3
+        expired = (
+            pending.deadline_at is not None
+            and time.monotonic() >= pending.deadline_at
+        )
+        if not bounds.exact and expired:
+            # The budgeted solve was cut short by the deadline: degrade.
+            self.stats.record_deadline_miss()
+            return self._degrade(
+                pending, encoded, plan, queue_ms, solve_ms, trace_id,
+                cause="BIP solve exceeded deadline", fingerprint=fingerprint,
+            )
+        root.set("outcome", STATUS_OK)
+        return self._ok_response(
+            pending, bounds, fingerprint, dedup, queue_ms, solve_ms, trace_id
+        )
+
+    def _serve_minmax(
+        self, pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
+    ) -> QueryResponse:
+        """MIN/MAX plans: case-based feasibility probes (no BIP dedup).
+
+        The probes interleave plan-relative model reads with solves, so the
+        whole answer runs under the model lock; the deadline still applies
+        through the per-probe solver options.
+        """
+        from repro.queries import answer_licm
+
+        request = pending.request
+        options = self._deadline_options(session, pending)
+        with model_lock:
+            answer = answer_licm(encoded, plan, session=session, options=options)
+        bounds = answer.bounds
+        expired = (
+            pending.deadline_at is not None
+            and time.monotonic() >= pending.deadline_at
+        )
+        if expired and not bounds.exact:
+            self.stats.record_deadline_miss()
+            return self._degrade(
+                pending, encoded, plan, queue_ms, answer.solve_time * 1e3, trace_id,
+                cause="MIN/MAX probes exceeded deadline",
+            )
+        root.set("outcome", STATUS_OK)
+        return QueryResponse(
+            request_id=request.request_id,
+            status=STATUS_OK,
+            lower=bounds.lower,
+            upper=bounds.upper,
+            exact=bounds.exact,
+            queue_ms=queue_ms,
+            solve_ms=answer.solve_time * 1e3,
+            total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+            trace_id=trace_id,
+        )
+
+    def _degrade(
+        self,
+        pending: _Pending,
+        encoded,
+        plan,
+        queue_ms: float,
+        solve_ms: float,
+        trace_id: Optional[str],
+        cause: str,
+        fingerprint: Optional[str] = None,
+    ) -> QueryResponse:
+        """Deadline exceeded: fall back to the MC estimator, else timeout.
+
+        The fallback runs slightly past the deadline on purpose (a
+        slightly-late approximate answer beats none; ``mc_samples`` keeps
+        it small).  The observed MC range is contained in the exact range
+        by construction, so ``exact`` is always False here.
+        """
+        request = pending.request
+        tracer = current_tracer()
+        if request.mc_fallback:
+            try:
+                with tracer.span("service.mc_fallback", cause=cause):
+                    mc = run_monte_carlo(
+                        encoded,
+                        plan,
+                        samples=request.mc_samples,
+                        seed=self.context.config.seed,
+                        telemetry=self.context.telemetry,
+                    )
+                return QueryResponse(
+                    request_id=request.request_id,
+                    status=STATUS_DEGRADED,
+                    lower=mc.minimum,
+                    upper=mc.maximum,
+                    exact=False,
+                    error=cause,
+                    fingerprint=fingerprint,
+                    mc_samples=len(mc.values),
+                    queue_ms=queue_ms,
+                    solve_ms=solve_ms,
+                    total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+                    trace_id=trace_id,
+                )
+            except Exception as exc:  # noqa: BLE001 — degrade to timeout
+                logger.warning(
+                    "MC fallback for %s failed: %r", request.request_id, exc
+                )
+        return QueryResponse(
+            request_id=request.request_id,
+            status=STATUS_TIMEOUT,
+            error=cause,
+            fingerprint=fingerprint,
+            queue_ms=queue_ms,
+            solve_ms=solve_ms,
+            total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+            trace_id=trace_id,
+        )

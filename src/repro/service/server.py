@@ -1,0 +1,298 @@
+"""The stdlib HTTP/JSON front-end of the aggregate-query service.
+
+``ThreadingHTTPServer`` (one thread per connection) over four routes:
+
+* ``POST /v1/query``  — answer one :class:`~repro.service.api.QueryRequest`
+  (blocking; the scheduler guarantees a terminal status).  HTTP codes map
+  the response status: 200 ok/degraded, 429 rejected, 504 timeout,
+  400 invalid.
+* ``GET /v1/status``  — JSON service/scheduler snapshot.
+* ``GET /healthz``    — liveness probe.
+* ``GET /metrics``    — Prometheus text: the engine/telemetry families of
+  :func:`repro.obs.export.build_metrics` plus service gauges (queue
+  depth, in-flight solves, dedup hits, deadline misses, p50/p99 latency).
+
+The process keeps one long-lived :class:`~repro.obs.tracer.Tracer`
+active; each request's root span carries a fresh trace id (see
+``Tracer.span(trace_id=...)``), so a ``--trace`` JSONL stream contains
+one distinguishable span tree per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence, Tuple
+
+import repro
+from repro.errors import ValidationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+from repro.obs.export import JsonlSink, MetricsRegistry, build_metrics
+from repro.obs.tracer import Tracer, activate
+from repro.service.api import QueryRequest, http_status_for
+from repro.service.scheduler import QueryScheduler
+
+logger = logging.getLogger(__name__)
+
+
+class QueryService:
+    """Everything a serving process keeps resident, bundled.
+
+    Owns the :class:`~repro.experiments.runner.ExperimentContext` (dataset,
+    encodings, shared solve sessions + telemetry), the
+    :class:`~repro.service.scheduler.QueryScheduler`, and the long-lived
+    tracer (optionally streaming JSONL to ``trace_path``).  Use as a
+    context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        schemes: Sequence[str] = ("km",),
+        k_values: Sequence[int] = (2,),
+        workers: int = 4,
+        max_queue: int = 64,
+        default_deadline_ms: Optional[float] = None,
+        allow_cold: bool = False,
+        trace_path: Optional[str] = None,
+    ):
+        self.config = config or ExperimentConfig()
+        self.context = ExperimentContext(self.config)
+        self.scheduler = QueryScheduler(
+            self.context,
+            workers=workers,
+            max_queue=max_queue,
+            default_deadline_ms=default_deadline_ms,
+            allow_cold=allow_cold,
+        )
+        self._sink = JsonlSink(trace_path) if trace_path else None
+        # retain=False: a serving process must not accumulate spans forever;
+        # the JSONL stream (if any) is the durable record.
+        self.tracer = Tracer([self._sink] if self._sink else [], retain=False)
+        self._activation = activate(self.tracer)
+        self._activation.__enter__()
+        self.started_unix = time.time()
+        self._closed = False
+        self.scheduler.warm(itertools.product(schemes, k_values))
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.context.close()
+        self._activation.__exit__(None, None, None)
+        if self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- views -------------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return time.time() - self.started_unix
+
+    def status(self) -> dict:
+        return {
+            "service": "repro-query-service",
+            "version": repro.__version__,
+            "uptime_s": self.uptime_s,
+            "warmed": sorted(list(pair) for pair in self.scheduler.warmed),
+            "workers": self.scheduler.workers,
+            "max_queue": self.scheduler.max_queue,
+            "default_deadline_ms": self.scheduler.default_deadline_ms,
+            "queue_depth": self.scheduler.queue_depth,
+            "in_flight": self.scheduler.in_flight,
+            "scheduler": self.scheduler.stats.snapshot(),
+            "sessions": self.context.cache_stats(),
+            "trace": self._sink.path if self._sink else None,
+        }
+
+    def metrics_text(self) -> str:
+        """One Prometheus-text scrape (a fresh registry every call)."""
+        registry = MetricsRegistry()
+        build_metrics(self.context.telemetry, registry=registry)
+        stats = self.scheduler.stats.snapshot()
+        registry.gauge("service_queue_depth", "Requests waiting for a worker").set(
+            self.scheduler.queue_depth
+        )
+        registry.gauge("service_in_flight", "BIP solves currently running").set(
+            self.scheduler.in_flight
+        )
+        registry.gauge("service_uptime_seconds", "Seconds since service start").set(
+            self.uptime_s
+        )
+        requests = registry.counter(
+            "service_requests_total", "Terminal responses per status"
+        )
+        for status_name, count in sorted(stats["by_status"].items()):
+            requests.inc(count, labels={"status": status_name})
+        registry.counter(
+            "service_dedup_hits_total", "Requests coalesced onto an in-flight solve"
+        ).inc(stats["dedup_hits"])
+        registry.counter(
+            "service_deadline_misses_total", "Requests that exceeded their deadline"
+        ).inc(stats["deadline_misses"])
+        registry.counter(
+            "service_rejected_total", "Requests refused by admission control"
+        ).inc(stats["rejected_full"])
+        latency = registry.gauge(
+            "service_latency_seconds", "End-to-end request latency quantiles"
+        )
+        latency.set(stats["latency_p50_s"], labels={"quantile": "0.5"})
+        latency.set(stats["latency_p99_s"], labels={"quantile": "0.99"})
+        solve = registry.gauge(
+            "service_solve_seconds", "BIP solve latency quantiles"
+        )
+        solve.set(stats["solve_p50_s"], labels={"quantile": "0.5"})
+        solve.set(stats["solve_p99_s"], labels={"quantile": "0.99"})
+        return registry.render()
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the :class:`QueryService` for handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: A003 — BaseHTTPRequestHandler API
+        logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    def _send_json(self, code: int, payload) -> None:
+        body = (
+            payload if isinstance(payload, str) else json.dumps(payload, sort_keys=True)
+        ).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok", "uptime_s": service.uptime_s})
+        elif path == "/v1/status":
+            self._send_json(200, service.status())
+        elif path == "/metrics":
+            self._send_text(
+                200, service.metrics_text(), "text/plain; version=0.0.4"
+            )
+        else:
+            self._send_json(404, {"status": "error", "error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/query":
+            self._send_json(404, {"status": "error", "error": f"no route {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8") if length else ""
+            request = QueryRequest.from_json(body)
+        except ValidationError as exc:
+            self._send_json(400, {"status": "error", "error": str(exc)})
+            return
+        response = service.scheduler.execute(request)
+        self._send_json(http_status_for(response.status), response.to_json())
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: Optional[ExperimentConfig] = None,
+    schemes: Sequence[str] = ("km",),
+    k_values: Sequence[int] = (2,),
+    workers: int = 4,
+    max_queue: int = 64,
+    default_deadline_ms: Optional[float] = None,
+    allow_cold: bool = False,
+    trace_path: Optional[str] = None,
+    ready_file: Optional[str] = None,
+    block: bool = True,
+):
+    """Warm a service and run the HTTP front-end.
+
+    ``port=0`` binds an ephemeral port; the bound address is printed and,
+    when ``ready_file`` is given, written there as JSON — the load
+    generator and the CI smoke job wait on that file.
+
+    With ``block=True`` (the CLI path) this serves until interrupted and
+    returns an exit code.  With ``block=False`` (tests) it returns the
+    running ``(ServiceHTTPServer, QueryService, Thread)`` triple; the
+    caller owns shutdown.
+    """
+    service = QueryService(
+        config=config,
+        schemes=schemes,
+        k_values=k_values,
+        workers=workers,
+        max_queue=max_queue,
+        default_deadline_ms=default_deadline_ms,
+        allow_cold=allow_cold,
+        trace_path=trace_path,
+    )
+    try:
+        httpd = ServiceHTTPServer((host, port), service)
+    except Exception:
+        service.close()
+        raise
+    bound_host, bound_port = httpd.server_address[:2]
+    ready = {
+        "host": bound_host,
+        "port": bound_port,
+        "url": f"http://{bound_host}:{bound_port}",
+        "warmed": sorted(list(pair) for pair in service.scheduler.warmed),
+    }
+    if ready_file:
+        with open(ready_file, "w", encoding="utf-8") as handle:
+            json.dump(ready, handle)
+    print(f"repro query service listening on {ready['url']}", flush=True)
+
+    if not block:
+        thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        thread.start()
+        return httpd, service, thread
+
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+    return 0

@@ -186,6 +186,8 @@ def _solve_max(
         from repro.solver.cuts import separate_cover_cuts
 
         for _ in range(options.cut_rounds):
+            if options.stop_check is not None and options.stop_check():
+                break
             fractional_point = any(
                 options.integrality_tol < value < 1 - options.integrality_tol
                 for value in x_lp
@@ -228,6 +230,9 @@ def _solve_max(
             hit_limit = True
             break
         if clock.elapsed > options.time_limit:
+            hit_limit = True
+            break
+        if options.stop_check is not None and options.stop_check():
             hit_limit = True
             break
         neg_bound, _, domains, x_lp, depth = heapq.heappop(heap)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 @dataclass
@@ -47,6 +47,13 @@ class SolverOptions:
     ``lp_engine`` (B&B only): ``'highs'`` or the from-scratch ``'simplex'``.
     ``branching``: ``'most_fractional'``, ``'pseudocost'`` or ``'first'``.
     ``node_selection``: ``'best_bound'`` or ``'dfs'``.
+
+    ``stop_check`` is a cooperative cancellation hook: a zero-argument
+    callable polled between branch-and-bound nodes; returning ``True``
+    stops the search with ``status='limit'`` (best incumbent + proven
+    bound preserved).  The service layer uses it to enforce per-request
+    deadlines.  The SciPy backend cannot poll a callable mid-solve, so
+    deadline callers must *also* clamp ``time_limit``.
     """
 
     backend: str = "auto"
@@ -59,3 +66,6 @@ class SolverOptions:
     use_heuristics: bool = True
     cut_rounds: int = 3  # rounds of root cover-cut separation (0 disables)
     integrality_tol: float = 1e-6
+    stop_check: Optional[Callable[[], bool]] = field(
+        default=None, repr=False, compare=False
+    )

@@ -1,0 +1,241 @@
+"""The query scheduler: admission, deadlines, dedup, terminal statuses.
+
+Runs against one tiny shared :class:`ExperimentContext` (60 transactions,
+``bb`` backend so the cooperative ``stop_check`` deadline hook is live).
+Tests that need a stalled or counted solver monkeypatch
+``repro.engine.session.solve`` — the exact symbol the engine layer calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+import repro.engine.session as session_module
+from repro.errors import ValidationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+from repro.service.api import (
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    STATUSES,
+    QueryRequest,
+)
+from repro.service.scheduler import QueryScheduler
+
+REAL_SOLVE = session_module.solve
+
+
+@pytest.fixture(scope="module")
+def context():
+    config = ExperimentConfig(
+        num_transactions=60,
+        num_items=24,
+        k_values=(2,),
+        mc_samples=4,
+        seed=7,
+        solver_backend="bb",
+    )
+    ctx = ExperimentContext(config)
+    yield ctx
+    ctx.close()
+
+
+@pytest.fixture(scope="module")
+def scheduler(context):
+    with QueryScheduler(context, workers=4, max_queue=32) as sched:
+        sched.warm([("km", 2)])
+        yield sched
+
+
+# -- happy paths -----------------------------------------------------------
+def test_canned_query_matches_direct_answer(context, scheduler):
+    response = scheduler.execute(QueryRequest(query="Q1"))
+    assert response.status == STATUS_OK
+    assert response.exact
+    assert response.fingerprint
+    direct = context.licm_answer("Q1", "km", 2)
+    assert (response.lower, response.upper) == (direct.lower, direct.upper)
+
+
+@pytest.mark.parametrize("aggregate", ["count", "sum", "min", "max"])
+def test_adhoc_aggregates_answer_ok(scheduler, aggregate):
+    response = scheduler.execute(QueryRequest(aggregate=aggregate))
+    assert response.status == STATUS_OK, response.error
+    assert response.lower <= response.upper
+
+
+def test_repeat_identical_request_hits_solve_cache(scheduler):
+    first = scheduler.execute(QueryRequest(query="Q2", params={"x_items": 3}))
+    second = scheduler.execute(QueryRequest(query="Q2", params={"x_items": 3}))
+    assert first.status == second.status == STATUS_OK
+    assert (first.lower, first.upper) == (second.lower, second.upper)
+    assert second.cache_hits > 0
+
+
+# -- validation / admission ------------------------------------------------
+def test_invalid_request_raises_before_admission(scheduler):
+    with pytest.raises(ValidationError, match="exactly one"):
+        scheduler.execute(QueryRequest(query="Q1", aggregate="count"))
+
+
+def test_unwarmed_encoding_is_refused(scheduler):
+    response = scheduler.execute(QueryRequest(query="Q1", scheme="bipartite", k=3))
+    assert response.status == "error"
+    assert "not loaded" in response.error
+
+
+def test_admission_queue_full_rejects(context, monkeypatch):
+    release = threading.Event()
+
+    def stalled_solve(problem, sense, options):
+        release.wait(timeout=10.0)
+        return REAL_SOLVE(problem, sense, options)
+
+    monkeypatch.setattr(session_module, "solve", stalled_solve)
+    with QueryScheduler(context, workers=1, max_queue=1) as sched:
+        sched.warm([("km", 2)])
+        # Occupy the only worker (a fresh key so the solve really runs) …
+        busy = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.41}))
+        deadline = time.monotonic() + 5.0
+        while sched.queue_depth > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # … fill the queue, then overflow it.
+        queued = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.42}))
+        overflow = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.43}))
+        rejected = overflow.wait(timeout=5.0)
+        assert rejected is not None and rejected.status == STATUS_REJECTED
+        assert "queue full" in rejected.error
+        assert rejected.http_status == 429
+        release.set()
+        assert busy.wait(timeout=30.0).status == STATUS_OK
+        assert queued.wait(timeout=30.0).status == STATUS_OK
+    assert sched.stats.rejected_full == 1
+
+
+def test_close_answers_queued_requests_and_refuses_new_ones(context, monkeypatch):
+    release = threading.Event()
+
+    def stalled_solve(problem, sense, options):
+        release.wait(timeout=10.0)
+        return REAL_SOLVE(problem, sense, options)
+
+    monkeypatch.setattr(session_module, "solve", stalled_solve)
+    sched = QueryScheduler(context, workers=1, max_queue=4)
+    sched.warm([("km", 2)])
+    busy = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.44}))
+    deadline = time.monotonic() + 5.0
+    while sched.queue_depth > 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    queued = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.45}))
+    closer = threading.Thread(target=sched.close)
+    closer.start()
+    drained = queued.wait(timeout=5.0)
+    assert drained is not None and drained.status == STATUS_REJECTED
+    assert "shut down" in drained.error
+    release.set()
+    closer.join(timeout=30.0)
+    assert not closer.is_alive()
+    assert busy.wait(timeout=1.0).status == STATUS_OK  # in-progress work finished
+    late = sched.submit(QueryRequest(query="Q1"))
+    assert late.wait(timeout=1.0).status == STATUS_REJECTED
+    assert sched.close() is None  # idempotent
+
+
+# -- in-flight dedup -------------------------------------------------------
+def test_two_concurrent_identical_requests_cost_one_solve(scheduler, monkeypatch):
+    calls = []
+
+    def slow_counting_solve(problem, sense, options):
+        calls.append(sense)
+        time.sleep(0.25)
+        return REAL_SOLVE(problem, sense, options)
+
+    monkeypatch.setattr(session_module, "solve", slow_counting_solve)
+    request_a = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
+    request_b = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
+    pending = [scheduler.submit(request_a), scheduler.submit(request_b)]
+    responses = [p.wait(timeout=60.0) for p in pending]
+    assert all(r is not None and r.status == STATUS_OK for r in responses)
+    # One engine solve total: min + max for the leader, nothing for the
+    # coalesced follower.
+    assert len(calls) == 2, calls
+    assert sorted(r.dedup for r in responses) == [False, True]
+    assert responses[0].fingerprint == responses[1].fingerprint
+    assert (responses[0].lower, responses[0].upper) == (
+        responses[1].lower,
+        responses[1].upper,
+    )
+
+
+# -- deadlines -------------------------------------------------------------
+def test_deadline_expired_in_queue_degrades_to_monte_carlo(scheduler):
+    response = scheduler.execute(
+        QueryRequest(query="Q1", deadline_ms=0.01, mc_samples=4)
+    )
+    assert response.status == STATUS_DEGRADED
+    assert response.mc_samples == 4
+    assert response.lower <= response.upper
+    assert not response.exact
+    assert response.error  # names the cause
+
+
+def test_deadline_without_fallback_times_out(scheduler):
+    response = scheduler.execute(
+        QueryRequest(query="Q1", deadline_ms=0.01, mc_fallback=False)
+    )
+    assert response.status == STATUS_TIMEOUT
+    assert response.lower is None and response.upper is None
+
+
+def test_slow_solver_is_cancelled_and_degrades(scheduler, monkeypatch):
+    """A solve that outlives the deadline is stopped via ``stop_check``."""
+    stop_seen = []
+
+    def dawdling_solve(problem, sense, options):
+        give_up = time.monotonic() + 5.0
+        while time.monotonic() < give_up:
+            if options.stop_check is not None and options.stop_check():
+                stop_seen.append(sense)
+                break
+            time.sleep(0.005)
+        # A zero node budget forces a truncated (inexact) solution, exactly
+        # like a deadline firing inside the branch-and-bound loop.
+        truncated = dataclasses.replace(options, stop_check=None, node_limit=0)
+        return REAL_SOLVE(problem, sense, truncated)
+
+    monkeypatch.setattr(session_module, "solve", dawdling_solve)
+    response = scheduler.execute(
+        QueryRequest(
+            query="Q1", params={"pb_selectivity": 0.61},
+            deadline_ms=150.0, mc_samples=4,
+        )
+    )
+    assert stop_seen, "stop_check never fired"
+    assert response.status == STATUS_DEGRADED
+    assert response.mc_samples == 4
+    assert response.lower <= response.upper
+
+
+# -- the no-hang invariant -------------------------------------------------
+def test_concurrent_blast_every_request_terminal(scheduler):
+    requests = [
+        QueryRequest(query="Q1"),
+        QueryRequest(query="Q2"),
+        QueryRequest(aggregate="count"),
+        QueryRequest(aggregate="sum"),
+        QueryRequest(query="Q1", deadline_ms=0.01),
+        QueryRequest(query="Q1", params={"pb_selectivity": 0.71}),
+        QueryRequest(query="Q1", params={"pb_selectivity": 0.71}),
+        QueryRequest(query="Q2", scheme="coherence"),  # unwarmed -> error
+    ]
+    pending = [scheduler.submit(r) for r in requests]
+    responses = [p.wait(timeout=120.0) for p in pending]
+    assert all(r is not None for r in responses)
+    assert all(r.status in STATUSES for r in responses)
+    assert all(r.total_ms >= 0 for r in responses)

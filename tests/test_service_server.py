@@ -1,0 +1,148 @@
+"""End-to-end HTTP tests: real sockets, real threads, ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs import validate_trace
+from repro.service.api import STATUS_DEGRADED, STATUS_OK
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import serve
+
+
+@pytest.fixture(scope="module")
+def running_server(tmp_path_factory):
+    trace_path = str(tmp_path_factory.mktemp("serve") / "trace.jsonl")
+    config = ExperimentConfig(
+        num_transactions=60,
+        num_items=24,
+        k_values=(2,),
+        mc_samples=4,
+        seed=7,
+        solver_backend="bb",
+    )
+    httpd, service, thread = serve(
+        host="127.0.0.1",
+        port=0,  # ephemeral
+        config=config,
+        schemes=("km",),
+        k_values=(2,),
+        workers=2,
+        max_queue=16,
+        trace_path=trace_path,
+        block=False,
+    )
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield url, trace_path
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def client(running_server):
+    url, _ = running_server
+    return ServiceClient(url, timeout=120.0)
+
+
+def test_healthz(client):
+    payload = client.healthz()
+    assert payload["status"] == "ok"
+    assert payload["uptime_s"] >= 0
+
+
+def test_status_reports_warmed_encodings_and_stats(client):
+    payload = client.status()
+    assert payload["service"] == "repro-query-service"
+    assert ["km", 2] in payload["warmed"]
+    assert payload["workers"] == 2
+    assert "scheduler" in payload and "sessions" in payload
+    assert payload["scheduler"]["submitted"] >= 0
+
+
+def test_query_ok_over_http(client):
+    response = client.query(query="Q1")
+    assert response.status == STATUS_OK
+    assert response.exact
+    assert response.lower <= response.upper
+    assert response.fingerprint
+    assert response.trace_id
+
+
+def test_each_request_gets_its_own_trace_id(client):
+    first = client.query(query="Q1")
+    second = client.query(query="Q1")
+    assert first.trace_id and second.trace_id
+    assert first.trace_id != second.trace_id
+    assert second.cache_hits > 0  # same BIP, shared solve cache
+
+
+def test_deadline_degrades_over_http(client):
+    response = client.query(query="Q1", deadline_ms=0.01, mc_samples=4)
+    assert response.status == STATUS_DEGRADED
+    assert response.http_status == 200
+    assert response.mc_samples == 4
+
+
+def test_invalid_request_is_http_400(running_server):
+    url, _ = running_server
+    request = urllib.request.Request(
+        url + "/v1/query",
+        data=json.dumps({"query": "Q9"}).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    payload = json.loads(excinfo.value.read())
+    assert "Q9" in payload["error"]
+
+
+def test_unknown_route_is_http_404(client):
+    status, payload = client._json("/v2/nope")
+    assert status == 404
+    assert "no route" in payload["error"]
+
+
+def test_metrics_exposes_engine_and_service_families(client):
+    client.query(query="Q1")  # make sure at least one request is counted
+    text = client.metrics()
+    for family in (
+        "repro_service_requests_total",
+        "repro_service_queue_depth",
+        "repro_service_dedup_hits_total",
+        "repro_service_deadline_misses_total",
+        "repro_service_latency_seconds",
+        "repro_phase_seconds_total",
+    ):
+        assert family in text, f"{family} missing from /metrics"
+    assert 'status="ok"' in text
+
+
+def test_trace_stream_is_valid_and_per_request(running_server, client):
+    _, trace_path = running_server
+    client.query(query="Q2")
+    assert validate_trace(trace_path) == []
+    with open(trace_path, encoding="utf-8") as handle:
+        spans = [json.loads(line) for line in handle if line.strip()]
+    roots = [s for s in spans if s["name"] == "service.request"]
+    assert len(roots) >= 2
+    # Fresh trace id per request, inherited by each request's subtree.
+    assert len({r["trace_id"] for r in roots}) == len(roots)
+    children_by_trace = {}
+    for span in spans:
+        children_by_trace.setdefault(span["trace_id"], []).append(span["name"])
+    for root in roots:
+        assert "service.request" in children_by_trace[root["trace_id"]]
+
+
+def test_client_raises_on_unreachable_server():
+    dead = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServiceClientError, match="failed"):
+        dead.healthz()
