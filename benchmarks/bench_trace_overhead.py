@@ -8,11 +8,24 @@ pipeline:
 * ``traced``        — an active in-memory :class:`Tracer` (span retention only);
 * ``traced_jsonl``  — an active tracer streaming spans to a JSONL file.
 
+Measurement protocol (the first version of this bench famously reported
+tracing as a 10% *speedup* — pure scheduling noise):
+
+* one untimed **warmup** rep per arm before any timing;
+* arms run interleaved AND the arm *order rotates every rep*, so no arm
+  systematically inherits a warm cache/thermal state from another;
+* enough reps (15) that the median is meaningful, with the **MAD**
+  reported as the spread;
+* overhead point estimates below the measured noise floor are clamped to
+  0 in the headline number (the raw signed value is kept alongside) —
+  per-span costs of ~0.3 µs × 16 spans ≈ 5 µs are unresolvable against a
+  ~170 ms query, and a signed noise sample is not a measurement.
+
 The ISSUE-2 acceptance bound — "<5% slowdown with a no-op tracer" — is
 checked two ways: the measured per-span cost of the null tracer
-extrapolated over the spans a query emits, and the direct wall-time ratio
-of the untraced arm against itself across interleaved repetitions (noise
-floor).  Results land in ``BENCH_trace_overhead.json`` at the repo root.
+extrapolated over the spans a query emits, and the headline overhead of
+the traced arm.  Results land in ``BENCH_trace_overhead.json`` at the
+repo root.
 
 Run with::
 
@@ -31,7 +44,7 @@ from repro.obs import JsonlSink, Tracer, activate
 from repro.obs.tracer import NULL_TRACER
 from repro.queries import answer_licm
 
-REPS = 5
+REPS = 15
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_trace_overhead.json")
 
 
@@ -39,15 +52,6 @@ def _one_query(encoded, plan):
     """One full cold answer: fresh cache-less session, so nothing amortizes."""
     session = SolveSession(encoded.model, cache_size=0)
     return answer_licm(encoded, plan, session=session)
-
-
-def _time_arm(encoded, plan, reps=REPS):
-    samples = []
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        _one_query(encoded, plan)
-        samples.append(time.perf_counter() - t0)
-    return samples
 
 
 def _null_span_cost(iterations: int = 200_000) -> float:
@@ -60,54 +64,95 @@ def _null_span_cost(iterations: int = 200_000) -> float:
     return (time.perf_counter() - t0) / iterations
 
 
+def _mad(samples, center):
+    return statistics.median(abs(s - center) for s in samples)
+
+
 def test_trace_overhead(benchmark, context):
     encoded = context.encoding("km", 2).encoded
     plan = context.plan("Q1", encoded)
-    _one_query(encoded, plan)  # warm imports/allocators before timing
 
-    # Interleave arms to spread thermal/allocator drift evenly.
-    untraced, traced, traced_jsonl = [], [], []
     jsonl_path = os.path.join(os.path.dirname(RESULTS_PATH), ".bench_trace.jsonl")
-    for _ in range(REPS):
+    spans_per_query = 0
+
+    def run_untraced():
         t0 = time.perf_counter()
         _one_query(encoded, plan)
-        untraced.append(time.perf_counter() - t0)
+        return time.perf_counter() - t0
 
+    def run_traced():
+        nonlocal spans_per_query
         tracer = Tracer()
         with activate(tracer):
             t0 = time.perf_counter()
             _one_query(encoded, plan)
-            traced.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
         spans_per_query = len(tracer)
+        return elapsed
 
+    def run_traced_jsonl():
         with JsonlSink(jsonl_path) as sink:
             with activate(Tracer([sink], retain=False)):
                 t0 = time.perf_counter()
                 _one_query(encoded, plan)
-                traced_jsonl.append(time.perf_counter() - t0)
+                return time.perf_counter() - t0
+
+    arms = [
+        ("untraced", run_untraced),
+        ("traced", run_traced),
+        ("traced_jsonl", run_traced_jsonl),
+    ]
+    samples = {name: [] for name, _ in arms}
+    for _, run in arms:  # warmup: one untimed rep per arm
+        run()
+    for rep in range(REPS):
+        # Rotate the arm order each rep so drift (thermal, allocator
+        # growth, page cache) is spread evenly across arms instead of
+        # biasing whichever arm always runs last.
+        order = arms[rep % len(arms):] + arms[: rep % len(arms)]
+        for name, run in order:
+            samples[name].append(run())
     os.unlink(jsonl_path)
 
-    base = statistics.median(untraced)
+    base = statistics.median(samples["untraced"])
+    base_mad = _mad(samples["untraced"], base)
     span_cost = _null_span_cost()
     noop_overhead_pct = 100.0 * (spans_per_query * span_cost) / base
-    traced_overhead_pct = 100.0 * (statistics.median(traced) - base) / base
-    jsonl_overhead_pct = 100.0 * (statistics.median(traced_jsonl) - base) / base
+    # The smallest overhead this protocol can resolve: the combined MAD of
+    # the two arms being differenced, as a fraction of the base median.
+    def overheads(name):
+        median = statistics.median(samples[name])
+        mad = _mad(samples[name], median)
+        raw_pct = 100.0 * (median - base) / base
+        noise_floor_pct = 100.0 * (mad + base_mad) / base
+        headline = raw_pct if raw_pct > 0 else (0.0 if -raw_pct <= noise_floor_pct else raw_pct)
+        return median, mad, raw_pct, noise_floor_pct, headline
+
+    t_median, t_mad, t_raw, t_floor, t_pct = overheads("traced")
+    j_median, j_mad, j_raw, j_floor, j_pct = overheads("traced_jsonl")
 
     results = {
         "query": "Q1",
         "scheme": "km-k2",
         "reps": REPS,
+        "protocol": "1 warmup/arm; arms interleaved, order rotated per rep; "
+        "median +/- MAD; sub-noise-floor overheads clamped to 0",
         "spans_per_query": spans_per_query,
-        "untraced_s": {"median": base, "samples": untraced},
-        "traced_s": {"median": statistics.median(traced), "samples": traced},
+        "untraced_s": {"median": base, "mad": base_mad, "samples": samples["untraced"]},
+        "traced_s": {"median": t_median, "mad": t_mad, "samples": samples["traced"]},
         "traced_jsonl_s": {
-            "median": statistics.median(traced_jsonl),
-            "samples": traced_jsonl,
+            "median": j_median,
+            "mad": j_mad,
+            "samples": samples["traced_jsonl"],
         },
         "null_span_cost_us": span_cost * 1e6,
         "noop_tracer_overhead_pct": noop_overhead_pct,
-        "traced_overhead_pct": traced_overhead_pct,
-        "traced_jsonl_overhead_pct": jsonl_overhead_pct,
+        "traced_overhead_pct": t_pct,
+        "traced_overhead_raw_pct": t_raw,
+        "traced_noise_floor_pct": t_floor,
+        "traced_jsonl_overhead_pct": j_pct,
+        "traced_jsonl_overhead_raw_pct": j_raw,
+        "traced_jsonl_noise_floor_pct": j_floor,
     }
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2)
@@ -115,15 +160,20 @@ def test_trace_overhead(benchmark, context):
 
     # Acceptance: the no-op tracer costs < 5% of an untraced query.
     assert noop_overhead_pct < 5.0, results
+    # The headline overhead is non-negative by construction *unless* the
+    # traced arm is faster by more than the noise floor — which would mean
+    # the measurement (not the tracer) is broken.
+    assert t_pct >= 0.0, results
     # Sanity: active tracing is instrumentation, not a rewrite of the query.
-    assert statistics.median(traced) < base * 2.0, results
+    assert t_median < base * 2.0, results
 
     benchmark.extra_info.update(
         {
             "spans_per_query": spans_per_query,
             "noop_overhead_pct": round(noop_overhead_pct, 4),
-            "traced_overhead_pct": round(traced_overhead_pct, 2),
-            "traced_jsonl_overhead_pct": round(jsonl_overhead_pct, 2),
+            "traced_overhead_pct": round(t_pct, 2),
+            "traced_overhead_raw_pct": round(t_raw, 2),
+            "traced_jsonl_overhead_pct": round(j_pct, 2),
         }
     )
     benchmark(lambda: None)  # timings recorded above; satisfy the fixture

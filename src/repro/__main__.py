@@ -20,6 +20,12 @@ one solve session per ``(scheme, k)`` resident, and answers
 Monte Carlo degradation::
 
     python -m repro serve --port 8080 --schemes km --k 2
+
+Performance observability (see docs/observability.md): ``serve --profile``
+attaches the sampling profiler (collapsed stacks on shutdown),
+``serve --slow-threshold-ms`` captures over-budget requests to an on-disk
+ring, and ``python -m repro perfcheck`` gates against the committed
+``benchmarks/BENCH_perfcheck.json`` baselines.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ def _banner() -> int:
         "  python -m repro.experiments utility    Section V-D utility table\n"
         "  python -m repro trace Q1               traced demo query + metrics\n"
         "  python -m repro serve                  HTTP aggregate-query service\n"
+        "  python -m repro perfcheck              perf-regression gate\n"
         "  python examples/quickstart.py          the paper's running example\n"
         "  pytest tests/                          the test suite\n"
         "  pytest benchmarks/ --benchmark-only    benchmark + ablation suite\n"
@@ -124,6 +131,8 @@ def _trace(args: argparse.Namespace) -> int:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.experiments.config import ExperimentConfig
     from repro.service.server import serve
 
@@ -135,19 +144,48 @@ def _serve(args: argparse.Namespace) -> int:
         solver_backend=args.backend,
         solve_workers=args.solve_workers,
     )
-    result = serve(
-        host=args.host,
-        port=args.port,
-        config=config,
-        schemes=tuple(args.schemes),
-        k_values=tuple(args.k),
-        workers=args.workers,
-        max_queue=args.queue_size,
-        default_deadline_ms=args.default_deadline_ms,
-        allow_cold=args.allow_cold,
-        trace_path=args.trace,
-        ready_file=args.ready_file,
-    )
+
+    # SIGTERM (what `kill` and CI teardown send) must take the same
+    # graceful path as Ctrl-C, or the finally blocks below — profiler
+    # flush, tracer close — never run.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    profiler = None
+    if args.profile is not None:
+        from repro.obs.profiler import SamplingProfiler
+
+        # thread mode: the request work happens on scheduler worker
+        # threads, which the signal engine can never sample.
+        profiler = SamplingProfiler(mode="thread").start()
+        print(f"profiling to {args.profile} (thread sampler)", flush=True)
+    try:
+        result = serve(
+            host=args.host,
+            port=args.port,
+            config=config,
+            schemes=tuple(args.schemes),
+            k_values=tuple(args.k),
+            workers=args.workers,
+            max_queue=args.queue_size,
+            default_deadline_ms=args.default_deadline_ms,
+            allow_cold=args.allow_cold,
+            trace_path=args.trace,
+            slow_threshold_ms=args.slow_threshold_ms,
+            slow_log_dir=args.slow_log,
+            ready_file=args.ready_file,
+        )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            stacks = profiler.write_folded(args.profile)
+            print(
+                f"profile: {args.profile} ({stacks} stacks, "
+                f"{profiler.samples_taken} samples)",
+                flush=True,
+            )
     return int(result) if isinstance(result, int) else 0
 
 
@@ -155,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
         return _banner()
+    if argv[0] == "perfcheck":
+        # perfcheck owns its argv (its own argparse, --help included).
+        from repro.obs.perfcheck import main as perfcheck_main
+
+        return perfcheck_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
     trace = sub.add_parser("trace", help="run a traced demo query, export artifacts")
@@ -221,6 +264,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     server.add_argument(
         "--trace", default=None, help="stream per-request JSONL spans to this file"
+    )
+    server.add_argument(
+        "--profile",
+        nargs="?",
+        const="serve-profile.folded",
+        default=None,
+        metavar="PATH",
+        help="run the sampling profiler (thread mode, all worker threads); "
+        "write flamegraph-compatible collapsed stacks here on shutdown",
+    )
+    server.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        default=None,
+        help="capture requests slower than this to the slow-query ring",
+    )
+    server.add_argument(
+        "--slow-log",
+        default=None,
+        metavar="DIR",
+        help="slow-query ring directory (default: slow-queries/)",
     )
     server.add_argument(
         "--ready-file",

@@ -43,6 +43,7 @@ from repro.engine.telemetry import (
     Telemetry,
 )
 from repro.errors import EngineError, InfeasibleError
+from repro.obs.export import global_registry
 from repro.obs.tracer import current_tracer
 from repro.solver.interface import solve
 from repro.solver.model import from_licm
@@ -301,6 +302,18 @@ class SolveSession:
                 CacheProbe("store", canonical.fingerprint, len(self.cache))
             )
         self.telemetry.count("solver_nodes", solution.nodes)
+        # Always-on distribution of real solve walls (cache hits excluded),
+        # exemplar-linked to the active trace so a slow bucket names a
+        # specific request's span tree.
+        span = current_tracer().current()
+        trace_id = getattr(span, "trace_id", "") if span is not None else ""
+        global_registry().histogram(
+            "engine_solve_seconds", "Wall seconds per engine BIP solve direction"
+        ).observe(
+            solution.solve_time,
+            labels={"sense": sense, "backend": solution.backend or "unknown"},
+            exemplar={"trace_id": trace_id} if trace_id else None,
+        )
         self.telemetry.emit(
             SolveFinished(
                 sense=sense,

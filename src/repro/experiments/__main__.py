@@ -17,6 +17,9 @@ trace smoke job executes::
 
     python -m repro.experiments figure5 --schemes km --queries Q1 --k 2 \\
         --trace artifacts/trace.jsonl
+
+``--profile out.folded`` additionally samples the run with the
+statistical profiler and writes flamegraph-compatible collapsed stacks.
 """
 
 from __future__ import annotations
@@ -56,6 +59,12 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "--manifest",
         metavar="PATH",
         help="run-manifest JSON output (default: manifest.json next to --trace)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="sample the run with the statistical profiler and write "
+        "flamegraph-compatible collapsed stacks here",
     )
     parser.add_argument(
         "--schemes", help=f"comma list from {{{','.join(SCHEMES)}}} (figures 5/6)"
@@ -104,8 +113,30 @@ def main(argv: list[str]) -> int:
     context = ExperimentContext(config)
     print(f"# workload: {config.label}")
 
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import SamplingProfiler
+
+        # auto mode: single-threaded harness runs use the cheap SIGPROF
+        # engine; thread-pool configs fall back to the frame sampler.
+        profiler = SamplingProfiler(mode="auto").start()
+
+    def _finish_profile() -> None:
+        if profiler is None:
+            return
+        profiler.stop()
+        stacks = profiler.write_folded(args.profile)
+        print(
+            f"# profile: {args.profile} ({stacks} stacks, "
+            f"{profiler.samples_taken} samples)",
+            file=sys.stderr,
+        )
+
     if args.trace is None:
-        _run(args.target, context, args)
+        try:
+            _run(args.target, context, args)
+        finally:
+            _finish_profile()
         return 0
 
     from repro.obs import (
@@ -122,10 +153,13 @@ def main(argv: list[str]) -> int:
     metrics_path = args.metrics or os.path.join(out_dir, "metrics.txt")
     manifest_path = args.manifest or os.path.join(out_dir, "manifest.json")
 
-    with JsonlSink(args.trace) as sink:
-        tracer = Tracer([sink])
-        with activate(tracer):
-            _run(args.target, context, args)
+    try:
+        with JsonlSink(args.trace) as sink:
+            tracer = Tracer([sink])
+            with activate(tracer):
+                _run(args.target, context, args)
+    finally:
+        _finish_profile()
     build_metrics(context.telemetry, tracer).write(metrics_path)
     manifest = build_manifest(
         config=config,

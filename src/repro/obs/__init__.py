@@ -10,6 +10,13 @@ The repo-wide answer to "where did this run spend its time":
   :class:`MetricsRegistry` (Prometheus text), :func:`render_report`.
 * :mod:`repro.obs.manifest` — the per-run JSON manifest plus the
   validators the CI smoke job uses.
+* :mod:`repro.obs.profiler` — a dependency-free statistical sampling
+  profiler emitting flamegraph-compatible collapsed stacks, with
+  per-trace-id attribution.
+* :mod:`repro.obs.slowlog` — slow-query capture: a per-trace span buffer
+  and a bounded on-disk ring of offender documents.
+* :mod:`repro.obs.perfcheck` — the noise-aware perf-regression gate
+  behind ``python -m repro perfcheck``.
 
 See ``docs/observability.md`` and ``python -m repro trace``.
 """
@@ -18,6 +25,8 @@ from repro.obs.export import (
     JsonlSink,
     MetricsRegistry,
     build_metrics,
+    global_registry,
+    load_jsonl,
     read_jsonl,
     render_report,
 )
@@ -27,6 +36,8 @@ from repro.obs.manifest import (
     validate_trace,
     write_manifest,
 )
+from repro.obs.profiler import SamplingProfiler, active_profiler
+from repro.obs.slowlog import SlowQueryRing, SpanBuffer
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -42,12 +53,18 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SamplingProfiler",
+    "SlowQueryRing",
     "Span",
+    "SpanBuffer",
     "Tracer",
     "activate",
+    "active_profiler",
     "build_manifest",
     "build_metrics",
     "current_tracer",
+    "global_registry",
+    "load_jsonl",
     "new_trace_id",
     "read_jsonl",
     "render_report",

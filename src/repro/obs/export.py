@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from typing import IO, Iterable, Optional, Union
 
 from repro.obs.tracer import Span, Tracer, iter_tree
@@ -26,6 +27,8 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "build_metrics",
+    "global_registry",
+    "load_jsonl",
     "read_jsonl",
     "render_report",
 ]
@@ -86,14 +89,38 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: str) -> list[dict]:
-    """Parse a JSONL trace back into a list of span dicts."""
-    records = []
+def load_jsonl(path: str) -> tuple[list[dict], int]:
+    """Parse a JSONL trace; returns ``(records, truncated_lines)``.
+
+    A writer killed mid-line (the crash the per-span flush is designed
+    for) leaves one partial **final** line: that line is dropped and
+    counted instead of raising, so a crashed run's trace stays readable.
+    A malformed line anywhere *before* the end is real corruption and
+    still raises ``ValueError``.
+    """
+    records: list[dict] = []
+    pending_error: Optional[ValueError] = None
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
+            if pending_error is not None:
+                raise pending_error
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except ValueError as exc:
+                pending_error = ValueError(f"corrupt JSONL line: {exc}")
+    return records, (1 if pending_error is not None else 0)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL trace back into a list of span dicts.
+
+    Tolerates a truncated trailing line (see :func:`load_jsonl`, which
+    also reports how many lines were dropped).
+    """
+    records, _ = load_jsonl(path)
     return records
 
 
@@ -133,12 +160,18 @@ class _Instrument:
         self.name = name
         self.help = help_text
         self.series: dict[tuple, float] = {}
+        # Long-lived instruments (the scheduler's latency histograms) are
+        # hit from every worker thread; a per-instrument lock keeps
+        # observations and renders consistent.
+        self._lock = threading.Lock()
 
     def render(self) -> list[str]:
         lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
-        for key in sorted(self.series):
+        with self._lock:
+            series = dict(self.series)
+        for key in sorted(series):
             lines.append(
-                f"{self.name}{_format_labels(key)} {_format_value(self.series[key])}"
+                f"{self.name}{_format_labels(key)} {_format_value(series[key])}"
             )
         return lines
 
@@ -148,14 +181,39 @@ class Counter(_Instrument):
 
     def inc(self, value: float = 1, labels: Optional[dict] = None) -> None:
         key = _labels_key(labels)
-        self.series[key] = self.series.get(key, 0) + value
+        with self._lock:
+            self.series[key] = self.series.get(key, 0) + value
 
 
 class Gauge(_Instrument):
     kind = "gauge"
 
     def set(self, value: float, labels: Optional[dict] = None) -> None:
-        self.series[_labels_key(labels)] = float(value)
+        with self._lock:
+            self.series[_labels_key(labels)] = float(value)
+
+
+class Exemplar:
+    """One traced observation pinned to a histogram bucket.
+
+    Rendered in OpenMetrics exemplar syntax —
+    ``... # {trace_id="abc"} 0.23 1690000000.5`` — so a p99 bucket in a
+    scrape links directly to the JSONL trace of a request that landed in
+    it.  Each bucket keeps its most recent exemplar.
+    """
+
+    __slots__ = ("labels", "value", "timestamp")
+
+    def __init__(self, labels: dict, value: float, timestamp: Optional[float] = None):
+        self.labels = dict(labels)
+        self.value = float(value)
+        self.timestamp = time.time() if timestamp is None else float(timestamp)
+
+    def render(self) -> str:
+        inner = ",".join(
+            f'{name}="{_escape(val)}"' for name, val in sorted(self.labels.items())
+        )
+        return f"# {{{inner}}} {_format_value(self.value)} {self.timestamp:.3f}"
 
 
 class Histogram(_Instrument):
@@ -166,26 +224,65 @@ class Histogram(_Instrument):
         self.buckets = tuple(sorted(buckets))
         self._data: dict[tuple, dict] = {}
 
-    def observe(self, value: float, labels: Optional[dict] = None) -> None:
+    def observe(
+        self,
+        value: float,
+        labels: Optional[dict] = None,
+        exemplar: Optional[dict] = None,
+    ) -> None:
+        """Record one observation.
+
+        ``exemplar`` (e.g. ``{"trace_id": span.trace_id}``) is attached to
+        the one bucket the value lands in — the first bucket whose upper
+        bound contains it, or ``+Inf`` past the last — replacing that
+        bucket's previous exemplar.
+        """
         key = _labels_key(labels)
-        data = self._data.setdefault(
-            key, {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
-        )
+        landing = len(self.buckets)  # +Inf by default
         for index, bound in enumerate(self.buckets):
             if value <= bound:
+                landing = index
+                break
+        with self._lock:
+            data = self._data.get(key)
+            if data is None:
+                data = self._data[key] = {
+                    "counts": [0] * len(self.buckets),
+                    "sum": 0.0,
+                    "count": 0,
+                    "exemplars": {},
+                }
+            for index in range(landing, len(self.buckets)):
                 data["counts"][index] += 1
-        data["sum"] += value
-        data["count"] += 1
+            data["sum"] += value
+            data["count"] += 1
+            if exemplar:
+                data["exemplars"][landing] = Exemplar(exemplar, value)
 
-    def render(self) -> list[str]:
+    def render(self, exemplars: bool = True) -> list[str]:
         lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
-        for key in sorted(self._data):
-            data = self._data[key]
-            for bound, count in zip(self.buckets, data["counts"]):
-                bucket_key = key + (("le", _format_value(bound)),)
-                lines.append(f"{self.name}_bucket{_format_labels(bucket_key)} {count}")
-            inf_key = key + (("le", "+Inf"),)
-            lines.append(f"{self.name}_bucket{_format_labels(inf_key)} {data['count']}")
+        with self._lock:
+            snapshot = {
+                key: {
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                    "exemplars": dict(data["exemplars"]),
+                }
+                for key, data in self._data.items()
+            }
+        for key in sorted(snapshot):
+            data = snapshot[key]
+
+            def _line(index: int, bound_text: str, count: int) -> str:
+                bucket_key = key + (("le", bound_text),)  # noqa: B023 — key is loop-stable here
+                text = f"{self.name}_bucket{_format_labels(bucket_key)} {count}"
+                mark = data["exemplars"].get(index) if exemplars else None  # noqa: B023
+                return f"{text} {mark.render()}" if mark is not None else text
+
+            for index, (bound, count) in enumerate(zip(self.buckets, data["counts"])):
+                lines.append(_line(index, _format_value(bound), count))
+            lines.append(_line(len(self.buckets), "+Inf", data["count"]))
             lines.append(f"{self.name}_sum{_format_labels(key)} {_format_value(data['sum'])}")
             lines.append(f"{self.name}_count{_format_labels(key)} {data['count']}")
         return lines
@@ -237,6 +334,18 @@ class MetricsRegistry:
     def write(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render())
+
+
+#: the always-on process registry instrumented layers observe into (the
+#: engine's solve-wall histogram, the branch-and-bound nodes/prunes
+#: histograms).  The service's ``/metrics`` renders it after its own
+#: families; standalone runs can write it next to ``metrics.txt``.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry for always-on engine/solver histograms."""
+    return _GLOBAL_REGISTRY
 
 
 def build_metrics(

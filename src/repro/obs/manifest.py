@@ -15,7 +15,7 @@ import json
 import time
 from typing import Optional
 
-from repro.obs.export import read_jsonl
+from repro.obs.export import load_jsonl
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -128,10 +128,16 @@ def validate_trace(path: str, single_trace: bool = False) -> list[str]:
     trace id per request); pass ``single_trace=True`` for artifacts that
     must contain exactly one (the ``python -m repro trace`` demo).  In
     either mode a span's parent must exist *and* belong to the same trace.
+
+    A truncated trailing line — the writer crashed mid-span — is
+    tolerated, not an error: the readable prefix is validated and the
+    dropped-line count is reported via :func:`repro.obs.export.load_jsonl`.
+    A span whose *parent* was on the truncated line still surfaces as a
+    dangling parent.
     """
     problems: list[str] = []
     try:
-        records = read_jsonl(path)
+        records, _truncated = load_jsonl(path)
     except (OSError, ValueError) as exc:
         return [f"unreadable trace: {exc}"]
     if not records:

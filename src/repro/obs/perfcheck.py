@@ -1,0 +1,404 @@
+"""Noise-aware performance-regression gate (``python -m repro perfcheck``).
+
+Micro-benchmark CI gates fail in two boring ways: they flake (one noisy
+rep on a shared runner fails the build) or they rot (thresholds so loose
+they never fire).  This gate spends its effort on noise control instead
+of raw precision:
+
+* **Interleaved reps** — scenarios run round-robin (A B C A B C ...), not
+  back-to-back, so thermal drift and allocator growth spread evenly
+  across scenarios instead of biasing whichever ran last.  Every scenario
+  gets one untimed warmup rep first.
+* **Median + MAD** — the gate compares medians and sizes its tolerance by
+  the median absolute deviation, both robust to the one-slow-rep outliers
+  that wreck mean/stddev gates.
+* **CPU calibration** — a fixed pure-Python spin is timed alongside the
+  scenarios; the baseline's spin time is stored, and at check time every
+  baseline median is rescaled by ``current_spin / baseline_spin``.  A
+  slower CI runner raises the bar instead of failing the build.
+
+The decision rule per scenario::
+
+    limit  = baseline_median * speed_ratio * (1 + rel_tol)
+             + mad_multiplier * max(baseline_mad * speed_ratio, current_mad)
+    regression  iff  current_median > limit
+
+Baselines live in ``benchmarks/BENCH_perfcheck.json`` (committed);
+refresh with ``python -m repro perfcheck --update`` after an intentional
+performance change.  ``--inject-slowdown 2.0`` busy-waits each rep to
+double its wall time — the self-test that the gate actually fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "BASELINE_PATH",
+    "Scenario",
+    "calibrate",
+    "check",
+    "default_scenarios",
+    "main",
+    "measure",
+]
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+    "benchmarks",
+    "BENCH_perfcheck.json",
+)
+
+#: Iterations of the calibration spin (~tens of ms of pure Python).
+_CALIBRATION_ITERS = 400_000
+
+
+@dataclass
+class Scenario:
+    """One gated workload: a setup thunk and a timed rep."""
+
+    name: str
+    #: Built once, before the warmup rep; its return value is passed to
+    #: every ``run`` call.  Setup cost is *not* gated.
+    setup: Callable[[], object]
+    #: One timed repetition.
+    run: Callable[[object], None]
+    state: object = field(default=None, repr=False)
+
+
+def calibrate(iters: Optional[int] = None) -> float:
+    """Seconds for a fixed pure-Python spin — the machine-speed yardstick."""
+    iters = _CALIBRATION_ITERS if iters is None else iters
+    acc = 0
+    t0 = time.perf_counter()
+    for i in range(iters):
+        acc += i ^ (acc >> 3)
+    elapsed = time.perf_counter() - t0
+    # acc is deliberately consumed so the loop cannot be optimized away.
+    return elapsed + (acc & 0) * 1e-12
+
+
+def _mad(samples: List[float], center: float) -> float:
+    return statistics.median(abs(s - center) for s in samples)
+
+
+def _busy_wait(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+def default_scenarios(quick: bool = False) -> List[Scenario]:
+    """The gated workloads, each one layer of the stack.
+
+    Imports are local so ``perfcheck --help`` stays instant and the module
+    is importable without the heavy engine modules.
+    """
+    from repro.engine.session import SolveSession
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.queries import answer_licm
+    from repro.queries.licm_eval import evaluate_licm
+
+    tx = 200 if quick else 400
+    items = 48 if quick else 96
+
+    def make_context() -> ExperimentContext:
+        config = ExperimentConfig(
+            num_transactions=tx, num_items=items, mc_samples=8, seed=11
+        )
+        context = ExperimentContext(config)
+        context.encoding("km", 2)  # encode outside the timed region
+        return context
+
+    # One context shared by the solve scenarios (built in the first setup
+    # that needs it); the encode scenario always builds its own.
+    shared: Dict[str, ExperimentContext] = {}
+
+    def shared_context() -> ExperimentContext:
+        if "ctx" not in shared:
+            shared["ctx"] = make_context()
+        return shared["ctx"]
+
+    def setup_encode():
+        context = shared_context()
+        return context
+
+    def run_encode(context) -> None:
+        from repro.anonymize import encode_generalized, km_anonymize
+
+        anonymized = km_anonymize(
+            context.dataset, context.hierarchy, 2, context.config.km_m
+        )
+        encode_generalized(anonymized)
+
+    def setup_solve_cold():
+        context = shared_context()
+        encoded = context.encoding("km", 2).encoded
+        plan = context.plan("Q1", encoded)
+        return (encoded, plan)
+
+    def run_solve_cold(state) -> None:
+        encoded, plan = state
+        session = SolveSession(encoded.model, cache_size=0)
+        answer_licm(encoded, plan, session=session)
+
+    def setup_solve_warm():
+        context = shared_context()
+        encoded = context.encoding("km", 2).encoded
+        plan = context.plan("Q1", encoded)
+        session = context.session("km", 2)
+        answer_licm(encoded, plan, session=session)  # populate the cache
+        return (encoded, plan, session)
+
+    def run_solve_warm(state) -> None:
+        encoded, plan, session = state
+        answer_licm(encoded, plan, session=session)
+
+    def setup_licm_eval():
+        context = shared_context()
+        encoded = context.encoding("km", 2).encoded
+        plan = context.plan("Q1", encoded)
+        return (encoded, plan)
+
+    def run_licm_eval(state) -> None:
+        encoded, plan = state
+        evaluate_licm(plan, encoded.relations)
+
+    scenarios = [
+        Scenario("encode_km", setup_encode, run_encode),
+        Scenario("licm_eval_q1", setup_licm_eval, run_licm_eval),
+        Scenario("solve_cold_q1", setup_solve_cold, run_solve_cold),
+        Scenario("solve_warm_q1", setup_solve_warm, run_solve_warm),
+    ]
+    if quick:
+        # Drop the slowest scenario; the cold solve dominates quick runs.
+        scenarios = [s for s in scenarios if s.name != "solve_cold_q1"]
+    return scenarios
+
+
+def measure(
+    scenarios: List[Scenario],
+    reps: int = 7,
+    inject_slowdown: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run every scenario ``reps`` times, round-robin interleaved.
+
+    Returns ``{"calibration_s": ..., "scenarios": {name: {"samples": [...],
+    "median_s": ..., "mad_s": ...}}}``.  ``inject_slowdown`` > 1 busy-waits
+    each rep out to ``factor ×`` its measured wall time (the gate's
+    self-test knob).
+    """
+    say = progress or (lambda _msg: None)
+    for scenario in scenarios:
+        say(f"setup {scenario.name}")
+        scenario.state = scenario.setup()
+        scenario.run(scenario.state)  # warmup (untimed)
+    samples: Dict[str, List[float]] = {s.name: [] for s in scenarios}
+    for rep in range(reps):
+        for scenario in scenarios:
+            t0 = time.perf_counter()
+            scenario.run(scenario.state)
+            elapsed = time.perf_counter() - t0
+            if inject_slowdown > 1.0:
+                _busy_wait(elapsed * (inject_slowdown - 1.0))
+                elapsed *= inject_slowdown
+            samples[scenario.name].append(elapsed)
+        say(f"rep {rep + 1}/{reps} done")
+    calibration = statistics.median(calibrate() for _ in range(3))
+    out = {"calibration_s": calibration, "scenarios": {}}
+    for name, values in samples.items():
+        median = statistics.median(values)
+        out["scenarios"][name] = {
+            "samples": values,
+            "median_s": median,
+            "mad_s": _mad(values, median),
+        }
+    return out
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    rel_tol: float = 0.35,
+    mad_multiplier: float = 4.0,
+) -> dict:
+    """Compare a :func:`measure` result against a stored baseline.
+
+    Returns a report dict; ``report["ok"]`` is the gate verdict.  Scenarios
+    present on only one side are reported but never fail the gate (a new
+    scenario needs ``--update`` before it can regress).
+    """
+    base_cal = float(baseline.get("calibration_s") or 0.0)
+    cur_cal = float(current.get("calibration_s") or 0.0)
+    speed_ratio = (cur_cal / base_cal) if base_cal > 0 and cur_cal > 0 else 1.0
+    report = {
+        "ok": True,
+        "speed_ratio": speed_ratio,
+        "rel_tol": rel_tol,
+        "mad_multiplier": mad_multiplier,
+        "scenarios": {},
+        "missing_from_baseline": [],
+        "missing_from_current": [],
+    }
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    for name in sorted(set(base_scenarios) | set(cur_scenarios)):
+        if name not in base_scenarios:
+            report["missing_from_baseline"].append(name)
+            continue
+        if name not in cur_scenarios:
+            report["missing_from_current"].append(name)
+            continue
+        base = base_scenarios[name]
+        cur = cur_scenarios[name]
+        scaled_median = base["median_s"] * speed_ratio
+        mad_slack = mad_multiplier * max(base["mad_s"] * speed_ratio, cur["mad_s"])
+        limit = scaled_median * (1.0 + rel_tol) + mad_slack
+        regressed = cur["median_s"] > limit
+        report["scenarios"][name] = {
+            "baseline_median_s": base["median_s"],
+            "baseline_scaled_s": scaled_median,
+            "current_median_s": cur["median_s"],
+            "current_mad_s": cur["mad_s"],
+            "limit_s": limit,
+            "ratio": (cur["median_s"] / scaled_median) if scaled_median > 0 else 0.0,
+            "regressed": regressed,
+        }
+        if regressed:
+            report["ok"] = False
+    return report
+
+
+def _format_report(report: dict) -> str:
+    lines = [
+        f"perfcheck: speed_ratio={report['speed_ratio']:.3f} "
+        f"rel_tol={report['rel_tol']:.0%} mad_mult={report['mad_multiplier']:g}"
+    ]
+    for name, row in report["scenarios"].items():
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {name:<16} {row['current_median_s'] * 1e3:8.1f} ms "
+            f"vs limit {row['limit_s'] * 1e3:8.1f} ms "
+            f"(baseline {row['baseline_scaled_s'] * 1e3:.1f} ms scaled, "
+            f"x{row['ratio']:.2f})  {verdict}"
+        )
+    for name in report["missing_from_baseline"]:
+        lines.append(f"  {name:<16} NEW — not in baseline (run --update to gate it)")
+    for name in report["missing_from_current"]:
+        lines.append(f"  {name:<16} SKIPPED — in baseline but not measured")
+    lines.append("perfcheck: PASS" if report["ok"] else "perfcheck: FAIL")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perfcheck",
+        description="noise-aware perf-regression gate (median + MAD, "
+        "CPU-calibrated against the committed baseline)",
+    )
+    parser.add_argument(
+        "--baseline", default=BASELINE_PATH, help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured result as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller dataset, fewer reps, no cold-solve scenario (CI mode)",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="timed reps per scenario")
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.35,
+        help="relative tolerance over the scaled baseline median",
+    )
+    parser.add_argument(
+        "--mad-mult",
+        type=float,
+        default=4.0,
+        help="MAD multiplier added to the limit",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="busy-wait each rep to FACTOR x its wall time (gate self-test)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (5 if args.quick else 7)
+    scenarios = default_scenarios(quick=args.quick)
+    result = measure(
+        scenarios,
+        reps=reps,
+        inject_slowdown=args.inject_slowdown,
+        progress=lambda msg: print(f"perfcheck: {msg}", file=sys.stderr),
+    )
+    result["reps"] = reps
+    mode = "quick" if args.quick else "full"
+
+    if args.update:
+        # The baseline file holds one entry per mode — updating the quick
+        # (CI) baseline never clobbers the full (local) one, and vice versa.
+        document = {}
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            pass
+        document.setdefault("modes", {})[mode] = result
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"perfcheck: {mode} baseline written to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError:
+        print(
+            f"perfcheck: no baseline at {args.baseline} — run with --update first",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = document.get("modes", {}).get(mode)
+    if baseline is None:
+        print(
+            f"perfcheck: baseline {args.baseline} has no {mode!r} entry — "
+            f"run `perfcheck {'--quick ' if args.quick else ''}--update` first",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = check(
+        result, baseline, rel_tol=args.rel_tol, mad_multiplier=args.mad_mult
+    )
+    report["measured"] = result
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(_format_report(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Slow-query capture: a per-trace span buffer and a bounded on-disk ring.
+
+The serving process cannot keep every span forever (its tracer runs with
+``retain=False``), yet the one question that matters when a request blows
+its latency budget is *what that specific request did*.  Two pieces make
+that answerable after the fact:
+
+* :class:`SpanBuffer` — a tracer sink retaining finished spans **grouped
+  by trace id**, bounded in both traces and spans-per-trace.  The
+  scheduler pops a request's spans when the request completes: fast
+  requests are dropped on the floor, slow ones get their full span tree
+  persisted.
+* :class:`SlowQueryRing` — a bounded directory of JSON documents
+  (``slow-<slot>.json``, overwritten circularly) holding, per offending
+  request: the request/response pair, the span tree, the canonical-BIP
+  fingerprint, solver diagnostics carried on the spans, and — when a
+  :mod:`sampling profiler <repro.obs.profiler>` is running — the folded
+  profile slice attributed to the request's trace id.
+
+The ring is crash-tolerant by construction (each entry is one atomic
+rename) and bounded by construction (``capacity`` files, ever).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["SlowQueryRing", "SpanBuffer"]
+
+_SLOT_RE = re.compile(r"^slow-(\d+)\.json$")
+
+
+class SpanBuffer:
+    """Tracer sink keeping finished spans per trace id (bounded LRU).
+
+    Attach to a :class:`~repro.obs.tracer.Tracer` alongside other sinks.
+    ``pop(trace_id)`` hands back (and forgets) one trace's span dicts in
+    finish order; unclaimed traces age out once ``max_traces`` distinct
+    trace ids have been seen.
+    """
+
+    def __init__(self, max_traces: int = 256, max_spans_per_trace: int = 512):
+        self.max_traces = max(1, int(max_traces))
+        self.max_spans_per_trace = max(1, int(max_spans_per_trace))
+        self._traces: "OrderedDict[str, list]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.dropped_spans = 0
+
+    def __call__(self, span) -> None:
+        record = span.to_dict()
+        trace_id = record.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                bucket = self._traces[trace_id] = []
+                while len(self._traces) > self.max_traces:
+                    _, evicted = self._traces.popitem(last=False)
+                    self.dropped_spans += len(evicted)
+            if len(bucket) < self.max_spans_per_trace:
+                bucket.append(record)
+            else:
+                self.dropped_spans += 1
+
+    def pop(self, trace_id: Optional[str]) -> list:
+        """Remove and return one trace's spans ([] when unknown)."""
+        if not trace_id:
+            return []
+        with self._lock:
+            return self._traces.pop(trace_id, [])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class SlowQueryRing:
+    """A bounded on-disk ring of slow-query JSON documents.
+
+    :param directory: created on first write; one ``slow-<slot>.json``
+        file per entry, slots reused circularly.
+    :param capacity: maximum files kept (oldest overwritten first).
+
+    The sequence number survives restarts: on construction the ring scans
+    the directory and resumes after the highest recorded ``seq``.
+    """
+
+    def __init__(self, directory: str, capacity: int = 32):
+        self.directory = directory
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._seq = self._resume_seq()
+        self.written = 0
+
+    def _resume_seq(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        highest = -1
+        for name in names:
+            if not _SLOT_RE.match(name):
+                continue
+            try:
+                with open(
+                    os.path.join(self.directory, name), "r", encoding="utf-8"
+                ) as handle:
+                    entry = json.load(handle)
+                highest = max(highest, int(entry.get("seq", -1)))
+            except (OSError, ValueError):
+                continue
+        return highest + 1
+
+    def record(self, document: dict) -> str:
+        """Persist one slow-query document; returns the file path written.
+
+        The document gains ``seq`` and ``recorded_unix`` fields; the write
+        is atomic (tmp file + rename), so a crash mid-write never leaves a
+        torn entry in the ring.
+        """
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        slot = seq % self.capacity
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"slow-{slot:04d}.json")
+        payload = dict(document)
+        payload["seq"] = seq
+        payload["recorded_unix"] = time.time()
+        tmp = f"{path}.tmp-{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+            handle.write("\n")
+        os.replace(tmp, path)
+        with self._lock:
+            self.written += 1
+        return path
+
+    def entries(self) -> list:
+        """Every readable entry, oldest first (by ``seq``)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if not _SLOT_RE.match(name):
+                continue
+            try:
+                with open(
+                    os.path.join(self.directory, name), "r", encoding="utf-8"
+                ) as handle:
+                    out.append(json.load(handle))
+            except (OSError, ValueError):
+                continue
+        out.sort(key=lambda entry: entry.get("seq", 0))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:
+        return f"SlowQueryRing({self.directory!r}, capacity={self.capacity})"

@@ -39,6 +39,8 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import InfeasibleError, ServiceError, ValidationError
 from repro.mc import run_monte_carlo
+from repro.obs.export import MetricsRegistry
+from repro.obs.profiler import active_profiler, tagged
 from repro.obs.tracer import current_tracer, new_trace_id
 from repro.queries.licm_eval import evaluate_licm
 from repro.queries.workload import QUERY_BUILDERS
@@ -191,6 +193,13 @@ class QueryScheduler:
     :param allow_cold: build encodings on first use instead of rejecting
         requests for un-warmed ``(scheme, k)`` pairs (tests convenience;
         production serving should :meth:`warm` explicitly).
+    :param slow_threshold_ms: requests whose end-to-end latency exceeds
+        this are captured into ``slow_log`` (``None`` disables capture).
+    :param slow_log: a :class:`~repro.obs.slowlog.SlowQueryRing` receiving
+        one document per slow request.
+    :param span_buffer: a :class:`~repro.obs.slowlog.SpanBuffer` attached
+        to the serving tracer; the scheduler pops each request's span
+        tree from it on completion (persisted only for slow requests).
     """
 
     def __init__(
@@ -200,13 +209,34 @@ class QueryScheduler:
         max_queue: int = 64,
         default_deadline_ms: Optional[float] = None,
         allow_cold: bool = False,
+        slow_threshold_ms: Optional[float] = None,
+        slow_log=None,
+        span_buffer=None,
     ):
         self.context = context
         self.workers = max(1, int(workers))
         self.max_queue = max(1, int(max_queue))
         self.default_deadline_ms = default_deadline_ms
         self.allow_cold = allow_cold
+        self.slow_threshold_ms = slow_threshold_ms
+        self.slow_log = slow_log
+        self.span_buffer = span_buffer
         self.stats = SchedulerStats()
+        # Real latency *distributions* (the /metrics histograms) live here,
+        # one registry per scheduler so concurrent schedulers in one
+        # process (tests) never cross-pollute.  Every observation carries a
+        # trace-id exemplar when the request ran under an active tracer.
+        self.metrics = MetricsRegistry()
+        self._hist_queue_wait = self.metrics.histogram(
+            "service_queue_wait_seconds", "Admission-to-worker queue wait"
+        )
+        self._hist_solve = self.metrics.histogram(
+            "service_solve_duration_seconds", "BIP solve wall per request"
+        )
+        self._hist_total = self.metrics.histogram(
+            "service_request_duration_seconds",
+            "End-to-end request latency (terminal status as label)",
+        )
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue(self.max_queue)
         # Keyed at two levels: ("request", *dedup_key) before plan
         # evaluation and ("bip", fingerprint) after preparation.
@@ -357,11 +387,73 @@ class QueryScheduler:
                 logger.exception("request %s failed", pending.request.request_id)
                 response = self._error_response(pending, repr(exc))
             pending.finish(response)
+            total_s = time.monotonic() - pending.enqueued
             self.stats.record_done(
                 response.status,
-                total_s=time.monotonic() - pending.enqueued,
+                total_s=total_s,
                 solve_s=response.solve_ms / 1000.0,
             )
+            self._observe_done(pending, response, total_s)
+
+    def _observe_done(self, pending: _Pending, response: QueryResponse, total_s: float) -> None:
+        """Post-terminal accounting: histograms, exemplars, slow-query log.
+
+        Runs after ``pending.finish`` on purpose: the caller is already
+        unblocked, and a failure here must never turn a served request
+        into an error.
+        """
+        try:
+            exemplar = {"trace_id": response.trace_id} if response.trace_id else None
+            self._hist_queue_wait.observe(response.queue_ms / 1e3, exemplar=exemplar)
+            self._hist_solve.observe(response.solve_ms / 1e3, exemplar=exemplar)
+            self._hist_total.observe(
+                total_s, labels={"status": response.status}, exemplar=exemplar
+            )
+            spans = (
+                self.span_buffer.pop(response.trace_id)
+                if self.span_buffer is not None
+                else []
+            )
+            if (
+                self.slow_threshold_ms is not None
+                and total_s * 1e3 >= self.slow_threshold_ms
+                and self.slow_log is not None
+            ):
+                self._record_slow(pending, response, total_s, spans)
+        except Exception:  # noqa: BLE001 — observability must not break serving
+            logger.exception(
+                "post-completion accounting for %s failed", pending.request.request_id
+            )
+
+    def _record_slow(
+        self, pending: _Pending, response: QueryResponse, total_s: float, spans: list
+    ) -> None:
+        """Persist the full context of one over-threshold request."""
+        profiler = active_profiler()
+        profile = (
+            profiler.folded(trace_id=response.trace_id)
+            if profiler is not None and response.trace_id
+            else {}
+        )
+        path = self.slow_log.record(
+            {
+                "trace_id": response.trace_id,
+                "fingerprint": response.fingerprint,
+                "total_ms": total_s * 1e3,
+                "threshold_ms": self.slow_threshold_ms,
+                "request": pending.request.to_dict(),
+                "response": response.to_dict(),
+                "spans": spans,
+                "profile_folded": profile,
+            }
+        )
+        logger.warning(
+            "slow query %s (%.1f ms >= %.1f ms) captured to %s",
+            pending.request.request_id,
+            total_s * 1e3,
+            self.slow_threshold_ms,
+            path,
+        )
 
     def _error_response(self, pending: _Pending, message: str) -> QueryResponse:
         return QueryResponse(
@@ -422,24 +514,31 @@ class QueryScheduler:
             k=request.k,
         ) as root:
             trace_id = root.trace_id or None
-            encoded, session, model_lock = self._resolve(request)
-            plan = self._build_plan(request, encoded)
+            # Attribute this worker's profiler samples to the request's
+            # trace id for the duration of the request (no-op when no
+            # sampling profiler is running — a single dict write).
+            with tagged(trace_id):
+                encoded, session, model_lock = self._resolve(request)
+                plan = self._build_plan(request, encoded)
 
-            remaining = self._remaining_s(pending)
-            if remaining is not None and remaining <= 0:
-                self.stats.record_deadline_miss()
-                root.set("outcome", "deadline_before_start")
-                return self._degrade(
-                    pending, encoded, plan, queue_ms, 0.0, trace_id, cause="queue wait"
-                )
+                remaining = self._remaining_s(pending)
+                if remaining is not None and remaining <= 0:
+                    self.stats.record_deadline_miss()
+                    root.set("outcome", "deadline_before_start")
+                    return self._degrade(
+                        pending, encoded, plan, queue_ms, 0.0, trace_id,
+                        cause="queue wait",
+                    )
 
-            if isinstance(plan, (MinAttr, MaxAttr)):
-                return self._serve_minmax(
-                    pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
+                if isinstance(plan, (MinAttr, MaxAttr)):
+                    return self._serve_minmax(
+                        pending, encoded, session, model_lock, plan, queue_ms,
+                        trace_id, root,
+                    )
+                return self._serve_linear(
+                    pending, encoded, session, model_lock, plan, queue_ms,
+                    trace_id, root,
                 )
-            return self._serve_linear(
-                pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
-            )
 
     def _join_flight(self, key: tuple) -> Tuple[_Flight, bool]:
         """Register (leader) or join (follower) the in-flight unit ``key``."""

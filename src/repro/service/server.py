@@ -32,7 +32,8 @@ import repro
 from repro.errors import ValidationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentContext
-from repro.obs.export import JsonlSink, MetricsRegistry, build_metrics
+from repro.obs.export import JsonlSink, MetricsRegistry, build_metrics, global_registry
+from repro.obs.slowlog import SlowQueryRing, SpanBuffer
 from repro.obs.tracer import Tracer, activate
 from repro.service.api import QueryRequest, http_status_for
 from repro.service.scheduler import QueryScheduler
@@ -60,20 +61,36 @@ class QueryService:
         default_deadline_ms: Optional[float] = None,
         allow_cold: bool = False,
         trace_path: Optional[str] = None,
+        slow_threshold_ms: Optional[float] = None,
+        slow_log_dir: Optional[str] = None,
+        slow_log_capacity: int = 32,
     ):
         self.config = config or ExperimentConfig()
         self.context = ExperimentContext(self.config)
+        # Slow-query capture: a per-trace span buffer feeds the scheduler,
+        # which persists over-threshold requests to a bounded on-disk ring.
+        self.slow_log: Optional[SlowQueryRing] = None
+        self._span_buffer: Optional[SpanBuffer] = None
+        if slow_threshold_ms is not None:
+            self.slow_log = SlowQueryRing(
+                slow_log_dir or "slow-queries", capacity=slow_log_capacity
+            )
+            self._span_buffer = SpanBuffer()
         self.scheduler = QueryScheduler(
             self.context,
             workers=workers,
             max_queue=max_queue,
             default_deadline_ms=default_deadline_ms,
             allow_cold=allow_cold,
+            slow_threshold_ms=slow_threshold_ms,
+            slow_log=self.slow_log,
+            span_buffer=self._span_buffer,
         )
         self._sink = JsonlSink(trace_path) if trace_path else None
+        sinks = [s for s in (self._sink, self._span_buffer) if s is not None]
         # retain=False: a serving process must not accumulate spans forever;
         # the JSONL stream (if any) is the durable record.
-        self.tracer = Tracer([self._sink] if self._sink else [], retain=False)
+        self.tracer = Tracer(sinks, retain=False)
         self._activation = activate(self.tracer)
         self._activation.__enter__()
         self.started_unix = time.time()
@@ -116,10 +133,33 @@ class QueryService:
             "scheduler": self.scheduler.stats.snapshot(),
             "sessions": self.context.cache_stats(),
             "trace": self._sink.path if self._sink else None,
+            "slow_log": (
+                {
+                    "directory": self.slow_log.directory,
+                    "threshold_ms": self.scheduler.slow_threshold_ms,
+                    "written": self.slow_log.written,
+                }
+                if self.slow_log is not None
+                else None
+            ),
         }
 
     def metrics_text(self) -> str:
-        """One Prometheus-text scrape (a fresh registry every call)."""
+        """One Prometheus-text scrape.
+
+        Three sections concatenated (metric names are disjoint):
+
+        1. a fresh snapshot registry — engine/telemetry families
+           (:func:`build_metrics`), service gauges and status counters,
+           plus the **deprecated** latency-quantile gauges
+           (``repro_service_latency_seconds`` /
+           ``repro_service_solve_seconds``), kept for one release for
+           dashboards still scraping them;
+        2. the scheduler's long-lived **histograms** (queue wait, solve
+           wall, end-to-end latency) with trace-id exemplars;
+        3. the process-global registry (engine solve wall, B&B
+           nodes/prunes per search), also exemplar-bearing.
+        """
         registry = MetricsRegistry()
         build_metrics(self.context.telemetry, registry=registry)
         stats = self.scheduler.stats.snapshot()
@@ -146,17 +186,29 @@ class QueryService:
         registry.counter(
             "service_rejected_total", "Requests refused by admission control"
         ).inc(stats["rejected_full"])
+        if self.slow_log is not None:
+            registry.counter(
+                "service_slow_queries_total", "Requests captured by the slow-query log"
+            ).inc(self.slow_log.written)
         latency = registry.gauge(
-            "service_latency_seconds", "End-to-end request latency quantiles"
+            "service_latency_seconds",
+            "DEPRECATED (use repro_service_request_duration_seconds): "
+            "end-to-end latency quantiles",
         )
         latency.set(stats["latency_p50_s"], labels={"quantile": "0.5"})
         latency.set(stats["latency_p99_s"], labels={"quantile": "0.99"})
         solve = registry.gauge(
-            "service_solve_seconds", "BIP solve latency quantiles"
+            "service_solve_seconds",
+            "DEPRECATED (use repro_service_solve_duration_seconds): "
+            "BIP solve latency quantiles",
         )
         solve.set(stats["solve_p50_s"], labels={"quantile": "0.5"})
         solve.set(stats["solve_p99_s"], labels={"quantile": "0.99"})
-        return registry.render()
+        return (
+            registry.render()
+            + self.scheduler.metrics.render()
+            + global_registry().render()
+        )
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -239,6 +291,8 @@ def serve(
     default_deadline_ms: Optional[float] = None,
     allow_cold: bool = False,
     trace_path: Optional[str] = None,
+    slow_threshold_ms: Optional[float] = None,
+    slow_log_dir: Optional[str] = None,
     ready_file: Optional[str] = None,
     block: bool = True,
 ):
@@ -262,6 +316,8 @@ def serve(
         default_deadline_ms=default_deadline_ms,
         allow_cold=allow_cold,
         trace_path=trace_path,
+        slow_threshold_ms=slow_threshold_ms,
+        slow_log_dir=slow_log_dir,
     )
     try:
         httpd = ServiceHTTPServer((host, port), service)

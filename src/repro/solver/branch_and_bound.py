@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.engine.telemetry import Stopwatch
 from repro.errors import InfeasibleError
+from repro.obs.export import global_registry
 from repro.obs.tracer import NullSpan, current_tracer
 from repro.solver.heuristics import round_and_repair
 from repro.solver.model import BIPProblem
@@ -37,6 +38,31 @@ from repro.solver.result import Solution, SolverOptions
 logger = logging.getLogger(__name__)
 
 _NULL_SPAN = NullSpan()
+
+#: count-shaped buckets for the per-search node/prune distributions
+_SEARCH_BUCKETS = (1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000)
+
+
+def _observe_search(span, nodes: int, prunes_total: int) -> None:
+    """Always-on histograms over completed searches (exemplar = trace id).
+
+    The distribution of nodes/prunes *per solve* is what makes "the p99
+    solve exploded" legible on a scrape — each bucket carries a trace-id
+    exemplar so the offending search's span tree is one lookup away.
+    """
+    trace_id = getattr(span, "trace_id", "")
+    exemplar = {"trace_id": trace_id} if trace_id else None
+    registry = global_registry()
+    registry.histogram(
+        "bb_nodes_per_solve",
+        "Branch-and-bound nodes expanded per completed search",
+        buckets=_SEARCH_BUCKETS,
+    ).observe(nodes, exemplar=exemplar)
+    registry.histogram(
+        "bb_prunes_per_solve",
+        "Branch-and-bound prunes (all reasons) per completed search",
+        buckets=_SEARCH_BUCKETS,
+    ).observe(prunes_total, exemplar=exemplar)
 
 
 def solve_bip(
@@ -320,6 +346,7 @@ def _solve_max(
                 )
 
     elapsed = clock.elapsed
+    _observe_search(span, nodes_processed, sum(prunes.values()))
     span.set("max_depth", max_depth).set("incumbent_updates", incumbent_updates)
     span.set("bound_improvements", bound_improvements)
     span.set("integral_leaves", integral_leaves)

@@ -74,6 +74,75 @@ def test_validate_trace_catches_malformed(tmp_path):
     assert any("dangling parent" in p for p in validate_trace(dangling))
 
 
+def _span_line(span_id: str, parent: str = None) -> str:
+    return json.dumps(
+        {
+            "trace_id": "t",
+            "span_id": span_id,
+            "parent_id": parent,
+            "name": f"op-{span_id}",
+            "start_unix": 0.0,
+            "duration": 0.1,
+            "status": "ok",
+            "attributes": {},
+        }
+    )
+
+
+def test_truncated_trailing_line_is_dropped_and_counted(tmp_path):
+    """A writer killed mid-line (crash) leaves a readable trace prefix."""
+    from repro.obs import load_jsonl
+
+    path = str(tmp_path / "crashed.jsonl")
+    with open(path, "w") as handle:
+        handle.write(_span_line("a") + "\n")
+        handle.write(_span_line("b") + "\n")
+        handle.write('{"trace_id": "t", "span_id": "c", "na')  # torn mid-write
+    records, truncated = load_jsonl(path)
+    assert [r["span_id"] for r in records] == ["a", "b"]
+    assert truncated == 1
+    assert [r["span_id"] for r in read_jsonl(path)] == ["a", "b"]
+    # validate_trace reads through the same tolerant loader.
+    assert validate_trace(path) == []
+
+
+def test_midfile_corruption_still_raises(tmp_path):
+    from repro.obs import load_jsonl
+
+    path = str(tmp_path / "corrupt.jsonl")
+    with open(path, "w") as handle:
+        handle.write(_span_line("a") + "\n")
+        handle.write("{definitely not json}\n")
+        handle.write(_span_line("b") + "\n")
+    with pytest.raises(ValueError, match="corrupt JSONL line"):
+        load_jsonl(path)
+
+
+def test_truncation_that_loses_a_parent_still_flags_dangling(tmp_path):
+    """Tolerating the torn line must not hide the hole it leaves."""
+    path = str(tmp_path / "lost-parent.jsonl")
+    with open(path, "w") as handle:
+        handle.write(_span_line("child", parent="root") + "\n")
+        handle.write(_span_line("root")[:20])  # the root span was torn
+    problems = validate_trace(path)
+    assert any("dangling parent" in p for p in problems)
+
+
+def test_jsonl_sink_flushes_per_span(tmp_path):
+    """Each finished span is readable immediately — no buffering window."""
+    path = str(tmp_path / "live.jsonl")
+    sink = JsonlSink(path)
+    tracer = Tracer([sink], retain=False)
+    with tracer.span("first"):
+        pass
+    # The file is complete *now*, while the sink is still open.
+    assert [r["name"] for r in read_jsonl(path)] == ["first"]
+    with tracer.span("second"):
+        pass
+    assert [r["name"] for r in read_jsonl(path)] == ["first", "second"]
+    sink.close()
+
+
 # -- Prometheus text ----------------------------------------------------------
 
 

@@ -1,0 +1,198 @@
+"""Prometheus text-exposition correctness: ordering, escaping, histograms.
+
+These tests pin the exposition *format* — what an actual Prometheus
+scraper parses — not just our own round-trip: HELP-before-TYPE-before-
+samples per family, label escaping, cumulative (monotone) ``le`` buckets,
+``+Inf`` == ``_count``, and the OpenMetrics exemplar suffix.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import Exemplar, MetricsRegistry
+
+
+def _families(text: str) -> dict:
+    """Split exposition text into {metric_name: [lines]} by HELP headers."""
+    families: dict = {}
+    current = None
+    for line in text.splitlines():
+        match = re.match(r"# HELP (\S+) ", line)
+        if match:
+            current = match.group(1)
+            families[current] = []
+        assert current is not None, f"sample before any HELP: {line!r}"
+        families[current].append(line)
+    return families
+
+
+# -- family structure --------------------------------------------------------
+def test_help_then_type_then_samples_per_family():
+    registry = MetricsRegistry()
+    registry.counter("a_total", "counter a").inc(1)
+    registry.gauge("b", "gauge b").set(2)
+    registry.histogram("c_seconds", "hist c").observe(0.2)
+    for name, lines in _families(registry.render()).items():
+        assert lines[0].startswith(f"# HELP {name} ")
+        assert lines[1].startswith(f"# TYPE {name} ")
+        assert len(lines) > 2, f"{name} has no samples"
+        for sample in lines[2:]:
+            assert not sample.startswith("#")
+            assert sample.split("{")[0].split(" ")[0].startswith(name)
+
+
+def test_families_render_in_sorted_name_order():
+    registry = MetricsRegistry()
+    registry.gauge("zzz", "").set(1)
+    registry.gauge("aaa", "").set(1)
+    names = list(_families(registry.render()))
+    assert names == sorted(names)
+
+
+def test_type_lines_match_instrument_kind():
+    registry = MetricsRegistry()
+    registry.counter("c", "").inc()
+    registry.gauge("g", "").set(0)
+    registry.histogram("h", "").observe(1)
+    text = registry.render()
+    assert "# TYPE repro_c counter" in text
+    assert "# TYPE repro_g gauge" in text
+    assert "# TYPE repro_h histogram" in text
+
+
+def test_registering_same_name_as_other_kind_raises():
+    registry = MetricsRegistry()
+    registry.gauge("dual", "")
+    with pytest.raises(TypeError, match="already registered as gauge"):
+        registry.histogram("dual", "")
+
+
+# -- label escaping ----------------------------------------------------------
+def test_label_values_escape_quotes_backslashes_newlines():
+    registry = MetricsRegistry()
+    registry.counter("esc_total", "").inc(
+        1, labels={"q": 'say "hi"', "b": "a\\b", "n": "line1\nline2"}
+    )
+    line = [
+        l for l in registry.render().splitlines() if l.startswith("repro_esc_total{")
+    ][0]
+    assert 'q="say \\"hi\\""' in line
+    assert 'b="a\\\\b"' in line
+    assert 'n="line1\\nline2"' in line
+
+
+def test_labels_render_sorted_and_stable():
+    registry = MetricsRegistry()
+    registry.gauge("lbl", "").set(1, labels={"zeta": "1", "alpha": "2"})
+    line = [l for l in registry.render().splitlines() if l.startswith("repro_lbl{")][0]
+    assert line.index('alpha="2"') < line.index('zeta="1"')
+
+
+# -- histogram correctness ---------------------------------------------------
+def _bucket_counts(lines, name):
+    out = []
+    for line in lines:
+        match = re.match(rf"{name}_bucket{{.*le=\"([^\"]+)\".*}} (\d+)", line)
+        if match:
+            out.append((match.group(1), int(match.group(2))))
+    return out
+
+
+def test_bucket_counts_cumulative_and_monotone():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(0.1, 0.5, 1.0))
+    for value in (0.05, 0.05, 0.3, 0.7, 2.0):
+        hist.observe(value)
+    lines = registry.render().splitlines()
+    buckets = _bucket_counts(lines, "repro_lat")
+    assert [b for b, _ in buckets] == ["0.1", "0.5", "1", "+Inf"]
+    counts = [c for _, c in buckets]
+    assert counts == [2, 3, 4, 5]
+    assert counts == sorted(counts), "le buckets must be monotonically non-decreasing"
+
+
+def test_inf_bucket_equals_count_and_sum_consistent():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(1.0,))
+    observations = (0.5, 1.5, 100.0)
+    for value in observations:
+        hist.observe(value)
+    text = registry.render()
+    inf = int(re.search(r'repro_lat_bucket{le="\+Inf"} (\d+)', text).group(1))
+    count = int(re.search(r"repro_lat_count (\d+)", text).group(1))
+    total = float(re.search(r"repro_lat_sum (\S+)", text).group(1))
+    assert inf == count == len(observations)
+    assert total == pytest.approx(sum(observations))
+
+
+def test_labelled_histogram_series_are_independent():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(1.0,))
+    hist.observe(0.5, labels={"status": "ok"})
+    hist.observe(2.0, labels={"status": "degraded"})
+    text = registry.render()
+    assert re.search(r'repro_lat_bucket{status="ok",le="1"} 1', text)
+    assert re.search(r'repro_lat_bucket{status="degraded",le="1"} 0', text)
+    assert re.search(r'repro_lat_count{status="ok"} 1', text)
+
+
+def test_inf_renders_as_plus_inf_value():
+    registry = MetricsRegistry()
+    registry.gauge("g", "").set(math.inf)
+    assert "repro_g +Inf" in registry.render()
+
+
+# -- exemplars ---------------------------------------------------------------
+def test_exemplar_attached_to_landing_bucket_only():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(0.1, 1.0))
+    hist.observe(0.5, exemplar={"trace_id": "abc123"})
+    lines = registry.render().splitlines()
+    marked = [l for l in lines if "# {" in l]
+    assert len(marked) == 1
+    line = marked[0]
+    assert 'le="1"' in line  # 0.5 lands in (0.1, 1.0]
+    assert re.search(r'# \{trace_id="abc123"\} 0\.5 \d+\.\d{3}$', line)
+
+
+def test_exemplar_lands_in_inf_bucket_past_last_bound():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(0.1,))
+    hist.observe(5.0, exemplar={"trace_id": "t"})
+    marked = [l for l in registry.render().splitlines() if "# {" in l]
+    assert len(marked) == 1
+    assert 'le="+Inf"' in marked[0]
+
+
+def test_newest_exemplar_replaces_older_in_same_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(1.0,))
+    hist.observe(0.2, exemplar={"trace_id": "old"})
+    hist.observe(0.3, exemplar={"trace_id": "new"})
+    text = registry.render()
+    assert 'trace_id="new"' in text
+    assert 'trace_id="old"' not in text
+
+
+def test_render_without_exemplars_is_clean():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(1.0,))
+    hist.observe(0.2, exemplar={"trace_id": "t"})
+    plain = "\n".join(hist.render(exemplars=False))
+    assert "# {" not in plain
+
+
+def test_exemplar_render_format():
+    mark = Exemplar({"trace_id": "t1"}, 0.25, timestamp=1700000000.1234)
+    assert mark.render() == '# {trace_id="t1"} 0.25 1700000000.123'
+
+
+def test_unexemplared_observations_render_bare():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "", buckets=(1.0,))
+    hist.observe(0.2)
+    assert "# {" not in registry.render()

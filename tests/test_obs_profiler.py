@@ -1,0 +1,161 @@
+"""The sampling profiler: both engines, trace attribution, folded output."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    SamplingProfiler,
+    active_profiler,
+    tag_thread,
+    tagged,
+    untag_thread,
+)
+
+
+def _spin(seconds: float, stop: threading.Event = None) -> None:
+    deadline = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < deadline:
+        if stop is not None and stop.is_set():
+            return
+        acc += 1
+
+
+# -- lifecycle ---------------------------------------------------------------
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="auto|signal|thread"):
+        SamplingProfiler(mode="perf")
+
+
+def test_active_profiler_tracks_start_stop():
+    assert active_profiler() is None
+    profiler = SamplingProfiler(interval=0.001, mode="thread")
+    profiler.start()
+    try:
+        assert active_profiler() is profiler
+        assert profiler.running
+        profiler.start()  # idempotent
+    finally:
+        profiler.stop()
+    assert active_profiler() is None
+    assert not profiler.running
+    profiler.stop()  # idempotent
+
+
+def test_context_manager_starts_and_stops():
+    with SamplingProfiler(interval=0.001, mode="thread") as profiler:
+        assert profiler.running
+        _spin(0.05)
+    assert not profiler.running
+    assert profiler.samples_taken > 0
+
+
+# -- thread engine -----------------------------------------------------------
+def test_thread_mode_samples_worker_threads():
+    stop = threading.Event()
+    worker = threading.Thread(target=_spin, args=(5.0, stop), name="busy")
+    with SamplingProfiler(interval=0.001, mode="thread") as profiler:
+        worker.start()
+        _spin(0.1)
+    stop.set()
+    worker.join()
+    folded = profiler.folded()
+    assert folded, "no stacks sampled"
+    # The busy worker's frames must appear in some sampled stack.
+    assert any("_spin" in stack for stack in folded)
+    assert sum(folded.values()) == profiler.samples_taken
+
+
+def test_signal_mode_samples_main_thread():
+    if not hasattr(signal, "setitimer"):
+        pytest.skip("setitimer unavailable on this platform")
+    with SamplingProfiler(interval=0.001, mode="signal") as profiler:
+        _spin(0.2)
+    assert profiler.samples_taken > 0
+    assert any("_spin" in stack for stack in profiler.folded())
+
+
+def test_auto_mode_resolves_on_main_thread():
+    profiler = SamplingProfiler(interval=0.001, mode="auto")
+    with profiler:
+        _spin(0.02)
+    expected = "signal" if hasattr(signal, "setitimer") else "thread"
+    assert profiler._resolved_mode == expected
+
+
+# -- trace attribution -------------------------------------------------------
+def test_tagged_thread_samples_attributed_to_trace():
+    stop = threading.Event()
+
+    def worker():
+        with tagged("trace-abc"):
+            _spin(5.0, stop)
+
+    thread = threading.Thread(target=worker)
+    with SamplingProfiler(interval=0.001, mode="thread") as profiler:
+        thread.start()
+        _spin(0.15)
+    stop.set()
+    thread.join()
+
+    slice_ = profiler.folded(trace_id="trace-abc")
+    assert slice_, "no samples attributed to the tagged trace"
+    assert all(not stack.startswith("trace:") for stack in slice_)
+    # In the combined view the same samples are rooted under trace:<id>.
+    combined = profiler.folded()
+    assert any(stack.startswith("trace:trace-abc;") for stack in combined)
+    # An unknown trace id yields an empty slice, not an error.
+    assert profiler.folded(trace_id="nope") == {}
+
+
+def test_tagged_none_is_noop():
+    ident = threading.get_ident()
+    with tagged(None):
+        from repro.obs.profiler import _THREAD_TRACES
+
+        assert ident not in _THREAD_TRACES
+    tag_thread("x")
+    untag_thread()
+    untag_thread()  # idempotent
+
+
+# -- output ------------------------------------------------------------------
+def test_write_folded_emits_stack_count_lines(tmp_path):
+    with SamplingProfiler(interval=0.001, mode="thread") as profiler:
+        _spin(0.08)
+    path = str(tmp_path / "out.folded")
+    lines_written = profiler.write_folded(path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    assert len(lines) == lines_written > 0
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack, line
+        assert int(count) >= 1
+        # folded format: semicolon-joined frames, root first
+        assert all(frame for frame in stack.split(";"))
+
+
+def test_max_unique_stacks_overflow_goes_to_truncated_bucket():
+    profiler = SamplingProfiler(mode="thread", max_unique_stacks=1)
+
+    class _Code:
+        co_filename = "f.py"
+
+    class _Frame:
+        f_back = None
+
+        def __init__(self, name):
+            self.f_code = _Code()
+            self.f_code = type("C", (), {"co_filename": "f.py", "co_name": name})()
+
+    profiler._record(0, _Frame("a"))
+    profiler._record(0, _Frame("b"))
+    profiler._record(0, _Frame("c"))
+    folded = profiler.folded()
+    assert folded.get("(truncated)") == 2
+    assert folded.get("f.py:a") == 1

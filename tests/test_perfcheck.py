@@ -1,0 +1,198 @@
+"""The perf-regression gate: measurement protocol and decision rule."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import perfcheck
+from repro.obs.perfcheck import Scenario, calibrate, check, measure
+
+
+def _toy_scenarios(order_log=None):
+    def make(name):
+        def setup():
+            return name
+
+        def run(state):
+            if order_log is not None:
+                order_log.append(state)
+            total = 0
+            for i in range(2_000):  # ~50us: big enough to time, cheap enough for CI
+                total += i
+            return total
+
+        return Scenario(name, setup, run)
+
+    return [make("alpha"), make("beta")]
+
+
+# -- measure -----------------------------------------------------------------
+def test_measure_interleaves_round_robin_with_warmup():
+    log = []
+    result = measure(_toy_scenarios(log), reps=3)
+    # warmup (alpha, beta) then three interleaved rounds
+    assert log == ["alpha", "beta"] * 4
+    for name in ("alpha", "beta"):
+        stats = result["scenarios"][name]
+        assert len(stats["samples"]) == 3
+        assert stats["median_s"] >= 0
+        assert stats["mad_s"] >= 0
+    assert result["calibration_s"] > 0
+
+
+def test_measure_inject_slowdown_scales_samples():
+    def setup():
+        return None
+
+    def run(state):
+        t = 0
+        for i in range(20_000):
+            t += i
+
+    base = measure([Scenario("s", setup, run)], reps=5)
+    slowed = measure([Scenario("s", setup, run)], reps=5, inject_slowdown=3.0)
+    ratio = slowed["scenarios"]["s"]["median_s"] / base["scenarios"]["s"]["median_s"]
+    assert ratio > 1.8, f"injected 3x slowdown only measured as {ratio:.2f}x"
+
+
+def test_calibrate_returns_positive_seconds():
+    assert calibrate(iters=10_000) > 0
+
+
+# -- check -------------------------------------------------------------------
+def _result(medians, mads=None, calibration=1.0):
+    mads = mads or {}
+    return {
+        "calibration_s": calibration,
+        "scenarios": {
+            name: {"samples": [m], "median_s": m, "mad_s": mads.get(name, 0.0)}
+            for name, m in medians.items()
+        },
+    }
+
+
+def test_check_passes_when_within_tolerance():
+    baseline = _result({"a": 0.100})
+    current = _result({"a": 0.110})
+    report = check(current, baseline, rel_tol=0.35, mad_multiplier=4.0)
+    assert report["ok"]
+    assert not report["scenarios"]["a"]["regressed"]
+
+
+def test_check_fails_on_clear_regression():
+    baseline = _result({"a": 0.100})
+    current = _result({"a": 0.250})
+    report = check(current, baseline)
+    assert not report["ok"]
+    assert report["scenarios"]["a"]["regressed"]
+    assert report["scenarios"]["a"]["ratio"] == pytest.approx(2.5)
+
+
+def test_check_rescales_baseline_by_cpu_speed_ratio():
+    # Same workload on a machine the calibration says is 2x slower: the
+    # doubled median must NOT count as a regression.
+    baseline = _result({"a": 0.100}, calibration=0.050)
+    current = _result({"a": 0.200}, calibration=0.100)
+    report = check(current, baseline)
+    assert report["speed_ratio"] == pytest.approx(2.0)
+    assert report["ok"], report
+
+
+def test_check_mad_slack_absorbs_noisy_scenarios():
+    baseline = _result({"a": 0.100}, mads={"a": 0.020})
+    # 1.55x the baseline: over the 35% rel_tol alone, inside rel_tol + 4*MAD.
+    current = _result({"a": 0.155})
+    report = check(current, baseline)
+    assert report["ok"], report["scenarios"]["a"]
+
+
+def test_check_new_and_missing_scenarios_never_fail_the_gate():
+    baseline = _result({"a": 0.1, "gone": 0.1})
+    current = _result({"a": 0.1, "fresh": 0.1})
+    report = check(current, baseline)
+    assert report["ok"]
+    assert report["missing_from_baseline"] == ["fresh"]
+    assert report["missing_from_current"] == ["gone"]
+
+
+# -- CLI ---------------------------------------------------------------------
+def test_main_update_then_pass_then_injected_failure(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()
+    )
+    monkeypatch.setattr(perfcheck, "_CALIBRATION_ITERS", 10_000)
+    baseline_path = str(tmp_path / "BENCH_perfcheck.json")
+
+    assert perfcheck.main(["--update", "--baseline", baseline_path, "--reps", "3"]) == 0
+    document = json.load(open(baseline_path, encoding="utf-8"))
+    assert "full" in document["modes"]
+
+    report_path = str(tmp_path / "report.json")
+    # Generous tolerance: this step checks CLI plumbing, not noise
+    # sensitivity, and microsecond toy scenarios jitter under suite load.
+    code = perfcheck.main(
+        [
+            "--baseline",
+            baseline_path,
+            "--reps",
+            "3",
+            "--rel-tol",
+            "3.0",
+            "--json",
+            report_path,
+        ]
+    )
+    assert code == 0
+    report = json.load(open(report_path, encoding="utf-8"))
+    assert report["ok"]
+
+    # Toy scenarios run in microseconds; a massive injected slowdown must
+    # trip the gate deterministically.
+    code = perfcheck.main(
+        ["--baseline", baseline_path, "--reps", "3", "--inject-slowdown", "10000"]
+    )
+    assert code == 1
+
+
+def test_main_missing_baseline_exits_2(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()
+    )
+    code = perfcheck.main(["--baseline", str(tmp_path / "absent.json"), "--reps", "2"])
+    assert code == 2
+
+
+def test_main_mode_mismatch_exits_2(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()
+    )
+    baseline_path = str(tmp_path / "b.json")
+    assert perfcheck.main(["--update", "--baseline", baseline_path, "--reps", "2"]) == 0
+    # Full baseline exists, quick entry does not.
+    code = perfcheck.main(["--quick", "--baseline", baseline_path, "--reps", "2"])
+    assert code == 2
+
+
+def test_main_update_preserves_other_mode(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()
+    )
+    baseline_path = str(tmp_path / "b.json")
+    assert perfcheck.main(["--update", "--baseline", baseline_path, "--reps", "2"]) == 0
+    assert (
+        perfcheck.main(["--quick", "--update", "--baseline", baseline_path, "--reps", "2"])
+        == 0
+    )
+    document = json.load(open(baseline_path, encoding="utf-8"))
+    assert set(document["modes"]) == {"full", "quick"}
+
+
+def test_cli_registered_under_python_dash_m_repro(capsys):
+    from repro.__main__ import main as repro_main
+
+    with pytest.raises(SystemExit):
+        repro_main(["perfcheck", "--help"])
+    out = capsys.readouterr().out
+    assert "--inject-slowdown" in out
