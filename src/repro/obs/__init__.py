@@ -22,12 +22,15 @@ See ``docs/observability.md`` and ``python -m repro trace``.
 """
 
 from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
     JsonlSink,
     MetricsRegistry,
     build_metrics,
     global_registry,
     load_jsonl,
     read_jsonl,
+    render_registries,
     render_report,
 )
 from repro.obs.manifest import (
@@ -53,6 +56,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "TEXT_CONTENT_TYPE",
     "SamplingProfiler",
     "SlowQueryRing",
     "Span",
@@ -67,6 +72,7 @@ __all__ = [
     "load_jsonl",
     "new_trace_id",
     "read_jsonl",
+    "render_registries",
     "render_report",
     "validate_manifest",
     "validate_trace",

@@ -26,12 +26,21 @@ from repro.obs.tracer import Span, Tracer, iter_tree
 __all__ = [
     "JsonlSink",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
+    "TEXT_CONTENT_TYPE",
     "build_metrics",
     "global_registry",
     "load_jsonl",
     "read_jsonl",
+    "render_registries",
     "render_report",
 ]
+
+#: Content types for the two supported expositions.  Exemplars are not
+#: legal in the 0.0.4 text format — they render only under
+#: ``application/openmetrics-text`` (see :meth:`MetricsRegistry.render`).
+TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 
 def _jsonable(value):
@@ -93,25 +102,26 @@ def load_jsonl(path: str) -> tuple[list[dict], int]:
     """Parse a JSONL trace; returns ``(records, truncated_lines)``.
 
     A writer killed mid-line (the crash the per-span flush is designed
-    for) leaves one partial **final** line: that line is dropped and
-    counted instead of raising, so a crashed run's trace stays readable.
-    A malformed line anywhere *before* the end is real corruption and
-    still raises ``ValueError``.
+    for) leaves one partial final line **without** a trailing newline:
+    that line is dropped and counted instead of raising, so a crashed
+    run's trace stays readable.  A malformed line that *is*
+    newline-terminated was written completely and is real corruption —
+    it raises ``ValueError`` wherever it sits, including at the end.
     """
     records: list[dict] = []
-    pending_error: Optional[ValueError] = None
+    truncated = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
-            if pending_error is not None:
-                raise pending_error
-            line = line.strip()
-            if not line:
+            text = line.strip()
+            if not text:
                 continue
             try:
-                records.append(json.loads(line))
+                records.append(json.loads(text))
             except ValueError as exc:
-                pending_error = ValueError(f"corrupt JSONL line: {exc}")
-    return records, (1 if pending_error is not None else 0)
+                if line.endswith("\n"):
+                    raise ValueError(f"corrupt JSONL line: {exc}") from exc
+                truncated += 1  # unterminated ⇒ the torn final write
+    return records, truncated
 
 
 def read_jsonl(path: str) -> list[dict]:
@@ -165,19 +175,40 @@ class _Instrument:
         # observations and renders consistent.
         self._lock = threading.Lock()
 
-    def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+    def _family_name(self, openmetrics: bool) -> str:
+        return self.name
+
+    def _sample_name(self, openmetrics: bool) -> str:
+        return self.name
+
+    def render(self, openmetrics: bool = False) -> list[str]:
+        family = self._family_name(openmetrics)
+        sample = self._sample_name(openmetrics)
+        lines = [f"# HELP {family} {self.help}", f"# TYPE {family} {self.kind}"]
         with self._lock:
             series = dict(self.series)
         for key in sorted(series):
             lines.append(
-                f"{self.name}{_format_labels(key)} {_format_value(series[key])}"
+                f"{sample}{_format_labels(key)} {_format_value(series[key])}"
             )
         return lines
 
 
 class Counter(_Instrument):
     kind = "counter"
+
+    # OpenMetrics names a counter *family* without the mandatory
+    # ``_total`` sample suffix (family ``foo``, samples ``foo_total``);
+    # the 0.0.4 text format has no such distinction.
+    def _family_name(self, openmetrics: bool) -> str:
+        if openmetrics and self.name.endswith("_total"):
+            return self.name[: -len("_total")]
+        return self.name
+
+    def _sample_name(self, openmetrics: bool) -> str:
+        if openmetrics and not self.name.endswith("_total"):
+            return self.name + "_total"
+        return self.name
 
     def inc(self, value: float = 1, labels: Optional[dict] = None) -> None:
         key = _labels_key(labels)
@@ -259,7 +290,13 @@ class Histogram(_Instrument):
             if exemplar:
                 data["exemplars"][landing] = Exemplar(exemplar, value)
 
-    def render(self, exemplars: bool = True) -> list[str]:
+    def render(self, openmetrics: bool = False) -> list[str]:
+        """Exposition lines; exemplars render only when ``openmetrics``.
+
+        Exemplars are OpenMetrics syntax — a 0.0.4 ``text/plain`` scrape
+        containing them fails to parse in real Prometheus, so the plain
+        render must stay exemplar-free.
+        """
         lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
         with self._lock:
             snapshot = {
@@ -277,7 +314,7 @@ class Histogram(_Instrument):
             def _line(index: int, bound_text: str, count: int) -> str:
                 bucket_key = key + (("le", bound_text),)  # noqa: B023 — key is loop-stable here
                 text = f"{self.name}_bucket{_format_labels(bucket_key)} {count}"
-                mark = data["exemplars"].get(index) if exemplars else None  # noqa: B023
+                mark = data["exemplars"].get(index) if openmetrics else None  # noqa: B023
                 return f"{text} {mark.render()}" if mark is not None else text
 
             for index, (bound, count) in enumerate(zip(self.buckets, data["counts"])):
@@ -323,17 +360,56 @@ class MetricsRegistry:
     def histogram(self, name: str, help_text: str = "", buckets=DURATION_BUCKETS) -> Histogram:
         return self._get(Histogram, name, help_text, buckets=buckets)
 
-    def render(self) -> str:
+    def _render_lines(self, openmetrics: bool) -> list[str]:
         with self._lock:
             instruments = [self._instruments[name] for name in sorted(self._instruments)]
         lines: list[str] = []
         for instrument in instruments:
-            lines.extend(instrument.render())
+            lines.extend(instrument.render(openmetrics))
+        return lines
+
+    def render(self, fmt: str = "text") -> str:
+        """One exposition of every instrument.
+
+        * ``fmt="text"`` — Prometheus text 0.0.4.  **No exemplars**:
+          they are not legal in that format and break real scrapers.
+        * ``fmt="openmetrics"`` — OpenMetrics 1.0: histogram buckets
+          carry exemplars, counter families drop the ``_total`` sample
+          suffix, and the exposition ends with the mandatory ``# EOF``.
+        """
+        openmetrics = _check_fmt(fmt)
+        lines = self._render_lines(openmetrics)
+        if openmetrics:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
     def write(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render())
+
+
+def _check_fmt(fmt: str) -> bool:
+    if fmt not in ("text", "openmetrics"):
+        raise ValueError(f"fmt must be 'text' or 'openmetrics', got {fmt!r}")
+    return fmt == "openmetrics"
+
+
+def render_registries(registries, fmt: str = "text") -> str:
+    """Concatenate several registries into one exposition.
+
+    Metric names must be disjoint across the registries (they are: the
+    service snapshot, the scheduler's histograms and the process-global
+    engine registry use distinct families).  In OpenMetrics mode the
+    single ``# EOF`` terminator lands once, at the very end — which is
+    why the service cannot just concatenate per-registry ``render()``.
+    """
+    openmetrics = _check_fmt(fmt)
+    lines: list[str] = []
+    for registry in registries:
+        lines.extend(registry._render_lines(openmetrics))
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 #: the always-on process registry instrumented layers observe into (the

@@ -41,20 +41,47 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 __all__ = [
-    "BASELINE_PATH",
     "Scenario",
     "calibrate",
     "check",
+    "default_baseline_path",
     "default_scenarios",
     "main",
     "measure",
 ]
 
-BASELINE_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
-    "benchmarks",
-    "BENCH_perfcheck.json",
-)
+_BASELINE_NAME = "BENCH_perfcheck.json"
+
+
+def default_baseline_path() -> Optional[str]:
+    """The nearest ``benchmarks/BENCH_perfcheck.json``, or ``None``.
+
+    Searches every ancestor of the working directory first (works from
+    any subdirectory of a checkout), then every ancestor of this file
+    (the src-layout checkout, regardless of CWD).  If no baseline file
+    exists yet, the first *existing* ``benchmarks/`` directory found the
+    same way is where ``--update`` will create one.  A pip-installed
+    package sitting outside any checkout has neither — callers must
+    pass ``--baseline`` explicitly.
+    """
+    candidates: List[str] = []
+    for start in (os.getcwd(), os.path.dirname(os.path.abspath(__file__))):
+        current = start
+        while True:
+            bench_dir = os.path.join(current, "benchmarks")
+            if bench_dir not in candidates:
+                candidates.append(bench_dir)
+            parent = os.path.dirname(current)
+            if parent == current:
+                break
+            current = parent
+    for bench_dir in candidates:
+        if os.path.isfile(os.path.join(bench_dir, _BASELINE_NAME)):
+            return os.path.join(bench_dir, _BASELINE_NAME)
+    for bench_dir in candidates:
+        if os.path.isdir(bench_dir):
+            return os.path.join(bench_dir, _BASELINE_NAME)
+    return None
 
 #: Iterations of the calibration spin (~tens of ms of pure Python).
 _CALIBRATION_ITERS = 400_000
@@ -306,7 +333,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "CPU-calibrated against the committed baseline)",
     )
     parser.add_argument(
-        "--baseline", default=BASELINE_PATH, help="baseline JSON path"
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: the nearest "
+        "benchmarks/BENCH_perfcheck.json above the working directory)",
     )
     parser.add_argument(
         "--update",
@@ -343,6 +373,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Resolve the baseline *before* spending minutes measuring, and
+    # distinguish "not a repo checkout" from "baseline missing".
+    baseline_path = args.baseline or default_baseline_path()
+    if baseline_path is None:
+        print(
+            "perfcheck: no benchmarks/ directory found above "
+            f"{os.getcwd()} or the installed package — this is not a "
+            "repo checkout; pass --baseline PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.update and not os.path.isfile(baseline_path):
+        print(
+            f"perfcheck: no baseline at {baseline_path} — run "
+            f"`perfcheck {'--quick ' if args.quick else ''}--update` first",
+            file=sys.stderr,
+        )
+        return 2
+
     reps = args.reps if args.reps is not None else (5 if args.quick else 7)
     scenarios = default_scenarios(quick=args.quick)
     result = measure(
@@ -359,30 +408,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (CI) baseline never clobbers the full (local) one, and vice versa.
         document = {}
         try:
-            with open(args.baseline, "r", encoding="utf-8") as handle:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, ValueError):
             pass
         document.setdefault("modes", {})[mode] = result
-        with open(args.baseline, "w", encoding="utf-8") as handle:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"perfcheck: {mode} baseline written to {args.baseline}")
+        print(f"perfcheck: {mode} baseline written to {baseline_path}")
         return 0
 
     try:
-        with open(args.baseline, "r", encoding="utf-8") as handle:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
     except OSError:
         print(
-            f"perfcheck: no baseline at {args.baseline} — run with --update first",
+            f"perfcheck: no baseline at {baseline_path} — run with --update first",
             file=sys.stderr,
         )
         return 2
     baseline = document.get("modes", {}).get(mode)
     if baseline is None:
         print(
-            f"perfcheck: baseline {args.baseline} has no {mode!r} entry — "
+            f"perfcheck: baseline {baseline_path} has no {mode!r} entry — "
             f"run `perfcheck {'--quick ' if args.quick else ''}--update` first",
             file=sys.stderr,
         )

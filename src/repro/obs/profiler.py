@@ -11,7 +11,11 @@ Two sampling engines share the same output format:
 * ``mode="signal"`` — a ``setitimer`` profiling timer delivering
   ``SIGPROF`` on consumed CPU time.  Near-zero cost between samples, but
   CPython delivers signals to the main thread only, so it profiles
-  single-threaded runs (``python -m repro.experiments --profile``).
+  single-threaded runs (``python -m repro.experiments --profile``).  A
+  sample whose timer fires while this very thread is reading the
+  aggregate (``folded()`` on a live profiler) is dropped rather than
+  deadlocking on the non-reentrant lock; ``samples_dropped`` counts
+  these.
 * ``mode="thread"`` — a daemon thread polling ``sys._current_frames()``
   every ``interval`` seconds.  Samples *every* thread (the service's
   scheduler workers and the engine's solve pools), which is what
@@ -133,6 +137,9 @@ class SamplingProfiler:
         self._sampler_thread: Optional[threading.Thread] = None
         self._old_handler = None
         self.samples_taken = 0
+        #: signal-mode samples dropped because the timer fired while this
+        #: very thread held the aggregation lock (see :meth:`_record`).
+        self.samples_dropped = 0
         self.started_unix: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -205,7 +212,7 @@ class SamplingProfiler:
 
     def _on_signal(self, signum, frame) -> None:
         if frame is not None:
-            self._record(threading.get_ident(), frame)
+            self._record(threading.get_ident(), frame, blocking=False)
 
     # -- thread engine -----------------------------------------------------
     def _start_thread(self) -> None:
@@ -230,15 +237,25 @@ class SamplingProfiler:
                 self._record(ident, frame)
 
     # -- aggregation -------------------------------------------------------
-    def _record(self, ident: int, frame) -> None:
+    def _record(self, ident: int, frame, blocking: bool = True) -> None:
         stack = _collapse(frame, self.max_depth)
         trace_id = _THREAD_TRACES.get(ident)
         key = (trace_id, stack)
-        with self._lock:
+        # The signal path must never block: SIGPROF is delivered on the
+        # main thread, which may itself be inside folded()/__len__ holding
+        # this non-reentrant lock (slow-query capture reads a live
+        # profiler) — a blocking acquire there is a self-deadlock.  Drop
+        # the sample instead.
+        if not self._lock.acquire(blocking):
+            self.samples_dropped += 1
+            return
+        try:
             self.samples_taken += 1
             if key not in self._counts and len(self._counts) >= self.max_unique_stacks:
                 key = (trace_id, "(truncated)")
             self._counts[key] = self._counts.get(key, 0) + 1
+        finally:
+            self._lock.release()
 
     # -- output ------------------------------------------------------------
     def folded(self, trace_id: Optional[str] = None) -> dict:

@@ -35,13 +35,20 @@ class ServiceClient:
 
     # -- plumbing ----------------------------------------------------------
     def _request(
-        self, path: str, body: Optional[bytes] = None, method: str = "GET"
+        self,
+        path: str,
+        body: Optional[bytes] = None,
+        method: str = "GET",
+        headers: Optional[dict] = None,
     ) -> tuple:
+        all_headers = dict(headers or {})
+        if body:
+            all_headers.setdefault("Content-Type", "application/json")
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            headers=all_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
@@ -74,8 +81,15 @@ class ServiceClient:
             raise ServiceClientError(f"status returned {status}: {payload}")
         return payload
 
-    def metrics(self) -> str:
-        status, text = self._request("/metrics")
+    def metrics(self, openmetrics: bool = False) -> str:
+        """One scrape: Prometheus text 0.0.4, or (``openmetrics=True``)
+        the OpenMetrics exposition carrying the trace-id exemplars."""
+        headers = (
+            {"Accept": "application/openmetrics-text; version=1.0.0"}
+            if openmetrics
+            else None
+        )
+        status, text = self._request("/metrics", headers=headers)
         if status != 200:
             raise ServiceClientError(f"metrics returned {status}")
         return text

@@ -8,9 +8,13 @@
   400 invalid.
 * ``GET /v1/status``  — JSON service/scheduler snapshot.
 * ``GET /healthz``    — liveness probe.
-* ``GET /metrics``    — Prometheus text: the engine/telemetry families of
+* ``GET /metrics``    — the engine/telemetry families of
   :func:`repro.obs.export.build_metrics` plus service gauges (queue
-  depth, in-flight solves, dedup hits, deadline misses, p50/p99 latency).
+  depth, in-flight solves, dedup hits, deadline misses, p50/p99 latency)
+  and the latency histograms.  Content-negotiated: plain requests get
+  Prometheus text 0.0.4 (exemplar-free — exemplars are illegal there);
+  ``Accept: application/openmetrics-text`` gets the OpenMetrics
+  exposition with trace-id exemplars and the ``# EOF`` terminator.
 
 The process keeps one long-lived :class:`~repro.obs.tracer.Tracer`
 active; each request's root span carries a fresh trace id (see
@@ -32,7 +36,15 @@ import repro
 from repro.errors import ValidationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentContext
-from repro.obs.export import JsonlSink, MetricsRegistry, build_metrics, global_registry
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    JsonlSink,
+    MetricsRegistry,
+    build_metrics,
+    global_registry,
+    render_registries,
+)
 from repro.obs.slowlog import SlowQueryRing, SpanBuffer
 from repro.obs.tracer import Tracer, activate
 from repro.service.api import QueryRequest, http_status_for
@@ -144,8 +156,8 @@ class QueryService:
             ),
         }
 
-    def metrics_text(self) -> str:
-        """One Prometheus-text scrape.
+    def metrics_text(self, fmt: str = "text") -> str:
+        """One metrics scrape, in either exposition format.
 
         Three sections concatenated (metric names are disjoint):
 
@@ -156,9 +168,13 @@ class QueryService:
            ``repro_service_solve_seconds``), kept for one release for
            dashboards still scraping them;
         2. the scheduler's long-lived **histograms** (queue wait, solve
-           wall, end-to-end latency) with trace-id exemplars;
+           wall, end-to-end latency);
         3. the process-global registry (engine solve wall, B&B
-           nodes/prunes per search), also exemplar-bearing.
+           nodes/prunes per search).
+
+        ``fmt="text"`` is Prometheus 0.0.4 and exemplar-free;
+        ``fmt="openmetrics"`` carries the trace-id exemplars on the
+        histogram buckets and ends with ``# EOF``.
         """
         registry = MetricsRegistry()
         build_metrics(self.context.telemetry, registry=registry)
@@ -204,10 +220,8 @@ class QueryService:
         )
         solve.set(stats["solve_p50_s"], labels={"quantile": "0.5"})
         solve.set(stats["solve_p99_s"], labels={"quantile": "0.99"})
-        return (
-            registry.render()
-            + self.scheduler.metrics.render()
-            + global_registry().render()
+        return render_registries(
+            (registry, self.scheduler.metrics, global_registry()), fmt=fmt
         )
 
 
@@ -257,9 +271,16 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/v1/status":
             self._send_json(200, service.status())
         elif path == "/metrics":
-            self._send_text(
-                200, service.metrics_text(), "text/plain; version=0.0.4"
-            )
+            # Exemplars are not legal in the 0.0.4 text format, so they
+            # are served only to scrapers that negotiate OpenMetrics.
+            if "application/openmetrics-text" in self.headers.get("Accept", ""):
+                self._send_text(
+                    200,
+                    service.metrics_text(fmt="openmetrics"),
+                    OPENMETRICS_CONTENT_TYPE,
+                )
+            else:
+                self._send_text(200, service.metrics_text(), TEXT_CONTENT_TYPE)
         else:
             self._send_json(404, {"status": "error", "error": f"no route {path!r}"})
 

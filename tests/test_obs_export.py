@@ -106,6 +106,19 @@ def test_truncated_trailing_line_is_dropped_and_counted(tmp_path):
     assert validate_trace(path) == []
 
 
+def test_complete_but_invalid_final_line_raises(tmp_path):
+    """A newline-terminated bad last line is a *complete* corrupt record,
+    not a torn write — it must raise, not vanish silently."""
+    from repro.obs import load_jsonl
+
+    path = str(tmp_path / "bad-tail.jsonl")
+    with open(path, "w") as handle:
+        handle.write(_span_line("a") + "\n")
+        handle.write("{not json}\n")
+    with pytest.raises(ValueError, match="corrupt JSONL line"):
+        load_jsonl(path)
+
+
 def test_midfile_corruption_still_raises(tmp_path):
     from repro.obs import load_jsonl
 

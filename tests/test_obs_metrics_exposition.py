@@ -13,7 +13,7 @@ import re
 
 import pytest
 
-from repro.obs.export import Exemplar, MetricsRegistry
+from repro.obs.export import Exemplar, MetricsRegistry, render_registries
 
 
 def _families(text: str) -> dict:
@@ -146,12 +146,12 @@ def test_inf_renders_as_plus_inf_value():
     assert "repro_g +Inf" in registry.render()
 
 
-# -- exemplars ---------------------------------------------------------------
+# -- exemplars (OpenMetrics only) --------------------------------------------
 def test_exemplar_attached_to_landing_bucket_only():
     registry = MetricsRegistry()
     hist = registry.histogram("lat", "", buckets=(0.1, 1.0))
     hist.observe(0.5, exemplar={"trace_id": "abc123"})
-    lines = registry.render().splitlines()
+    lines = registry.render(fmt="openmetrics").splitlines()
     marked = [l for l in lines if "# {" in l]
     assert len(marked) == 1
     line = marked[0]
@@ -163,7 +163,9 @@ def test_exemplar_lands_in_inf_bucket_past_last_bound():
     registry = MetricsRegistry()
     hist = registry.histogram("lat", "", buckets=(0.1,))
     hist.observe(5.0, exemplar={"trace_id": "t"})
-    marked = [l for l in registry.render().splitlines() if "# {" in l]
+    marked = [
+        l for l in registry.render(fmt="openmetrics").splitlines() if "# {" in l
+    ]
     assert len(marked) == 1
     assert 'le="+Inf"' in marked[0]
 
@@ -173,17 +175,19 @@ def test_newest_exemplar_replaces_older_in_same_bucket():
     hist = registry.histogram("lat", "", buckets=(1.0,))
     hist.observe(0.2, exemplar={"trace_id": "old"})
     hist.observe(0.3, exemplar={"trace_id": "new"})
-    text = registry.render()
+    text = registry.render(fmt="openmetrics")
     assert 'trace_id="new"' in text
     assert 'trace_id="old"' not in text
 
 
-def test_render_without_exemplars_is_clean():
+def test_default_text_render_has_no_exemplars():
+    """Exemplars are illegal in the 0.0.4 text format — a plain scrape
+    carrying them breaks a real Prometheus parser."""
     registry = MetricsRegistry()
     hist = registry.histogram("lat", "", buckets=(1.0,))
     hist.observe(0.2, exemplar={"trace_id": "t"})
-    plain = "\n".join(hist.render(exemplars=False))
-    assert "# {" not in plain
+    assert "# {" not in registry.render()
+    assert "# {" not in "\n".join(hist.render())
 
 
 def test_exemplar_render_format():
@@ -195,4 +199,48 @@ def test_unexemplared_observations_render_bare():
     registry = MetricsRegistry()
     hist = registry.histogram("lat", "", buckets=(1.0,))
     hist.observe(0.2)
-    assert "# {" not in registry.render()
+    assert "# {" not in registry.render(fmt="openmetrics")
+
+
+# -- OpenMetrics conformance -------------------------------------------------
+def test_openmetrics_render_ends_with_eof():
+    registry = MetricsRegistry()
+    registry.gauge("g", "").set(1)
+    assert registry.render(fmt="openmetrics").endswith("# EOF\n")
+    assert "# EOF" not in registry.render()
+
+
+def test_openmetrics_counter_family_drops_total_suffix():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "hits").inc(3)
+    text = registry.render(fmt="openmetrics")
+    assert "# TYPE repro_hits counter" in text
+    assert "repro_hits_total 3" in text
+    # The 0.0.4 text format keeps the full name in HELP/TYPE.
+    assert "# TYPE repro_hits_total counter" in registry.render()
+
+
+def test_openmetrics_counter_without_total_gets_sample_suffix():
+    registry = MetricsRegistry()
+    registry.counter("hits", "hits").inc(2)
+    text = registry.render(fmt="openmetrics")
+    assert "# TYPE repro_hits counter" in text
+    assert "repro_hits_total 2" in text
+
+
+def test_render_rejects_unknown_fmt():
+    with pytest.raises(ValueError, match="text.*openmetrics"):
+        MetricsRegistry().render(fmt="protobuf")
+
+
+def test_render_registries_single_eof_across_registries():
+    first, second = MetricsRegistry(), MetricsRegistry(prefix="other")
+    first.gauge("a", "").set(1)
+    second.histogram("b", "", buckets=(1.0,)).observe(0.2, exemplar={"trace_id": "t"})
+    text = render_registries((first, second), fmt="openmetrics")
+    assert text.count("# EOF") == 1
+    assert text.endswith("# EOF\n")
+    assert 'trace_id="t"' in text
+    plain = render_registries((first, second))
+    assert "# EOF" not in plain
+    assert "# {" not in plain

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import signal
+import sys
 import threading
 import time
 
@@ -78,6 +79,21 @@ def test_signal_mode_samples_main_thread():
         _spin(0.2)
     assert profiler.samples_taken > 0
     assert any("_spin" in stack for stack in profiler.folded())
+
+
+def test_signal_fired_while_lock_held_drops_sample_instead_of_deadlocking():
+    """SIGPROF lands on the main thread; if that thread is inside
+    folded()/__len__ holding the aggregation lock, the handler must drop
+    the sample, not block on a lock its own thread holds."""
+    profiler = SamplingProfiler(mode="signal")
+    frame = sys._getframe()
+    with profiler._lock:  # simulate the timer interrupting folded()
+        profiler._on_signal(0, frame)
+    assert profiler.samples_dropped == 1
+    assert profiler.samples_taken == 0
+    # Uncontended, the same sample is recorded normally.
+    profiler._on_signal(0, frame)
+    assert profiler.samples_taken == 1
 
 
 def test_auto_mode_resolves_on_main_thread():

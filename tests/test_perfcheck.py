@@ -164,6 +164,46 @@ def test_main_missing_baseline_exits_2(tmp_path, monkeypatch):
     assert code == 2
 
 
+# -- baseline resolution ------------------------------------------------------
+def test_default_baseline_path_walks_up_from_cwd(tmp_path, monkeypatch):
+    bench = tmp_path / "benchmarks"
+    bench.mkdir()
+    (bench / "BENCH_perfcheck.json").write_text("{}")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    monkeypatch.chdir(nested)
+    assert perfcheck.default_baseline_path() == str(bench / "BENCH_perfcheck.json")
+
+
+def test_default_baseline_path_prefers_existing_dir_for_update(tmp_path, monkeypatch):
+    # No baseline file yet: the nearest existing benchmarks/ directory is
+    # where --update will create one.
+    bench = tmp_path / "benchmarks"
+    bench.mkdir()
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(perfcheck, "__file__", str(tmp_path / "pkg" / "perfcheck.py"))
+    assert perfcheck.default_baseline_path() == str(bench / "BENCH_perfcheck.json")
+
+
+def test_main_outside_checkout_exits_2_with_clear_error(tmp_path, monkeypatch, capsys):
+    """A pip-installed package outside any checkout must say so instead of
+    the misleading 'run --update first'."""
+    monkeypatch.setattr(
+        perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()
+    )
+    # Simulate site-packages: no benchmarks/ above the module or the CWD.
+    monkeypatch.setattr(
+        perfcheck, "__file__", str(tmp_path / "site-packages" / "repro" / "perfcheck.py")
+    )
+    monkeypatch.chdir(tmp_path)
+    assert perfcheck.default_baseline_path() is None
+    code = perfcheck.main(["--reps", "1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not a repo checkout" in err
+    assert "--baseline" in err
+
+
 def test_main_mode_mismatch_exits_2(tmp_path, monkeypatch):
     monkeypatch.setattr(
         perfcheck, "default_scenarios", lambda quick=False: _toy_scenarios()

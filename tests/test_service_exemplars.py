@@ -68,7 +68,7 @@ def test_response_trace_id_lands_as_exemplar_in_its_bucket(scheduler):
     response = scheduler.execute(QueryRequest(query="Q1"))
     assert response.status == STATUS_OK
     assert response.trace_id
-    text = scheduler.metrics.render()
+    text = scheduler.metrics.render(fmt="openmetrics")
     line = _bucket_line_with_exemplar(
         text, "repro_service_request_duration_seconds", response.trace_id
     )
@@ -116,7 +116,7 @@ def test_deduped_follower_gets_its_own_exemplar(scheduler, monkeypatch):
     follower = next(r for r in responses if r.dedup)
     leader = next(r for r in responses if not r.dedup)
     assert follower.trace_id and follower.trace_id != leader.trace_id
-    text = scheduler.metrics.render()
+    text = scheduler.metrics.render(fmt="openmetrics")
     seen = _exemplar_trace_ids(text)
     # Both the leader's and the follower's latency were observed; each
     # bucket keeps its newest exemplar, so at minimum the follower (whose
@@ -133,7 +133,7 @@ def test_degraded_response_observed_with_status_and_exemplar(scheduler):
     )
     assert response.status == STATUS_DEGRADED
     assert response.trace_id
-    text = scheduler.metrics.render()
+    text = scheduler.metrics.render(fmt="openmetrics")
     line = _bucket_line_with_exemplar(
         text, "repro_service_request_duration_seconds", response.trace_id
     )

@@ -125,6 +125,36 @@ def test_metrics_exposes_engine_and_service_families(client):
     assert 'status="ok"' in text
 
 
+def test_metrics_content_negotiation(client):
+    """Exemplars are OpenMetrics-only: a plain 0.0.4 scrape must stay
+    parseable by real Prometheus (no exemplar suffixes, no EOF)."""
+    client.query(query="Q1")
+    plain = client.metrics()
+    assert "# {" not in plain
+    assert "# EOF" not in plain
+    om = client.metrics(openmetrics=True)
+    assert om.endswith("# EOF\n")
+    assert om.count("# EOF") == 1
+    assert 'trace_id="' in om  # the request above left an exemplar
+    # Same histogram families on both sides of the negotiation.
+    assert "repro_service_request_duration_seconds_bucket" in plain
+    assert "repro_service_request_duration_seconds_bucket" in om
+
+
+def test_metrics_content_type_headers(running_server):
+    url, _ = running_server
+    with urllib.request.urlopen(url + "/metrics", timeout=30) as reply:
+        assert reply.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    request = urllib.request.Request(
+        url + "/metrics",
+        headers={"Accept": "application/openmetrics-text; version=1.0.0"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as reply:
+        assert reply.headers["Content-Type"].startswith(
+            "application/openmetrics-text; version=1.0.0"
+        )
+
+
 def test_trace_stream_is_valid_and_per_request(running_server, client):
     _, trace_path = running_server
     client.query(query="Q2")
