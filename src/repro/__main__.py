@@ -143,6 +143,7 @@ def _serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         solver_backend=args.backend,
         solve_workers=args.solve_workers,
+        enable_decomposition=not args.no_decompose,
     )
 
     # SIGTERM (what `kill` and CI teardown send) must take the same
@@ -189,15 +190,17 @@ def _serve(args: argparse.Namespace) -> int:
     return int(result) if isinstance(result, int) else 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if not argv:
-        return _banner()
-    if argv[0] == "perfcheck":
-        # perfcheck owns its argv (its own argparse, --help included).
-        from repro.obs.perfcheck import main as perfcheck_main
+#: Every registered subcommand, in help order.  ``perfcheck`` and
+#: ``experiments`` own their argv (their own argparse, ``--help``
+#: included) and are dispatched before the parser runs; they are still
+#: registered below so ``python -m repro --help`` lists the full CLI —
+#: tests/test_cli_help.py keeps this set, the help text and the README
+#: command table in sync.
+SUBCOMMANDS = ("trace", "serve", "perfcheck", "experiments")
 
-        return perfcheck_main(argv[1:])
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` CLI (all subcommands registered)."""
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
     trace = sub.add_parser("trace", help="run a traced demo query, export artifacts")
@@ -291,7 +294,41 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write {host, port, url} JSON here once listening (for scripts)",
     )
-    args = parser.parse_args(argv)
+    server.add_argument(
+        "--no-decompose",
+        action="store_true",
+        help="disable block-separable BIP decomposition (solve monolithically)",
+    )
+    sub.add_parser(
+        "perfcheck",
+        help="perf-regression gate against benchmarks/BENCH_perfcheck.json "
+        "(own flags: see `python -m repro perfcheck --help`)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "experiments",
+        help="figure harness, same as `python -m repro.experiments` "
+        "(own flags: see `python -m repro experiments --help`)",
+        add_help=False,
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        return _banner()
+    if argv[0] == "perfcheck":
+        # perfcheck owns its argv (its own argparse, --help included).
+        from repro.obs.perfcheck import main as perfcheck_main
+
+        return perfcheck_main(argv[1:])
+    if argv[0] == "experiments":
+        # So does the figure harness (also reachable as `-m repro.experiments`).
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+    args = build_parser().parse_args(argv)
     if args.command == "trace":
         return _trace(args)
     if args.command == "serve":

@@ -45,11 +45,31 @@ from repro.engine.telemetry import (
 from repro.errors import EngineError, InfeasibleError
 from repro.obs.export import global_registry
 from repro.obs.tracer import current_tracer
+from repro.solver.decompose import closed_form, split_blocks
 from repro.solver.interface import solve
 from repro.solver.model import from_licm
 from repro.solver.result import Solution, SolverOptions
 
 _SENSES = ("min", "max")
+
+#: Bucket edges for the components-per-solve histogram (counts, not seconds).
+_COMPONENT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class PreparedComponent:
+    """One independent block of a decomposed problem.
+
+    Shaped exactly like the monolithic ``(problem, dense, canonical)``
+    triple so a component rides the same cache/solve path: ``problem`` is
+    the block's own dense BIP, ``dense`` maps *model* variable indices to
+    its solution positions, and ``canonical`` carries the block's own
+    fingerprint — the per-component cache key.
+    """
+
+    problem: object
+    dense: dict
+    canonical: CanonicalBIP
 
 
 @dataclass
@@ -60,6 +80,12 @@ class PreparedProblem:
     dedup key the service scheduler coalesces identical in-flight requests
     on, *before* any solver work happens.  Hand it back to
     :meth:`SolveSession.solve_prepared` for the bounds.
+
+    ``components`` holds the block-separable decomposition when the
+    constraint graph splits (and decomposition is enabled): each entry
+    solves and caches independently, and :meth:`SolveSession.solve_prepared`
+    recombines the per-component optima additively.  Empty means
+    monolithic.
     """
 
     problem: object
@@ -67,10 +93,15 @@ class PreparedProblem:
     canonical: CanonicalBIP
     prune_stats: dict = field(default_factory=dict)
     prep_time: float = 0.0
+    components: Tuple[PreparedComponent, ...] = ()
 
     @property
     def fingerprint(self) -> str:
         return self.canonical.fingerprint
+
+    @property
+    def decomposed(self) -> bool:
+        return len(self.components) > 1
 
 
 class SolveSession:
@@ -188,9 +219,10 @@ class SolveSession:
         objective: LinearExpr,
         extra_constraints: Sequence[LinearConstraint],
         do_prune: bool,
+        decompose: bool = False,
     ):
         """Prune + densify + canonicalize one objective. Returns
-        ``(problem, dense, canonical, prune_stats)``."""
+        ``(problem, dense, canonical, prune_stats, components)``."""
         with current_tracer().span("engine.prepare") as span:
             with self.telemetry.timer("prune"):
                 extra = list(extra_constraints)
@@ -218,11 +250,78 @@ class SolveSession:
                 names = {var.index: var.name for var in self.model.pool}
                 problem, dense = from_licm(objective, constraints, names)
                 canonical = canonicalize(objective, constraints)
+            components: Tuple[PreparedComponent, ...] = ()
+            if decompose and self.options.enable_decomposition:
+                components = self._decompose(objective, constraints, names)
             span.set("fingerprint", canonical.fingerprint)
             for key, value in prune_stats.items():
                 span.set(key, value)
         self.telemetry.emit(ProblemPrepared(canonical.fingerprint, **prune_stats))
-        return problem, dense, canonical, prune_stats
+        return problem, dense, canonical, prune_stats, components
+
+    def _decompose(
+        self,
+        objective: LinearExpr,
+        constraints: Sequence[LinearConstraint],
+        names: dict,
+    ) -> Tuple[PreparedComponent, ...]:
+        """Split the pruned problem into connected components.
+
+        Union-find over the LICM constraint scopes plus the objective's
+        support (objective-only variables form the trailing *free* block —
+        solved in closed form).  Each component is normalized and
+        fingerprinted independently, so the solve cache hits per block: a
+        repeat query touching one changed anonymization group re-solves
+        only that block.  Returns ``()`` when the problem does not
+        separate (single component, or a degenerate empty-scope
+        constraint), which keeps the monolithic path byte-identical.
+        """
+        scopes = [constraint.variables for constraint in constraints]
+        if any(not scope for scope in scopes):
+            return ()
+        with current_tracer().span("engine.decompose") as span:
+            blocks = split_blocks(scopes, variables=objective.coeffs)
+            span.set("components", max(len(blocks), 1))
+            self._observe_components(max(len(blocks), 1))
+            if len(blocks) <= 1:
+                return ()
+            components = []
+            for block in blocks:
+                sub_objective = LinearExpr(
+                    {
+                        index: objective.coeffs[index]
+                        for index in block.variables
+                        if index in objective.coeffs
+                    },
+                    0,
+                )
+                sub_constraints = [constraints[cid] for cid in block.constraint_ids]
+                sub_problem, sub_dense = from_licm(
+                    sub_objective, sub_constraints, names
+                )
+                components.append(
+                    PreparedComponent(
+                        problem=sub_problem,
+                        dense=sub_dense,
+                        canonical=canonicalize(sub_objective, sub_constraints),
+                    )
+                )
+            span.set("largest_vars", max(c.problem.num_vars for c in components))
+            self.telemetry.count("decomposed_prepares")
+        return tuple(components)
+
+    def _observe_components(self, count: int) -> None:
+        """The always-on components-per-solve distribution (+ exemplar)."""
+        span = current_tracer().current()
+        trace_id = getattr(span, "trace_id", "") if span is not None else ""
+        global_registry().histogram(
+            "engine_components_per_solve",
+            "Connected components per prepared engine BIP (1 = inseparable)",
+            buckets=_COMPONENT_BUCKETS,
+        ).observe(
+            float(count),
+            exemplar={"trace_id": trace_id} if trace_id else None,
+        )
 
     def _solve_sense(
         self,
@@ -232,18 +331,25 @@ class SolveSession:
         sense: str,
         parent_span=None,
         options: Optional[SolverOptions] = None,
+        component: Optional[int] = None,
     ) -> Tuple[CachedSolve, bool, float]:
         """One direction through the cache. Returns
         ``(entry, was_cached, wall_seconds_spent_solving)``.
 
         ``parent_span`` keeps the trace tree connected when this runs on a
         pool thread (the caller captures its current span before submit).
+        ``component`` marks a per-component solve of a decomposed problem
+        (tagging the span, and allowing the closed-form shortcut for
+        constraint-free free blocks).
         """
         with current_tracer().span(
             f"engine.solve.{sense}", parent=parent_span
         ) as span:
+            if component is not None:
+                span.set("component", component)
             entry, cached, seconds = self._solve_sense_inner(
-                problem, dense, canonical, sense, options
+                problem, dense, canonical, sense, options,
+                closed_form_ok=component is not None,
             )
             span.set("cached", cached).set("status", entry.status)
             span.set("objective", entry.objective).set("nodes", entry.nodes)
@@ -257,6 +363,7 @@ class SolveSession:
         canonical: CanonicalBIP,
         sense: str,
         options: Optional[SolverOptions] = None,
+        closed_form_ok: bool = False,
     ) -> Tuple[CachedSolve, bool, float]:
         key = (canonical.fingerprint, sense)
         entry = self.cache.get(key)
@@ -279,7 +386,13 @@ class SolveSession:
         self.telemetry.count("cache_misses")
         self.telemetry.emit(CacheProbe("miss", canonical.fingerprint, len(self.cache)))
         with self.telemetry.timer(f"solve_{sense}") as sw:
-            solution = solve(problem, sense, options or self.options)
+            solution = None
+            if closed_form_ok:
+                # Free blocks (objective-only variables) have an exact
+                # closed-form optimum — no backend round-trip.
+                solution = closed_form(problem, sense)
+            if solution is None:
+                solution = solve(problem, sense, options or self.options)
         x_canonical = None
         if solution.x is not None:
             x_canonical = tuple(
@@ -344,8 +457,8 @@ class SolveSession:
         """
         self._ensure_fresh()
         prep = Stopwatch()
-        problem, dense, canonical, prune_stats = self._prepare(
-            objective, extra_constraints, do_prune
+        problem, dense, canonical, prune_stats, components = self._prepare(
+            objective, extra_constraints, do_prune, decompose=True
         )
         return PreparedProblem(
             problem=problem,
@@ -353,6 +466,7 @@ class SolveSession:
             canonical=canonical,
             prune_stats=prune_stats,
             prep_time=prep.stop(),
+            components=components,
         )
 
     def solve_prepared(
@@ -366,10 +480,17 @@ class SolveSession:
         only (the service layer passes a deadline-clamped copy); results
         from overridden solves enter the cache only when optimal.  Returns
         :class:`~repro.core.bounds.AggregateBounds`.
+
+        A decomposed preparation (``prepared.components``) dispatches
+        every ``(component, sense)`` pair — to the session pool when
+        parallel — and recombines the per-component optima additively;
+        deadline options and ``stop_check`` apply to each component solve.
         """
         from repro.core.bounds import AggregateBounds
 
         self._ensure_fresh()
+        if prepared.decomposed:
+            return self._solve_prepared_decomposed(prepared, options)
         problem, dense, canonical = prepared.problem, prepared.dense, prepared.canonical
 
         if self.parallel:
@@ -427,7 +548,123 @@ class SolveSession:
                 "nodes": min_entry.nodes + max_entry.nodes,
                 "backend": max_entry.backend,
                 "cache_hits": int(min_cached) + int(max_cached),
+                "components": 1,
                 "fingerprint": canonical.fingerprint,
+            },
+        )
+
+    def _solve_prepared_decomposed(
+        self,
+        prepared: PreparedProblem,
+        options: Optional[SolverOptions] = None,
+    ):
+        """Both directions of a block-separable preparation.
+
+        Every ``(component, sense)`` pair runs through the per-component
+        cache (its own canonical fingerprint) and the recombination is
+        additive: ``min Σ = Σ min`` and ``max Σ = Σ max`` because no
+        constraint crosses components, an infeasible component proves
+        global infeasibility, and per-component dual bounds sum to a
+        valid global bound.  ``cache_hits`` stays 0..2 (a direction
+        counts as cached only when *every* component entry was); the raw
+        per-component count is ``stats['component_cache_hits']``.
+        """
+        from repro.core.bounds import AggregateBounds
+
+        components = prepared.components
+        tasks = [(sense, c) for sense in _SENSES for c in range(len(components))]
+        if self.parallel:
+            parent_span = current_tracer().current()
+            futures = {
+                task: self._pool().submit(
+                    self._solve_sense,
+                    components[task[1]].problem,
+                    components[task[1]].dense,
+                    components[task[1]].canonical,
+                    task[0],
+                    parent_span,
+                    options,
+                    task[1],
+                )
+                for task in tasks
+            }
+            outcomes = {task: futures[task].result() for task in tasks}
+        else:
+            outcomes = {
+                (sense, c): self._solve_sense(
+                    components[c].problem,
+                    components[c].dense,
+                    components[c].canonical,
+                    sense,
+                    options=options,
+                    component=c,
+                )
+                for sense, c in tasks
+            }
+
+        for entry, _, _ in outcomes.values():
+            if entry.status == "infeasible":
+                raise InfeasibleError("the LICM constraints admit no possible world")
+
+        constant = prepared.problem.objective_constant
+
+        def side(sense: str):
+            entries = [outcomes[(sense, c)][0] for c in range(len(components))]
+            all_cached = all(outcomes[(sense, c)][1] for c in range(len(components)))
+            hits = sum(int(outcomes[(sense, c)][1]) for c in range(len(components)))
+            seconds = sum(outcomes[(sense, c)][2] for c in range(len(components)))
+            objective = None
+            if all(entry.objective is not None for entry in entries):
+                objective = sum(entry.objective for entry in entries) + constant
+            bound = None
+            if all(entry.bound is not None for entry in entries):
+                bound = sum(entry.bound for entry in entries) + constant
+            witness = None
+            if all(entry.x_canonical is not None for entry in entries):
+                witness = {}
+                for component, entry in zip(components, entries):
+                    witness.update(component.canonical.witness(entry.x_canonical))
+            return {
+                "entries": entries,
+                "objective": objective,
+                "bound": bound,
+                "witness": witness,
+                "exact": all(entry.status == "optimal" for entry in entries),
+                "nodes": sum(entry.nodes for entry in entries),
+                "cached": all_cached,
+                "hits": hits,
+                "seconds": seconds,
+            }
+
+        low, high = side("min"), side("max")
+        backend = next(
+            (
+                entry.backend
+                for entry in high["entries"]
+                if entry.backend and entry.backend != "closed-form"
+            ),
+            "closed-form",
+        )
+        return AggregateBounds(
+            lower=low["objective"],
+            upper=high["objective"],
+            lower_witness=low["witness"],
+            upper_witness=high["witness"],
+            exact=low["exact"] and high["exact"],
+            lower_bound_proven=low["bound"],
+            upper_bound_proven=high["bound"],
+            stats={
+                **prepared.prune_stats,
+                "problem_variables": prepared.problem.num_vars,
+                "problem_constraints": prepared.problem.num_constraints,
+                "prep_time": prepared.prep_time,
+                "solve_time": low["seconds"] + high["seconds"],
+                "nodes": low["nodes"] + high["nodes"],
+                "backend": backend,
+                "cache_hits": int(low["cached"]) + int(high["cached"]),
+                "component_cache_hits": low["hits"] + high["hits"],
+                "components": len(components),
+                "fingerprint": prepared.canonical.fingerprint,
             },
         )
 
@@ -465,7 +702,7 @@ class SolveSession:
         (Dinkelbach) and MIN/MAX (feasibility-probe) paths rely on.
         """
         self._ensure_fresh()
-        problem, dense, canonical, _ = self._prepare(
+        problem, dense, canonical, _, _ = self._prepare(
             objective, extra_constraints, do_prune=True
         )
         entry, _, _ = self._solve_sense(

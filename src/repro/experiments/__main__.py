@@ -73,6 +73,11 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "--queries", help=f"comma list from {{{','.join(QUERIES)}}} (figures 5/6/7)"
     )
     parser.add_argument("--k", help="comma list of anonymity parameters (figure 5)")
+    parser.add_argument(
+        "--no-decompose",
+        action="store_true",
+        help="disable block-separable BIP decomposition (solve monolithically)",
+    )
     return parser.parse_args(argv)
 
 
@@ -109,7 +114,7 @@ def main(argv: list[str]) -> int:
         level=logging.INFO, format="%(asctime)s %(message)s", stream=sys.stderr
     )
     args = _parse_args(argv)
-    config = ExperimentConfig()
+    config = ExperimentConfig(enable_decomposition=not args.no_decompose)
     context = ExperimentContext(config)
     print(f"# workload: {config.label}")
 

@@ -165,6 +165,7 @@ class ExperimentContext:
         return SolverOptions(
             backend=self.config.solver_backend,
             time_limit=self.config.solver_time_limit,
+            enable_decomposition=self.config.enable_decomposition,
         )
 
     def licm_answer(self, query: str, scheme: str, k: int):

@@ -44,6 +44,7 @@ __all__ = [
     "Scenario",
     "calibrate",
     "check",
+    "decompose_scenarios",
     "default_baseline_path",
     "default_scenarios",
     "main",
@@ -211,6 +212,74 @@ def default_scenarios(quick: bool = False) -> List[Scenario]:
     return scenarios
 
 
+def decompose_scenarios(quick: bool = False) -> List[Scenario]:
+    """The ``decompose``-mode workloads: perturbed re-queries on the
+    k-anonymity encoding, whose group constraints make the BIP split into
+    ~one block per group (see docs/solver.md).
+
+    Each rep re-queries with a trivially-true cardinality constraint on a
+    fresh variable, so the whole-problem fingerprint always misses: the
+    decomposed arm re-solves only the touched component (warm per-component
+    cache), the monolithic arm re-solves everything.  Gating both keeps the
+    decomposition win *and* the monolithic fallback from regressing.
+    """
+    from repro.core.constraints import LinearConstraint
+    from repro.engine.session import SolveSession
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.queries.licm_eval import evaluate_licm
+    from repro.solver.result import SolverOptions
+
+    tx = 300 if quick else 600
+    items = 64 if quick else 128
+
+    shared: Dict[str, object] = {}
+
+    def workload():
+        if "w" not in shared:
+            config = ExperimentConfig(
+                num_transactions=tx, num_items=items, mc_samples=8, seed=3
+            )
+            context = ExperimentContext(config)
+            encoded = context.encoding("k-anonymity", 2).encoded
+            plan = context.plan("Q1", encoded)
+            objective = evaluate_licm(plan, encoded.relations)
+            shared["w"] = (encoded, objective, sorted(objective.coeffs))
+        return shared["w"]
+
+    def make_setup(enable_decomposition: bool):
+        def setup():
+            encoded, objective, variables = workload()
+            session = SolveSession(
+                encoded.model,
+                options=SolverOptions(enable_decomposition=enable_decomposition),
+            )
+            session.bounds(objective)  # fill the cache outside the timed region
+            return {
+                "session": session,
+                "objective": objective,
+                "variables": variables,
+                "rep": 0,
+            }
+
+        return setup
+
+    def run_requery(state) -> None:
+        # A different perturbation target every rep: the exact query is
+        # never in the LRU, only (for the decomposed arm) its components.
+        var = state["variables"][state["rep"] % len(state["variables"])]
+        state["rep"] += 1
+        state["session"].bounds(
+            state["objective"],
+            extra_constraints=[LinearConstraint([(1, var)], "<=", 1)],
+        )
+
+    return [
+        Scenario("requery_decomposed", make_setup(True), run_requery),
+        Scenario("requery_monolithic", make_setup(False), run_requery),
+    ]
+
+
 def measure(
     scenarios: List[Scenario],
     reps: int = 7,
@@ -348,6 +417,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="smaller dataset, fewer reps, no cold-solve scenario (CI mode)",
     )
+    parser.add_argument(
+        "--decompose",
+        action="store_true",
+        help="gate the block-separable decomposition scenarios instead "
+        "(perturbed re-queries, decomposed vs monolithic; mode 'decompose')",
+    )
     parser.add_argument("--reps", type=int, default=None, help="timed reps per scenario")
     parser.add_argument(
         "--rel-tol",
@@ -372,6 +447,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
     )
     args = parser.parse_args(argv)
+    mode_flags = ("--decompose " if args.decompose else "") + (
+        "--quick " if args.quick else ""
+    )
 
     # Resolve the baseline *before* spending minutes measuring, and
     # distinguish "not a repo checkout" from "baseline missing".
@@ -387,13 +465,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.update and not os.path.isfile(baseline_path):
         print(
             f"perfcheck: no baseline at {baseline_path} — run "
-            f"`perfcheck {'--quick ' if args.quick else ''}--update` first",
+            f"`perfcheck {mode_flags}--update` first",
             file=sys.stderr,
         )
         return 2
 
     reps = args.reps if args.reps is not None else (5 if args.quick else 7)
-    scenarios = default_scenarios(quick=args.quick)
+    if args.decompose:
+        scenarios = decompose_scenarios(quick=args.quick)
+        mode = "decompose"
+    else:
+        scenarios = default_scenarios(quick=args.quick)
+        mode = "quick" if args.quick else "full"
     result = measure(
         scenarios,
         reps=reps,
@@ -401,7 +484,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=lambda msg: print(f"perfcheck: {msg}", file=sys.stderr),
     )
     result["reps"] = reps
-    mode = "quick" if args.quick else "full"
 
     if args.update:
         # The baseline file holds one entry per mode — updating the quick
@@ -432,7 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if baseline is None:
         print(
             f"perfcheck: baseline {baseline_path} has no {mode!r} entry — "
-            f"run `perfcheck {'--quick ' if args.quick else ''}--update` first",
+            f"run `perfcheck {mode_flags}--update` first",
             file=sys.stderr,
         )
         return 2

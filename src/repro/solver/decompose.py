@@ -1,0 +1,331 @@
+"""Block-separable decomposition of binary integer programs.
+
+The hardest workloads in the paper's evaluation (Section VI) run
+aggregates over anonymized substrates whose cardinality/permutation
+constraints are generated *per anonymization group*: the resulting BIP
+constraint matrix is block-diagonal.  Min/max of a separable sum is the
+sum of the per-block min/max, so each connected component of the
+variable–constraint incidence graph can be optimized independently — in
+parallel, and (in the engine) cached under its own fingerprint.
+
+The separability argument, precisely: let the variables partition into
+blocks ``V_1..V_p`` such that every constraint's scope lies inside one
+block.  Any combination of per-block feasible assignments is globally
+feasible (no constraint crosses blocks), and the objective splits as
+``c·x = Σ_j c_j·x_j``.  Hence
+
+* ``min c·x = Σ_j min c_j·x_j`` and likewise for max (attained by
+  concatenating per-block optima);
+* if any block is infeasible the whole problem is infeasible (a global
+  solution would restrict to a feasible assignment of that block);
+* a dual bound for the sum is the sum of per-block dual bounds, so even
+  truncated (``status='limit'``) components recombine soundly.
+
+Entry points:
+
+* :func:`split_blocks` — the union-find pass over constraint scopes (plus
+  objective-only singleton variables, merged into one trailing *free*
+  block), generic over hashable variable keys so the engine can reuse it
+  at the LICM level;
+* :func:`decompose` — split a :class:`~repro.solver.model.BIPProblem`
+  into independent :class:`SubProblem`\\ s (``[the whole problem]`` when
+  it does not separate);
+* :func:`closed_form` — exact solutions for constraint-free blocks
+  without touching a backend;
+* :func:`recombine` / :func:`solve_decomposed` — additive recombination
+  of per-component :class:`~repro.solver.result.Solution`\\ s.
+
+The engine threads this through ``SolveSession.prepare()`` with a
+per-component canonical fingerprint and cache entry — see
+``repro/engine/session.py`` and docs/engine.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.result import Solution, SolverOptions
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable keys (path halving, by size)."""
+
+    def __init__(self):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def add(self, key: Hashable) -> None:
+        if key not in self._parent:
+            self._parent[key] = key
+            self._size[key] = 1
+
+    def find(self, key: Hashable) -> Hashable:
+        parent = self._parent
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def __iter__(self):
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One connected component of the variable–constraint graph.
+
+    ``variables`` are the member variable keys (sorted);
+    ``constraint_ids`` index into the scope list passed to
+    :func:`split_blocks`.  The *free* block (variables in no constraint)
+    has an empty ``constraint_ids``.
+    """
+
+    variables: Tuple[Hashable, ...]
+    constraint_ids: Tuple[int, ...]
+
+    @property
+    def is_free(self) -> bool:
+        return not self.constraint_ids
+
+
+def split_blocks(
+    scopes: Sequence[Iterable[Hashable]],
+    variables: Iterable[Hashable] = (),
+) -> List[Block]:
+    """Partition a variable–constraint incidence graph into blocks.
+
+    :param scopes: one iterable of variable keys per constraint.  A
+        constraint with an empty scope cannot be placed in any block;
+        callers must filter those out first (:class:`ValueError` here).
+    :param variables: extra variable keys to place — typically the
+        objective's support.  Keys appearing in no scope become
+        objective-only singletons and are merged into one trailing free
+        block (solvable in closed form; see :func:`closed_form`).
+
+    Deterministic output: constrained blocks are ordered by their
+    smallest variable key; the free block, if any, comes last.  Each
+    input variable lands in exactly one block.
+    """
+    uf = UnionFind()
+    firsts: List[Hashable] = []
+    for scope in scopes:
+        iterator = iter(scope)
+        first = next(iterator, None)
+        if first is None:
+            raise ValueError(
+                "constraint with an empty scope cannot be placed in a block"
+            )
+        uf.add(first)
+        firsts.append(first)
+        for var in iterator:
+            uf.add(var)
+            uf.union(first, var)
+    for var in variables:
+        uf.add(var)
+
+    members: Dict[Hashable, List[Hashable]] = {}
+    for key in uf:
+        members.setdefault(uf.find(key), []).append(key)
+    constraints_by_root: Dict[Hashable, List[int]] = {}
+    for cid, first in enumerate(firsts):
+        constraints_by_root.setdefault(uf.find(first), []).append(cid)
+
+    blocks: List[Block] = []
+    free_vars: List[Hashable] = []
+    for root, block_vars in members.items():
+        ids = constraints_by_root.get(root)
+        if ids is None:
+            free_vars.extend(block_vars)
+        else:
+            blocks.append(Block(tuple(sorted(block_vars)), tuple(ids)))
+    blocks.sort(key=lambda block: block.variables[0])
+    if free_vars:
+        blocks.append(Block(tuple(sorted(free_vars)), ()))
+    return blocks
+
+
+@dataclass(frozen=True)
+class SubProblem:
+    """One independent sub-BIP plus its embedding into the parent.
+
+    ``parent_vars[i]`` is the parent's dense index of the sub-problem's
+    variable ``i``; ``constraint_ids`` index the parent's constraint
+    list.  The parent's ``objective_constant`` is *not* distributed over
+    sub-problems — :func:`recombine` adds it exactly once.
+    """
+
+    problem: BIPProblem
+    parent_vars: Tuple[int, ...]
+    constraint_ids: Tuple[int, ...]
+
+    @property
+    def is_free(self) -> bool:
+        return not self.problem.constraints
+
+
+def _whole(problem: BIPProblem) -> List[SubProblem]:
+    return [
+        SubProblem(
+            problem,
+            tuple(range(problem.num_vars)),
+            tuple(range(problem.num_constraints)),
+        )
+    ]
+
+
+def decompose(problem: BIPProblem) -> List[SubProblem]:
+    """Split a BIP into independent sub-problems.
+
+    Returns ``[the whole problem]`` when it does not separate: a single
+    connected component, no variables at all, or a degenerate constraint
+    with an empty scope (those constrain nothing or everything and are
+    left to the backends to adjudicate).
+    """
+    scopes = [tuple(idx for _, idx in c.terms) for c in problem.constraints]
+    if problem.num_vars == 0 or any(not scope for scope in scopes):
+        return _whole(problem)
+    blocks = split_blocks(scopes, variables=range(problem.num_vars))
+    if len(blocks) <= 1:
+        return _whole(problem)
+    subs: List[SubProblem] = []
+    for block in blocks:
+        dense = {parent: i for i, parent in enumerate(block.variables)}
+        constraints = [
+            BIPConstraint(
+                tuple(
+                    (coef, dense[idx]) for coef, idx in problem.constraints[cid].terms
+                ),
+                problem.constraints[cid].op,
+                problem.constraints[cid].rhs,
+            )
+            for cid in block.constraint_ids
+        ]
+        sub = BIPProblem(
+            num_vars=len(block.variables),
+            constraints=constraints,
+            objective={
+                dense[parent]: coef
+                for parent, coef in problem.objective.items()
+                if parent in dense
+            },
+            objective_constant=0,
+            names=[problem.names[parent] for parent in block.variables],
+        )
+        subs.append(SubProblem(sub, tuple(block.variables), tuple(block.constraint_ids)))
+    return subs
+
+
+def closed_form(problem: BIPProblem, sense: str) -> Optional[Solution]:
+    """Exact optimum of a constraint-free BIP, no backend required.
+
+    Every variable is free, so each takes its objective-improving value
+    independently.  Returns ``None`` when the problem has constraints.
+    """
+    if problem.constraints:
+        return None
+    want_high = sense == "max"
+    x = [0] * problem.num_vars
+    for idx, coef in problem.objective.items():
+        if coef != 0 and (coef > 0) == want_high:
+            x[idx] = 1
+    objective = problem.objective_value(x)
+    return Solution(
+        status="optimal",
+        objective=objective,
+        x=x,
+        bound=float(objective),
+        nodes=0,
+        solve_time=0.0,
+        backend="closed-form",
+    )
+
+
+def recombine(
+    problem: BIPProblem,
+    subs: Sequence[SubProblem],
+    solutions: Sequence[Solution],
+    sense: str,
+) -> Solution:
+    """Additive recombination of per-component optima.
+
+    Min/max of a separable sum is the sum of per-component min/max; an
+    infeasible component proves global infeasibility; per-component dual
+    bounds sum to a valid global dual bound, so ``'limit'`` components
+    recombine soundly (the result is then ``'limit'`` too).
+    """
+    nodes = sum(solution.nodes for solution in solutions)
+    wall = sum(solution.solve_time for solution in solutions)
+    if any(solution.status == "infeasible" for solution in solutions):
+        return Solution(
+            status="infeasible", nodes=nodes, solve_time=wall, backend="decomposed"
+        )
+    status = (
+        "optimal"
+        if all(solution.status == "optimal" for solution in solutions)
+        else "limit"
+    )
+    objective = None
+    if all(solution.objective is not None for solution in solutions):
+        objective = (
+            sum(solution.objective for solution in solutions)
+            + problem.objective_constant
+        )
+    bound = None
+    if all(solution.bound is not None for solution in solutions):
+        bound = (
+            sum(solution.bound for solution in solutions) + problem.objective_constant
+        )
+    x = None
+    if all(solution.x is not None for solution in solutions):
+        x = [0] * problem.num_vars
+        for sub, solution in zip(subs, solutions):
+            for i, parent in enumerate(sub.parent_vars):
+                x[parent] = int(solution.x[i])
+    return Solution(
+        status=status,
+        objective=objective,
+        x=x,
+        bound=bound,
+        nodes=nodes,
+        solve_time=wall,
+        backend="decomposed",
+    )
+
+
+def solve_decomposed(
+    problem: BIPProblem,
+    sense: str = "max",
+    options: Optional[SolverOptions] = None,
+) -> Solution:
+    """Decompose, solve every component, recombine.
+
+    The solver-level convenience (benchmarks, tests, one-shot callers);
+    the engine's cached, parallel variant lives in
+    ``SolveSession.solve_prepared``.  Falls back to a plain monolithic
+    solve when the problem does not separate.
+    """
+    from repro.solver.interface import solve
+
+    subs = decompose(problem)
+    if len(subs) == 1:
+        return solve(problem, sense, options)
+    solutions = [
+        closed_form(sub.problem, sense) or solve(sub.problem, sense, options)
+        for sub in subs
+    ]
+    return recombine(problem, subs, solutions, sense)

@@ -54,6 +54,12 @@ class SolverOptions:
     bound preserved).  The service layer uses it to enforce per-request
     deadlines.  The SciPy backend cannot poll a callable mid-solve, so
     deadline callers must *also* clamp ``time_limit``.
+
+    ``enable_decomposition`` lets the engine split block-separable
+    problems into independent connected components, solved (and cached)
+    per component — see :mod:`repro.solver.decompose` and docs/solver.md.
+    A no-op for genuinely coupled problems; ``--no-decompose`` on the
+    ``serve`` and ``experiments`` CLIs turns it off.
     """
 
     backend: str = "auto"
@@ -66,6 +72,7 @@ class SolverOptions:
     use_heuristics: bool = True
     cut_rounds: int = 3  # rounds of root cover-cut separation (0 disables)
     integrality_tol: float = 1e-6
+    enable_decomposition: bool = True
     stop_check: Optional[Callable[[], bool]] = field(
         default=None, repr=False, compare=False
     )

@@ -1,0 +1,347 @@
+"""Block-separable decomposition: unit tests plus hypothesis cross-checks.
+
+The solver-level half exercises ``split_blocks``/``decompose``/
+``recombine`` against a brute-force oracle on random block-diagonal BIPs;
+the engine-level half checks the per-component cache semantics of
+``SolveSession`` (see docs/engine.md).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import LinearConstraint
+from repro.core.database import LICMModel
+from repro.core.linexpr import LinearExpr
+from repro.engine.session import SolveSession
+from repro.errors import InfeasibleError
+from repro.solver.decompose import (
+    closed_form,
+    decompose,
+    recombine,
+    solve_decomposed,
+    split_blocks,
+)
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.result import SolverOptions
+from tests.helpers import brute_force_objective_range
+
+BB = SolverOptions(backend="bb")
+
+
+def _brute_force(problem: BIPProblem, sense: str):
+    best = None
+    for bits in iter_product((0, 1), repeat=problem.num_vars):
+        if problem.is_feasible(list(bits)):
+            value = problem.objective_value(list(bits))
+            if best is None or (value > best if sense == "max" else value < best):
+                best = value
+    return best
+
+
+# -- split_blocks ----------------------------------------------------------
+
+
+def test_split_blocks_components_and_free_block():
+    blocks = split_blocks([(0, 1), (1, 2), (4, 5)], variables=range(7))
+    assert [b.variables for b in blocks] == [(0, 1, 2), (4, 5), (3, 6)]
+    assert [b.constraint_ids for b in blocks] == [(0, 1), (2,), ()]
+    assert [b.is_free for b in blocks] == [False, False, True]
+
+
+def test_split_blocks_empty_scope_raises():
+    with pytest.raises(ValueError):
+        split_blocks([(0,), ()], variables=range(2))
+
+
+def test_split_blocks_generic_keys():
+    # The engine calls this with sparse model variable indices (any
+    # hashable key); ordering is by smallest member.
+    blocks = split_blocks([("b", "c"), ("a",)], variables=["z"])
+    assert [b.variables for b in blocks] == [("a",), ("b", "c"), ("z",)]
+
+
+# -- decompose -------------------------------------------------------------
+
+
+def _two_block_problem():
+    return BIPProblem(
+        num_vars=5,
+        constraints=[
+            BIPConstraint(((1, 0), (1, 1)), ">=", 1),
+            BIPConstraint(((1, 2), (1, 3)), "<=", 1),
+        ],
+        objective={0: 2, 1: -1, 2: 3, 3: 1, 4: -4},
+        objective_constant=7,
+    )
+
+
+def test_decompose_two_blocks_plus_free():
+    subs = decompose(_two_block_problem())
+    assert [sub.parent_vars for sub in subs] == [(0, 1), (2, 3), (4,)]
+    assert [sub.is_free for sub in subs] == [False, False, True]
+    # The parent constant is not distributed; recombine adds it once.
+    assert all(sub.problem.objective_constant == 0 for sub in subs)
+
+
+def test_decompose_coupled_is_single_component():
+    problem = BIPProblem(
+        num_vars=4,
+        constraints=[BIPConstraint(((1, 0), (1, 1), (1, 2), (1, 3)), "<=", 2)],
+        objective={0: 1, 1: 2, 2: 3, 3: 4},
+    )
+    subs = decompose(problem)
+    assert len(subs) == 1
+    assert subs[0].problem is problem
+
+
+def test_decompose_empty_scope_falls_back_monolithic():
+    problem = BIPProblem(
+        num_vars=2,
+        constraints=[BIPConstraint((), "<=", 1), BIPConstraint(((1, 0),), "<=", 1)],
+        objective={0: 1, 1: 1},
+    )
+    assert len(decompose(problem)) == 1
+
+
+def test_solve_decomposed_matches_monolithic_and_adds_constant_once():
+    problem = _two_block_problem()
+    for sense in ("min", "max"):
+        solution = solve_decomposed(problem, sense, BB)
+        assert solution.status == "optimal"
+        assert solution.objective == _brute_force(problem, sense)
+        assert problem.is_feasible(solution.x)
+        assert problem.objective_value(solution.x) == solution.objective
+
+
+def test_infeasible_component_propagates():
+    problem = BIPProblem(
+        num_vars=3,
+        constraints=[
+            BIPConstraint(((1, 0),), ">=", 2),  # infeasible over {0,1}
+            BIPConstraint(((1, 1), (1, 2)), ">=", 1),
+        ],
+        objective={0: 1, 1: 1, 2: 1},
+    )
+    assert solve_decomposed(problem, "max", BB).status == "infeasible"
+
+
+def test_closed_form_free_block():
+    problem = BIPProblem(num_vars=3, constraints=[], objective={0: 3, 1: -2}, names=[])
+    high = closed_form(problem, "max")
+    low = closed_form(problem, "min")
+    assert (high.objective, high.x) == (3, [1, 0, 0])
+    assert (low.objective, low.x) == (-2, [0, 1, 0])
+    assert high.backend == "closed-form" and high.nodes == 0
+    constrained = BIPProblem(
+        num_vars=1, constraints=[BIPConstraint(((1, 0),), "<=", 1)], objective={0: 1}
+    )
+    assert closed_form(constrained, "max") is None
+
+
+def test_recombine_limit_status_and_bound_sum():
+    problem = _two_block_problem()
+    subs = decompose(problem)
+    from repro.solver.result import Solution
+
+    solutions = [
+        Solution(status="optimal", objective=1, x=[1, 0], bound=1.0),
+        Solution(status="limit", objective=3, x=[1, 0], bound=4.0),
+        solve_decomposed(subs[2].problem, "max", BB),
+    ]
+    combined = recombine(problem, subs, solutions, "max")
+    assert combined.status == "limit"  # any truncated component => limit
+    assert combined.objective == 1 + 3 + solutions[2].objective + 7
+    assert combined.bound == 1.0 + 4.0 + solutions[2].bound + 7
+
+
+# -- hypothesis: random block-diagonal BIPs vs brute force -----------------
+
+nonzero = st.integers(-3, 3).filter(lambda c: c != 0)
+
+
+@st.composite
+def block_diagonal_problems(draw):
+    """A BIP built from 1–4 independent blocks (plus possible free vars)."""
+    constraints = []
+    objective = {}
+    offset = 0
+    for _ in range(draw(st.integers(1, 4))):
+        num_vars = draw(st.integers(1, 3))
+        members = list(range(offset, offset + num_vars))
+        for _ in range(draw(st.integers(0, 2))):
+            scope = draw(
+                st.lists(
+                    st.sampled_from(members), min_size=1, max_size=num_vars, unique=True
+                )
+            )
+            terms = tuple((draw(nonzero), idx) for idx in scope)
+            op = draw(st.sampled_from(("<=", ">=", "==")))
+            constraints.append(BIPConstraint(terms, op, draw(st.integers(-3, 4))))
+        for idx in members:
+            coef = draw(st.integers(-4, 4))
+            if coef:
+                objective[idx] = coef
+        offset += num_vars
+    return BIPProblem(
+        num_vars=offset,
+        constraints=constraints,
+        objective=objective,
+        objective_constant=draw(st.integers(-5, 5)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=block_diagonal_problems())
+def test_decomposed_equals_brute_force(problem):
+    subs = decompose(problem)
+    # The sub-problems partition the variables and the constraints.
+    seen = sorted(idx for sub in subs for idx in sub.parent_vars)
+    assert seen == list(range(problem.num_vars))
+    assert sum(len(sub.constraint_ids) for sub in subs) == problem.num_constraints
+    for sense in ("min", "max"):
+        oracle = _brute_force(problem, sense)
+        solution = solve_decomposed(problem, sense, BB)
+        if oracle is None:
+            assert solution.status == "infeasible"
+        else:
+            assert solution.status == "optimal"
+            assert solution.objective == oracle
+            assert problem.is_feasible(solution.x)
+            assert problem.objective_value(solution.x) == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=block_diagonal_problems(), data=st.data())
+def test_coupling_constraint_collapses_to_one_component(problem, data):
+    if problem.num_vars < 2:
+        return
+    rhs = data.draw(st.integers(0, problem.num_vars))
+    coupled = BIPProblem(
+        num_vars=problem.num_vars,
+        constraints=problem.constraints
+        + [BIPConstraint(tuple((1, i) for i in range(problem.num_vars)), "<=", rhs)],
+        objective=problem.objective,
+        objective_constant=problem.objective_constant,
+    )
+    assert len(decompose(coupled)) == 1
+
+
+# -- engine: per-component caching in SolveSession -------------------------
+
+
+def _three_group_model():
+    """Three independent ≥1 groups — the anonymization-group shape."""
+    model = LICMModel()
+    groups = [model.new_vars(2) for _ in range(3)]
+    for pair in groups:
+        model.add((pair[0] + pair[1]) >= 1)
+    flat = [var.index for pair in groups for var in pair]
+    objective = LinearExpr({idx: i + 1 for i, idx in enumerate(flat)}, 5)
+    return model, flat, objective
+
+
+def test_session_decomposes_and_matches_oracle():
+    model, flat, objective = _three_group_model()
+    session = SolveSession(model)
+    answer = session.bounds(objective)
+    assert answer.stats["components"] == 3
+    assert answer.exact
+    assert (answer.lower, answer.upper) == brute_force_objective_range(model, objective)
+    # Witnesses cover every variable and attain the reported bounds.
+    assert objective.value(answer.lower_witness) == answer.lower
+    assert objective.value(answer.upper_witness) == answer.upper
+
+
+def test_session_warm_requery_hits_every_component():
+    model, flat, objective = _three_group_model()
+    session = SolveSession(model)
+    session.bounds(objective)
+    warm = session.bounds(objective)
+    assert warm.stats["cache_hits"] == 2  # normalized: both directions cached
+    assert warm.stats["component_cache_hits"] == 2 * warm.stats["components"]
+
+
+def test_session_perturbation_resolves_only_touched_component():
+    model, flat, objective = _three_group_model()
+    session = SolveSession(model)
+    cold = session.bounds(objective)
+    # A trivially-true cardinality constraint on one group changes only
+    # that component's fingerprint: 2 of 6 component entries miss.
+    perturbed = session.bounds(
+        objective, extra_constraints=[LinearConstraint([(1, flat[0])], "<=", 1)]
+    )
+    assert (perturbed.lower, perturbed.upper) == (cold.lower, cold.upper)
+    assert perturbed.stats["components"] == 3
+    assert perturbed.stats["component_cache_hits"] == 2 * 3 - 2
+    assert perturbed.stats["cache_hits"] == 0  # not *all* components hit
+
+
+def test_session_identical_blocks_share_cache_within_one_solve():
+    # Three structurally identical groups with identical coefficients
+    # canonicalize to one fingerprint: the cold solve itself hits for the
+    # 2nd and 3rd copies, in both directions.
+    model = LICMModel()
+    groups = [model.new_vars(2) for _ in range(3)]
+    for pair in groups:
+        model.add((pair[0] + pair[1]) >= 1)
+    objective = LinearExpr(
+        {var.index: 1 for pair in groups for var in pair}, 0
+    )
+    session = SolveSession(model)
+    cold = session.bounds(objective)
+    assert cold.stats["components"] == 3
+    assert cold.stats["component_cache_hits"] == 4
+    assert (cold.lower, cold.upper) == brute_force_objective_range(model, objective)
+
+
+def test_session_infeasible_component_raises():
+    model = LICMModel()
+    a, b, c = model.new_vars(3)
+    model.add((a + b) >= 3)  # infeasible over binaries
+    model.add((c + 0) >= 0)
+    objective = LinearExpr({a.index: 1, b.index: 1, c.index: 1}, 0)
+    session = SolveSession(model)
+    with pytest.raises(InfeasibleError):
+        session.bounds(objective)
+
+
+def test_session_toggle_off_is_monolithic():
+    model, flat, objective = _three_group_model()
+    on = SolveSession(model).bounds(objective)
+    off = SolveSession(
+        model, options=SolverOptions(enable_decomposition=False)
+    ).bounds(objective)
+    assert off.stats["components"] == 1
+    assert "component_cache_hits" not in off.stats
+    assert (off.lower, off.upper) == (on.lower, on.upper)
+
+
+def test_session_parallel_component_dispatch():
+    model, flat, objective = _three_group_model()
+    with SolveSession(model, max_workers=2) as session:
+        answer = session.bounds(objective)
+        assert answer.stats["components"] == 3
+        assert (answer.lower, answer.upper) == brute_force_objective_range(
+            model, objective
+        )
+
+
+def test_session_free_variables_solved_closed_form():
+    # Objective-only variables (no constraint mentions them) form the
+    # free block and never touch a backend.
+    model = LICMModel()
+    a, b = model.new_vars(2)
+    model.add((a + b) >= 1)
+    free = model.new_var("free")
+    objective = LinearExpr({a.index: 1, b.index: 1, free.index: 10}, 0)
+    session = SolveSession(model)
+    answer = session.bounds(objective)
+    assert answer.stats["components"] == 2
+    assert (answer.lower, answer.upper) == (1, 12)
+    assert answer.upper_witness[free.index] == 1
+    assert answer.lower_witness[free.index] == 0

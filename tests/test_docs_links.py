@@ -1,0 +1,106 @@
+"""Documentation link checker.
+
+Walks every ``*.md`` file in the repository and fails on:
+
+* relative markdown links (``[text](target)``) whose target does not
+  exist on disk (fragments are stripped; absolute URLs are skipped);
+* backticked code references that *look like* repo paths
+  (``src/repro/...``, ``docs/...``, ``tests/...``, ...) but point at
+  nothing.
+
+Also pins the architecture map's coverage: ``docs/architecture.md`` must
+link every module directory under ``src/repro/``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Archives of *external* content (retrieved papers, exemplar snippets
+#: from other repositories) whose links are not ours to keep alive.
+EXCLUDE_FILES = {"SNIPPETS.md", "PAPERS.md"}
+EXCLUDE_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".hypothesis"}
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+#: A code span is treated as a repo-path claim only when it starts with a
+#: top-level source directory and contains no wildcard/placeholder syntax
+#: (an ``...`` ellipsis marks a path *family*, not one file).
+PATH_CLAIM = re.compile(
+    r"^(?:src|docs|tests|benchmarks|examples)/(?!.*\.\.)[A-Za-z0-9_\-./]+$"
+)
+
+
+def markdown_files():
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in EXCLUDE_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in EXCLUDE_FILES:
+                found.append(os.path.join(dirpath, name))
+    assert found, "no markdown files discovered — wrong repo root?"
+    return sorted(found)
+
+
+def _resolve(base_dir: str, target: str) -> str:
+    target = target.split("#", 1)[0]
+    if not target:  # pure in-page anchor
+        return ""
+    return os.path.normpath(os.path.join(base_dir, target))
+
+
+def _iter_dead_links(path: str):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    base_dir = os.path.dirname(path)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = _resolve(base_dir, target)
+        if resolved and not os.path.exists(resolved):
+            yield target
+    for match in CODE_SPAN.finditer(text):
+        claim = match.group(1)
+        if PATH_CLAIM.match(claim) and not os.path.exists(
+            os.path.join(REPO_ROOT, claim)
+        ):
+            yield claim
+
+
+@pytest.mark.parametrize(
+    "path", markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT)
+)
+def test_no_dead_links(path):
+    dead = sorted(set(_iter_dead_links(path)))
+    assert not dead, (
+        f"{os.path.relpath(path, REPO_ROOT)} references missing targets: {dead}"
+    )
+
+
+def test_architecture_map_links_every_module():
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    modules = sorted(
+        name
+        for name in os.listdir(src)
+        if os.path.isdir(os.path.join(src, name)) and name != "__pycache__"
+    )
+    assert modules, "src/repro has no module directories?"
+    arch = os.path.join(REPO_ROOT, "docs", "architecture.md")
+    with open(arch, encoding="utf-8") as handle:
+        text = handle.read()
+    targets = {
+        _resolve(os.path.dirname(arch), match.group(1))
+        for match in LINK.finditer(text)
+    }
+    missing = [
+        name
+        for name in modules
+        if os.path.normpath(os.path.join(src, name)) not in targets
+    ]
+    assert not missing, f"docs/architecture.md does not link module dirs: {missing}"

@@ -160,9 +160,11 @@ def test_parallel_minmax_session_traces_connected():
     # no dangling parent ids anywhere in the tree
     ids = {s.span_id for s in tracer.spans}
     assert all(s.parent_id is None or s.parent_id in ids for s in tracer.spans)
-    # both directions ran off the main thread but stayed in this trace
+    # every (component, sense) solve ran off the main thread but stayed in
+    # this trace (the two-block model decomposes into two components)
     solve_spans = [s for s in tracer.spans if s.name.startswith("engine.solve.")]
-    assert len(solve_spans) == 2
+    assert bounds.stats["components"] == 2
+    assert len(solve_spans) == 2 * bounds.stats["components"]
     assert {s.trace_id for s in solve_spans} == {tracer.trace_id}
 
 

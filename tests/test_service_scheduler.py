@@ -40,6 +40,10 @@ def context():
         mc_samples=4,
         seed=7,
         solver_backend="bb",
+        # Monolithic solves keep this module's backend-call accounting
+        # exact (dedup = "min + max, nothing for the follower"); the
+        # decomposed solve path has its own coverage in test_decompose.py.
+        enable_decomposition=False,
     )
     ctx = ExperimentContext(config)
     yield ctx
