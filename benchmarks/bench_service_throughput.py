@@ -60,7 +60,12 @@ _WORKLOAD = (
 )
 
 
-def _spawn_server(tmp_dir: str, trace_path: str | None = None):
+def _spawn_server(
+    tmp_dir: str,
+    trace_path: str | None = None,
+    fabric: str | None = None,
+    solve_workers: int | None = None,
+):
     """Start ``python -m repro serve`` on an ephemeral port; return (proc, url)."""
     ready_file = os.path.join(tmp_dir, "ready.json")
     log_path = os.path.join(tmp_dir, "server.log")
@@ -78,6 +83,10 @@ def _spawn_server(tmp_dir: str, trace_path: str | None = None):
         "--backend", "bb",
         "--ready-file", ready_file,
     ]
+    if fabric:
+        cmd += ["--fabric", fabric]
+    if solve_workers:
+        cmd += ["--solve-workers", str(solve_workers)]
     if trace_path:
         cmd += ["--trace", trace_path]
     env = dict(os.environ)
@@ -289,6 +298,96 @@ def run_load(url: str, clients: int = CLIENTS, duration_s: float = DURATION_S) -
     }
 
 
+def _cold_solve_phase(url: str, clients: int, keys: int, base: float) -> dict:
+    """``keys`` never-before-seen BIP fingerprints through ``clients``
+    concurrent posters: every request is a real cold solve, so the wall
+    time measures how well the solve fabric overlaps backend work (the
+    mixed phase, being cache-dominated, cannot see that)."""
+    selectivities = [round(base + 0.001 * i, 6) for i in range(keys)]
+    results: list = [None] * keys
+    barrier = threading.Barrier(clients)
+    cursor = [0]
+    cursor_lock = threading.Lock()
+
+    def _poster() -> None:
+        client = ServiceClient(url, timeout=300.0)
+        barrier.wait()
+        while True:
+            with cursor_lock:
+                index = cursor[0]
+                if index >= keys:
+                    return
+                cursor[0] += 1
+            results[index] = client.query(
+                query="Q2", params={"pb_selectivity": selectivities[index]}
+            )
+
+    threads = [threading.Thread(target=_poster) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - t0
+    statuses = [r.status if r is not None else "dropped" for r in results]
+    return {
+        "keys": keys,
+        "clients": clients,
+        "wall_s": wall_s,
+        "rps": keys / wall_s if wall_s else 0.0,
+        "statuses": sorted(set(statuses)),
+        "ok": sum(1 for s in statuses if s == "ok"),
+    }
+
+
+def run_worker_sweep(
+    fabrics: tuple = ("thread", "process"),
+    workers_list: tuple = (1, 2, 4, 8),
+    keys: int = 12,
+    clients: int = 4,
+) -> dict:
+    """The rps-vs-workers curve: one server boot per (fabric, workers).
+
+    Cold-key solves only — the quantity that scales with solve workers.
+    On a single-core runner the process fabric pays fork+IPC overhead
+    with no parallel speedup, so its curve is flat-to-worse there; the
+    committed numbers record the machine they came from.
+    """
+    import tempfile
+
+    sweep: dict = {"cpu_count": os.cpu_count(), "curves": {}}
+    base = 0.6
+    for fabric in fabrics:
+        curve = []
+        for workers in workers_list:
+            tmp_dir = tempfile.mkdtemp(prefix=f"bench_sweep_{fabric}{workers}_")
+            proc, url = _spawn_server(tmp_dir, fabric=fabric, solve_workers=workers)
+            try:
+                client = ServiceClient(url, timeout=300.0)
+                client.healthz()
+                # one warm key so the first timed request is not also
+                # paying the model-lock prepare of a cold (scheme, k)
+                client.query(query="Q2")
+                base = round(base + keys * 0.001 + 0.005, 6)
+                phase = _cold_solve_phase(url, clients, keys, base)
+                phase["fabric"] = fabric
+                phase["solve_workers"] = workers
+                curve.append(phase)
+                print(
+                    f"sweep {fabric} workers={workers}: "
+                    f"{phase['rps']:.2f} solves/s ({phase['wall_s']:.1f}s wall)",
+                    flush=True,
+                )
+            finally:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        sweep["curves"][fabric] = curve
+    return sweep
+
+
 def check_acceptance(results: dict) -> None:
     """The ISSUE acceptance criteria, as assertions over one results document."""
     mixed = results["mixed"]
@@ -316,13 +415,14 @@ def check_acceptance(results: dict) -> None:
     # The ad-hoc MIN/MAX probe path answers exactly when unconstrained.
     for aggregate, answer in results["minmax"].items():
         assert answer["status"] == "ok", (aggregate, answer)
-    # /metrics exposes the service families next to the engine ones.
+    # /metrics exposes the service families next to the engine ones; the
+    # deprecated point-in-time quantile gauges must be gone.
     for family in (
         "repro_service_requests_total",
         "repro_service_dedup_hits_total",
-        "repro_service_latency_seconds",
     ):
         assert family in results["metrics_families"], results["metrics_families"]
+    assert "repro_service_latency_seconds" not in results["metrics_families"]
 
 
 def run_benchmark(
@@ -330,8 +430,13 @@ def run_benchmark(
     clients: int = CLIENTS,
     duration_s: float = DURATION_S,
     results_path: str = RESULTS_PATH,
+    sweep: bool = False,
 ) -> dict:
-    """Spawn (or reuse) a server, run the load, write + check the results."""
+    """Spawn (or reuse) a server, run the load, write + check the results.
+
+    ``sweep=True`` additionally boots one server per (fabric, workers)
+    combination and appends the cold-solve rps-vs-workers curves.
+    """
     import tempfile
 
     proc = None
@@ -348,6 +453,8 @@ def run_benchmark(
                 proc.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 proc.kill()
+    if sweep:
+        results["worker_sweep"] = run_worker_sweep()
     with open(results_path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
@@ -376,12 +483,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=CLIENTS)
     parser.add_argument("--duration", type=float, default=DURATION_S)
     parser.add_argument("--out", default=RESULTS_PATH)
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also sweep solve-worker counts (1/2/4/8) for the thread and "
+        "process fabrics (one server boot each) and record rps curves",
+    )
     args = parser.parse_args(argv)
     results = run_benchmark(
         server_url=args.server,
         clients=args.clients,
         duration_s=args.duration,
         results_path=args.out,
+        sweep=args.sweep,
     )
     mixed = results["mixed"]
     print(

@@ -143,6 +143,8 @@ def _serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         solver_backend=args.backend,
         solve_workers=args.solve_workers,
+        solve_fabric=args.fabric,
+        l2_cache_path=args.l2_cache,
         enable_decomposition=not args.no_decompose,
     )
 
@@ -263,7 +265,21 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--seed", type=int, default=3)
     server.add_argument("--backend", default="auto", help="solver backend")
     server.add_argument(
-        "--solve-workers", type=int, default=1, help="threads per solve session"
+        "--solve-workers", type=int, default=1, help="solve workers per fabric"
+    )
+    server.add_argument(
+        "--fabric",
+        choices=("thread", "process", "inline"),
+        default="thread",
+        help="executor fabric for solve units (process = forked workers, "
+        "sidesteps the GIL; pair with --solve-workers)",
+    )
+    server.add_argument(
+        "--l2-cache",
+        default=None,
+        metavar="PATH",
+        help="SQLite path for the cross-process L2 solve cache "
+        "('off' disables it; default: auto temp file for --fabric process)",
     )
     server.add_argument(
         "--trace", default=None, help="stream per-request JSONL spans to this file"

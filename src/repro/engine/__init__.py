@@ -9,7 +9,17 @@ facades over this package.
 
 from repro.engine.cache import CachedSolve, SolveCache
 from repro.engine.canonical import CanonicalBIP, canonicalize
-from repro.engine.session import PreparedProblem, SolveSession
+from repro.engine.fabric import (
+    ExecutorFabric,
+    InlineFabric,
+    ProcessFabric,
+    SolveUnit,
+    ThreadFabric,
+    UnitResult,
+    make_fabric,
+)
+from repro.engine.l2cache import L2SolveCache
+from repro.engine.session import PreparedComponent, PreparedProblem, SolveSession
 from repro.engine.telemetry import (
     CacheProbe,
     CounterBumped,
@@ -28,14 +38,23 @@ __all__ = [
     "CanonicalBIP",
     "canonicalize",
     "CounterBumped",
+    "ExecutorFabric",
+    "InlineFabric",
+    "L2SolveCache",
     "ListSink",
     "LoggingSink",
     "PhaseTimed",
+    "PreparedComponent",
     "PreparedProblem",
     "ProblemPrepared",
+    "ProcessFabric",
     "SolveCache",
     "SolveFinished",
     "SolveSession",
+    "SolveUnit",
     "Stopwatch",
     "Telemetry",
+    "ThreadFabric",
+    "UnitResult",
+    "make_fabric",
 ]

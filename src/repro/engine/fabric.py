@@ -1,0 +1,491 @@
+"""The executor fabric: one solve-unit path over inline/thread/process.
+
+PR 5 made the ``(component, sense)`` pair the engine's unit of work;
+this module makes it the unit of *dispatch*.  A :class:`SolveUnit` is a
+fully picklable description of one solve — the dense BIP, its canonical
+fingerprint and variable order, deadline-carrying options, and the L2
+cache path — and :func:`run_unit` is the one execution path every
+fabric runs it through:
+
+    L2 probe -> closed form (free blocks) -> backend solve -> L2 write
+
+Three interchangeable fabrics schedule units:
+
+* :class:`InlineFabric` — runs the unit on the calling thread (the
+  serial engine path, zero scheduling overhead);
+* :class:`ThreadFabric` — a ``ThreadPoolExecutor``; cheap fan-out, but
+  pure-Python solves stay GIL-bound;
+* :class:`ProcessFabric` — a ``ProcessPoolExecutor`` of forked workers;
+  solves run on real cores.  Options are stripped of their unpicklable
+  ``stop_check`` closure (the picklable ``deadline_at`` float and
+  :class:`~repro.solver.cancel.CancelToken` survive), workers run with
+  the null tracer (they must not write into the parent's span sinks),
+  and each unit's ``engine.solve.*`` span comes home as a serialized
+  record for :meth:`~repro.obs.tracer.Tracer.ingest` to re-parent into
+  the request trace.
+
+The point of the abstraction: thread and process execution are
+*configurations* of one code path, not two forks.  ``SolveSession``
+talks only to the fabric interface; swapping ``--fabric thread`` for
+``--fabric process`` changes scheduling, never semantics.
+
+Known process-mode limitation: spans opened *inside* a worker's solver
+(``solver.solve``, B&B node sampling) and the worker's own
+``global_registry()`` histograms (``repro_bb_nodes_per_solve``) stay in
+the worker process — the parent re-emits the per-unit span and observes
+``repro_engine_solve_seconds`` itself, so request traces and the
+engine-level metrics remain complete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engine.cache import CachedSolve
+from repro.engine.l2cache import L2SolveCache
+from repro.solver.cancel import CancelToken, create_scope, drop_scope
+from repro.solver.decompose import closed_form
+from repro.solver.interface import solve
+from repro.solver.result import SolverOptions
+
+__all__ = [
+    "ExecutorFabric",
+    "InlineFabric",
+    "ProcessFabric",
+    "SolveUnit",
+    "ThreadFabric",
+    "UnitResult",
+    "make_fabric",
+    "run_unit",
+]
+
+FABRIC_KINDS = ("inline", "thread", "process")
+
+
+@dataclass
+class SolveUnit:
+    """One picklable ``(problem, sense)`` solve, ready for any fabric.
+
+    ``var_order`` + ``dense`` let the worker translate its solution into
+    canonical variable order itself, so the wire format matches the
+    cache format.  ``authoritative`` marks a full-budget solve (no
+    per-request deadline override) — the L2 admission guard is stricter
+    for non-authoritative outcomes.
+    """
+
+    problem: object
+    sense: str
+    fingerprint: str
+    var_order: Tuple[int, ...]
+    dense: dict
+    options: SolverOptions
+    closed_form_ok: bool = False
+    authoritative: bool = True
+    component: Optional[int] = None
+    l2_path: Optional[str] = None
+
+
+@dataclass
+class UnitResult:
+    """The outcome of one unit, in canonical order (process-safe).
+
+    ``spans`` carries serialized span records when the unit ran without
+    an active tracer (i.e. in a worker process); the session ingests
+    them into the request trace.
+    """
+
+    fingerprint: str
+    sense: str
+    status: str
+    objective: Optional[int] = None
+    x_canonical: Optional[Tuple[int, ...]] = None
+    bound: Optional[float] = None
+    nodes: int = 0
+    backend: str = ""
+    solve_time: float = 0.0
+    l2_hit: bool = False
+    l2_stored: bool = False
+    worker_pid: int = 0
+    spans: list = field(default_factory=list)
+
+    def to_cached(self) -> CachedSolve:
+        return CachedSolve(
+            status=self.status,
+            objective=self.objective,
+            x_canonical=self.x_canonical,
+            bound=self.bound,
+            nodes=self.nodes,
+            backend=self.backend,
+        )
+
+
+# -- shared L2 handles --------------------------------------------------------
+#: one L2 connection pool per database path, per process (forked workers
+#: start with the parent's dict but their connections re-open pid-guarded)
+_L2_HANDLES: Dict[str, L2SolveCache] = {}
+_L2_LOCK = threading.Lock()
+
+
+def l2_handle(path: Optional[str]) -> Optional[L2SolveCache]:
+    """The process-local :class:`L2SolveCache` for ``path`` (memoized)."""
+    if path is None:
+        return None
+    with _L2_LOCK:
+        handle = _L2_HANDLES.get(path)
+        if handle is None:
+            handle = _L2_HANDLES[path] = L2SolveCache(path)
+        return handle
+
+
+# -- the one execution path ---------------------------------------------------
+def _execute(unit: SolveUnit) -> UnitResult:
+    l2 = l2_handle(unit.l2_path)
+    if l2 is not None:
+        entry = l2.get(unit.fingerprint, unit.sense)
+        if entry is not None:
+            return UnitResult(
+                fingerprint=unit.fingerprint,
+                sense=unit.sense,
+                status=entry.status,
+                objective=entry.objective,
+                x_canonical=entry.x_canonical,
+                bound=entry.bound,
+                nodes=entry.nodes,
+                backend=entry.backend,
+                solve_time=0.0,
+                l2_hit=True,
+                worker_pid=os.getpid(),
+            )
+    solution = None
+    if unit.closed_form_ok:
+        # Free blocks (objective-only variables) have an exact
+        # closed-form optimum — no backend round-trip.
+        solution = closed_form(unit.problem, unit.sense)
+    if solution is None:
+        solution = solve(unit.problem, unit.sense, unit.options)
+    x_canonical = None
+    if solution.x is not None:
+        x_canonical = tuple(
+            int(solution.x[unit.dense[model_idx]]) for model_idx in unit.var_order
+        )
+    result = UnitResult(
+        fingerprint=unit.fingerprint,
+        sense=unit.sense,
+        status=solution.status,
+        objective=solution.objective,
+        x_canonical=x_canonical,
+        bound=solution.bound,
+        nodes=solution.nodes,
+        backend=solution.backend,
+        solve_time=solution.solve_time,
+        worker_pid=os.getpid(),
+    )
+    if l2 is not None:
+        result.l2_stored = l2.put(
+            unit.fingerprint, unit.sense, result.to_cached(),
+            authoritative=unit.authoritative,
+        )
+    return result
+
+
+def run_unit(unit: SolveUnit, parent_span=None) -> UnitResult:
+    """Execute one unit under a span (live tracer) or a span record.
+
+    In-process fabrics open a real ``engine.solve.{sense}`` span,
+    parented to the submitting caller's span; in a worker process the
+    tracer is null, so the same information is captured as a serialized
+    record on the result for the parent to ingest.
+    """
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(f"engine.solve.{unit.sense}", parent=parent_span) as span:
+            result = _execute(unit)
+            if unit.component is not None:
+                span.set("component", unit.component)
+            span.set("cached", False).set("status", result.status)
+            span.set("objective", result.objective).set("nodes", result.nodes)
+            span.set("backend", result.backend)
+            if result.l2_hit:
+                span.set("l2_hit", True)
+        return result
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    result = _execute(unit)
+    attributes = {
+        "cached": False,
+        "status": result.status,
+        "objective": result.objective,
+        "nodes": result.nodes,
+        "backend": result.backend,
+        "worker_pid": result.worker_pid,
+    }
+    if unit.component is not None:
+        attributes["component"] = unit.component
+    if result.l2_hit:
+        attributes["l2_hit"] = True
+    result.spans.append(
+        {
+            "name": f"engine.solve.{unit.sense}",
+            "start_unix": start_unix,
+            "duration": time.perf_counter() - t0,
+            "status": "ok",
+            "thread": threading.current_thread().name,
+            "attributes": attributes,
+        }
+    )
+    return result
+
+
+# -- the fabrics --------------------------------------------------------------
+_FABRIC_IDS = itertools.count(1)
+
+#: cancel-event slots per fabric: slot 0 is the fabric-wide abort signal,
+#: the rest are handed out round-robin by :meth:`ExecutorFabric.new_token`
+_TOKEN_SLOTS = 33
+
+
+class ExecutorFabric:
+    """The interface ``SolveSession`` schedules solve units through.
+
+    Subclasses implement :meth:`submit_unit` (returning a
+    ``concurrent.futures.Future`` of :class:`UnitResult`), :meth:`map`
+    (generic order-preserving fan-out for non-unit work like MC
+    sampling) and :meth:`close`.  Every fabric owns one cancellation
+    scope: :meth:`abort` stops all in-flight units cooperatively, and
+    :meth:`new_token` mints a per-caller token for targeted
+    cancellation.
+    """
+
+    kind = "base"
+
+    #: process fabrics create their cancel scope in ``__init__`` — the
+    #: event registry must exist before the pool forks; in-process
+    #: fabrics defer it, so short-lived facade sessions (which are often
+    #: never ``close()``d) don't accrete scopes in the global registry.
+    eager_scope = False
+
+    def __init__(self, workers: int = 1, event_factory=threading.Event):
+        self.workers = max(1, int(workers))
+        self._event_factory = event_factory
+        self._scope_name = f"repro-fabric-{os.getpid()}-{next(_FABRIC_IDS)}"
+        self._scope_ready = False
+        self._token_slots = itertools.count(1)
+        self._closed = False
+        if self.eager_scope:
+            self._ensure_scope()
+
+    # -- cancellation ------------------------------------------------------
+    def _ensure_scope(self) -> str:
+        if not self._scope_ready:
+            create_scope(self._scope_name, _TOKEN_SLOTS, factory=self._event_factory)
+            self._scope_ready = True
+        return self._scope_name
+
+    @property
+    def abort_token(self) -> CancelToken:
+        return CancelToken(self._ensure_scope(), 0)
+
+    def new_token(self) -> CancelToken:
+        """A fresh token for one caller-managed cancellation."""
+        return CancelToken(
+            self._ensure_scope(), 1 + next(self._token_slots) % (_TOKEN_SLOTS - 1)
+        )
+
+    def abort(self) -> None:
+        """Cooperatively stop every in-flight and queued unit."""
+        self.abort_token.set()
+
+    def _armed_options(self, options: SolverOptions) -> SolverOptions:
+        """Attach the fabric abort token when the caller set no token."""
+        if options.cancel is not None:
+            return options
+        return dataclasses.replace(options, cancel=self.abort_token)
+
+    # -- scheduling --------------------------------------------------------
+    def submit_unit(self, unit: SolveUnit, parent_span=None) -> Future:
+        raise NotImplementedError
+
+    def map(self, fn, items) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self._scope_ready:
+            drop_scope(self._scope_name)
+            self._scope_ready = False
+        self._closed = True
+
+    def __del__(self):  # pragma: no cover - GC safety net for unclosed fabrics
+        try:
+            if self._scope_ready:
+                drop_scope(self._scope_name)
+        except Exception:
+            pass
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "workers": self.workers}
+
+    def __enter__(self) -> "ExecutorFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class InlineFabric(ExecutorFabric):
+    """Run units on the calling thread (the strictly-serial engine)."""
+
+    kind = "inline"
+
+    def __init__(self):
+        super().__init__(workers=1)
+
+    def _armed_options(self, options: SolverOptions) -> SolverOptions:
+        # Inline units run on the submitting thread itself; nothing can
+        # race them to set an abort event, so no token is attached (and
+        # no cancel scope is ever created for a purely-inline session).
+        return options
+
+    def submit_unit(self, unit: SolveUnit, parent_span=None) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(run_unit(unit, parent_span))
+        except BaseException as exc:  # noqa: BLE001 — future carries it
+            future.set_exception(exc)
+        return future
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadFabric(ExecutorFabric):
+    """Schedule units on a thread pool (or an injected executor)."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int = 2, executor: Optional[Executor] = None):
+        if executor is not None:
+            workers = max(int(workers), getattr(executor, "_max_workers", 2))
+        super().__init__(workers=workers)
+        self._external = executor
+        self._pool: Optional[Executor] = executor
+        self._pool_lock = threading.Lock()
+
+    def _ensure(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-solve"
+                )
+            return self._pool
+
+    def submit_unit(self, unit: SolveUnit, parent_span=None) -> Future:
+        unit = dataclasses.replace(unit, options=self._armed_options(unit.options))
+        return self._ensure().submit(run_unit, unit, parent_span)
+
+    def map(self, fn, items) -> list:
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._pool is not None and self._external is None:
+            self._pool.shutdown(wait=True)
+        self._pool = None
+        super().close()
+
+
+def _worker_init() -> None:
+    """Process-pool initializer: sever inherited observability state.
+
+    Forked children start with the parent's active tracer — including
+    open JSONL file descriptors whose writes would interleave with the
+    parent's.  Workers record span dicts instead (see :func:`run_unit`),
+    so the inherited tracer is replaced with the null one.
+    """
+    import repro.obs.tracer as tracer_module
+
+    tracer_module._active = tracer_module.NULL_TRACER
+
+
+class ProcessFabric(ExecutorFabric):
+    """Schedule units on forked worker processes.
+
+    The cancellation scope is created with the fork context's events
+    *before* the pool exists, so workers inherit the registry and the
+    picklable tokens resolve inside them.  ``stop_check`` closures are
+    stripped at submit (they cannot cross the boundary); absolute
+    deadlines and cancel tokens survive.
+
+    Generic :meth:`map` work (MC fan-out closures) is *not* shipped to
+    workers — closures over live model state neither pickle nor belong
+    there — it runs inline; only solve units cross the boundary.
+    """
+
+    kind = "process"
+    eager_scope = True
+
+    def __init__(self, workers: int = 2, start_method: str = "fork"):
+        self._ctx = multiprocessing.get_context(start_method)
+        super().__init__(workers=workers, event_factory=self._ctx.Event)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._ctx,
+                    initializer=_worker_init,
+                )
+            return self._pool
+
+    def submit_unit(self, unit: SolveUnit, parent_span=None) -> Future:
+        options = self._armed_options(unit.options)
+        if options.stop_check is not None:
+            options = dataclasses.replace(options, stop_check=None)
+        unit = dataclasses.replace(unit, options=options)
+        # parent_span is deliberately not shipped: the worker records a
+        # span dict and the parent re-parents it on ingest.
+        return self._ensure().submit(run_unit, unit)
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.abort()  # queued-but-unstarted units stop at their next poll
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._pool = None
+        super().close()
+
+
+def make_fabric(kind: str, workers: int = 1, **kwargs) -> ExecutorFabric:
+    """Build a fabric from CLI-ish configuration.
+
+    ``thread`` with one worker degenerates to :class:`InlineFabric` —
+    a 1-thread pool buys scheduling overhead and nothing else, and it
+    keeps the historical ``max_workers=1 == serial`` behavior.
+    """
+    if kind == "inline":
+        return InlineFabric()
+    if kind == "thread":
+        return ThreadFabric(workers, **kwargs) if workers > 1 else InlineFabric()
+    if kind == "process":
+        return ProcessFabric(workers, **kwargs)
+    raise ValueError(f"unknown fabric kind {kind!r}; expected one of {FABRIC_KINDS}")

@@ -9,12 +9,17 @@ bound in the repo needs, and layers on top of it:
   recognised even though each evaluation allocates fresh lineage
   variables;
 * a bounded LRU solve cache (:mod:`repro.engine.cache`) keyed by
-  ``(fingerprint, sense)``, invalidated when non-lineage constraints are
-  added to the model's store (lineage-only appends — i.e. answering more
-  queries — keep the cache warm, which is what makes a Figure-5 k-sweep
-  amortize its solves);
-* optional parallel execution of the min and max directions through a
-  ``concurrent.futures`` executor (``max_workers=1`` stays serial);
+  ``(fingerprint, sense)`` — the L1 tier — invalidated when non-lineage
+  constraints are added to the model's store (lineage-only appends —
+  i.e. answering more queries — keep the cache warm, which is what makes
+  a Figure-5 k-sweep amortize its solves);
+* optionally, a cross-process L2 tier (:mod:`repro.engine.l2cache`)
+  shared by every worker pointed at the same SQLite file — pass
+  ``l2_path``;
+* dispatch of every ``(component, sense)`` solve unit through an
+  :class:`~repro.engine.fabric.ExecutorFabric` — inline (serial),
+  thread pool, or a pool of forked worker processes — one code path,
+  three scheduling configurations;
 * structured instrumentation (:mod:`repro.engine.telemetry`) replacing
   the hand-rolled ``perf_counter`` bookkeeping previously scattered over
   ``core/bounds.py``, ``queries/answer.py`` and the experiment harness.
@@ -26,15 +31,22 @@ callers and their signatures are untouched.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import LinearConstraint
 from repro.core.linexpr import LinearExpr
 from repro.core.pruning import prune
 from repro.engine.cache import CachedSolve, SolveCache
 from repro.engine.canonical import CanonicalBIP, canonicalize
+from repro.engine.fabric import (
+    ExecutorFabric,
+    InlineFabric,
+    SolveUnit,
+    ThreadFabric,
+    UnitResult,
+)
 from repro.engine.telemetry import (
     CacheProbe,
     ProblemPrepared,
@@ -45,8 +57,7 @@ from repro.engine.telemetry import (
 from repro.errors import EngineError, InfeasibleError
 from repro.obs.export import global_registry
 from repro.obs.tracer import current_tracer
-from repro.solver.decompose import closed_form, split_blocks
-from repro.solver.interface import solve
+from repro.solver.decompose import split_blocks
 from repro.solver.model import from_licm
 from repro.solver.result import Solution, SolverOptions
 
@@ -64,7 +75,8 @@ class PreparedComponent:
     triple so a component rides the same cache/solve path: ``problem`` is
     the block's own dense BIP, ``dense`` maps *model* variable indices to
     its solution positions, and ``canonical`` carries the block's own
-    fingerprint — the per-component cache key.
+    fingerprint — the per-component cache key.  Everything here is plain
+    data, so a component crosses a process boundary intact.
     """
 
     problem: object
@@ -111,13 +123,19 @@ class SolveSession:
     :param options: solver options applied to every solve in the session.
     :param prune_method: ``'lineage'`` (default), ``'fixpoint'`` or
         ``'single_pass'`` — see :mod:`repro.core.pruning`.
-    :param cache_size: LRU capacity in solve outcomes; ``0`` disables.
-    :param max_workers: ``> 1`` runs the min and max directions (and any
-        future fan-out) on a thread pool; ``1`` is strictly serial.
+    :param cache_size: L1 LRU capacity in solve outcomes; ``0`` disables.
+    :param max_workers: ``> 1`` builds a thread fabric running the min and
+        max directions (and per-component fan-out) concurrently; ``1`` is
+        strictly serial.  Ignored when ``fabric`` is given.
     :param telemetry: a shared :class:`Telemetry`; a private one is
         created when omitted.
-    :param executor: inject a pre-built executor (overrides
-        ``max_workers`` for scheduling; the session will not shut it down).
+    :param executor: inject a pre-built thread executor (wrapped in a
+        thread fabric; the session will not shut it down).
+    :param fabric: inject a shared :class:`ExecutorFabric` — the service
+        scheduler passes one process fabric to every session; the session
+        will not close it.
+    :param l2_path: SQLite file for the cross-process L2 solve cache;
+        ``None`` (default) disables the L2 tier.
     """
 
     def __init__(
@@ -129,6 +147,8 @@ class SolveSession:
         max_workers: int = 1,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        fabric: Optional[ExecutorFabric] = None,
+        l2_path: Optional[str] = None,
     ):
         self.model = model
         self.options = options or SolverOptions()
@@ -136,8 +156,16 @@ class SolveSession:
         self.cache = SolveCache(cache_size)
         self.max_workers = max_workers
         self.telemetry = telemetry or Telemetry()
-        self._external_executor = executor
-        self._executor: Optional[Executor] = executor
+        self.l2_path = l2_path
+        self._external_fabric = fabric is not None
+        if fabric is None:
+            if executor is not None:
+                fabric = ThreadFabric(max_workers, executor=executor)
+            elif max_workers > 1:
+                fabric = ThreadFabric(max_workers)
+            else:
+                fabric = InlineFabric()
+        self.fabric = fabric
         self._closed = False
         self._seen_generation = model.constraints.generation
         self._seen_length = len(model.constraints)
@@ -150,32 +178,24 @@ class SolveSession:
         self.close()
 
     def close(self) -> None:
-        """Shut down the session-owned executor (injected ones are kept).
+        """Shut down the session-owned fabric (injected ones are kept).
 
         Idempotent: closing twice is a no-op.  Any solve attempted after
         the first ``close()`` raises :class:`~repro.errors.EngineError`.
         """
         if self._closed:
             return
-        if self._executor is not None and self._external_executor is None:
-            self._executor.shutdown(wait=True)
-        self._executor = None
+        if not self._external_fabric:
+            self.fabric.close()
         self._closed = True
 
     @property
     def closed(self) -> bool:
         return self._closed
 
-    def _pool(self) -> Executor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix="repro-solve"
-            )
-        return self._executor
-
     @property
     def parallel(self) -> bool:
-        return self.max_workers > 1 or self._external_executor is not None
+        return self.fabric.kind != "inline"
 
     # -- cache freshness ---------------------------------------------------
     def _ensure_fresh(self) -> None:
@@ -192,7 +212,7 @@ class SolveSession:
         if self._closed:
             raise EngineError(
                 f"SolveSession for {self.model!r} is closed "
-                "(close() was called; its executor is shut down) — "
+                "(close() was called; its fabric is shut down) — "
                 "create a new session to keep solving"
             )
         store = self.model.constraints
@@ -323,123 +343,188 @@ class SolveSession:
             exemplar={"trace_id": trace_id} if trace_id else None,
         )
 
-    def _solve_sense(
+    # -- unit dispatch -----------------------------------------------------
+    def _l1_probe(
         self,
-        problem,
-        dense: dict,
         canonical: CanonicalBIP,
         sense: str,
-        parent_span=None,
-        options: Optional[SolverOptions] = None,
-        component: Optional[int] = None,
-    ) -> Tuple[CachedSolve, bool, float]:
-        """One direction through the cache. Returns
-        ``(entry, was_cached, wall_seconds_spent_solving)``.
-
-        ``parent_span`` keeps the trace tree connected when this runs on a
-        pool thread (the caller captures its current span before submit).
-        ``component`` marks a per-component solve of a decomposed problem
-        (tagging the span, and allowing the closed-form shortcut for
-        constraint-free free blocks).
-        """
-        with current_tracer().span(
-            f"engine.solve.{sense}", parent=parent_span
-        ) as span:
-            if component is not None:
-                span.set("component", component)
-            entry, cached, seconds = self._solve_sense_inner(
-                problem, dense, canonical, sense, options,
-                closed_form_ok=component is not None,
-            )
-            span.set("cached", cached).set("status", entry.status)
-            span.set("objective", entry.objective).set("nodes", entry.nodes)
-            span.set("backend", entry.backend)
-            return entry, cached, seconds
-
-    def _solve_sense_inner(
-        self,
-        problem,
-        dense: dict,
-        canonical: CanonicalBIP,
-        sense: str,
-        options: Optional[SolverOptions] = None,
-        closed_form_ok: bool = False,
-    ) -> Tuple[CachedSolve, bool, float]:
-        key = (canonical.fingerprint, sense)
-        entry = self.cache.get(key)
-        if entry is not None:
-            self.telemetry.count("cache_hits")
-            self.telemetry.emit(CacheProbe("hit", canonical.fingerprint, len(self.cache)))
+        component: Optional[int],
+        parent_span,
+    ) -> Optional[CachedSolve]:
+        """One L1 lookup, with its telemetry.  ``None`` means miss."""
+        entry = self.cache.get((canonical.fingerprint, sense))
+        if entry is None:
+            self.telemetry.count("cache_misses")
             self.telemetry.emit(
-                SolveFinished(
-                    sense=sense,
-                    status=entry.status,
-                    objective=entry.objective,
-                    nodes=0,
-                    seconds=0.0,
-                    backend=entry.backend,
-                    fingerprint=canonical.fingerprint,
-                    cached=True,
-                )
+                CacheProbe("miss", canonical.fingerprint, len(self.cache))
             )
-            return entry, True, 0.0
-        self.telemetry.count("cache_misses")
-        self.telemetry.emit(CacheProbe("miss", canonical.fingerprint, len(self.cache)))
-        with self.telemetry.timer(f"solve_{sense}") as sw:
-            solution = None
-            if closed_form_ok:
-                # Free blocks (objective-only variables) have an exact
-                # closed-form optimum — no backend round-trip.
-                solution = closed_form(problem, sense)
-            if solution is None:
-                solution = solve(problem, sense, options or self.options)
-        x_canonical = None
-        if solution.x is not None:
-            x_canonical = tuple(
-                int(solution.x[dense[model_idx]]) for model_idx in canonical.var_order
-            )
-        entry = CachedSolve(
-            status=solution.status,
-            objective=solution.objective,
-            x_canonical=x_canonical,
-            bound=solution.bound,
-            nodes=solution.nodes,
-            backend=solution.backend,
-        )
-        # A solve truncated by per-call options (a request deadline) is not
-        # authoritative for the fingerprint: only cache it when optimal, so
-        # a degraded request never poisons later full-budget answers.
-        if options is None or solution.status == "optimal":
-            self.cache.put(key, entry)
-            self.telemetry.emit(
-                CacheProbe("store", canonical.fingerprint, len(self.cache))
-            )
-        self.telemetry.count("solver_nodes", solution.nodes)
-        # Always-on distribution of real solve walls (cache hits excluded),
-        # exemplar-linked to the active trace so a slow bucket names a
-        # specific request's span tree.
-        span = current_tracer().current()
-        trace_id = getattr(span, "trace_id", "") if span is not None else ""
-        global_registry().histogram(
-            "engine_solve_seconds", "Wall seconds per engine BIP solve direction"
-        ).observe(
-            solution.solve_time,
-            labels={"sense": sense, "backend": solution.backend or "unknown"},
-            exemplar={"trace_id": trace_id} if trace_id else None,
-        )
+            return None
+        self.telemetry.count("cache_hits")
+        self.telemetry.emit(CacheProbe("hit", canonical.fingerprint, len(self.cache)))
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(f"engine.solve.{sense}", parent=parent_span) as span:
+                if component is not None:
+                    span.set("component", component)
+                span.set("cached", True).set("status", entry.status)
+                span.set("objective", entry.objective).set("nodes", entry.nodes)
+                span.set("backend", entry.backend)
         self.telemetry.emit(
             SolveFinished(
                 sense=sense,
-                status=solution.status,
-                objective=solution.objective,
-                nodes=solution.nodes,
-                seconds=solution.solve_time,
-                backend=solution.backend,
+                status=entry.status,
+                objective=entry.objective,
+                nodes=0,
+                seconds=0.0,
+                backend=entry.backend,
+                fingerprint=canonical.fingerprint,
+                cached=True,
+            )
+        )
+        return entry
+
+    def _unit(
+        self,
+        problem,
+        dense: dict,
+        canonical: CanonicalBIP,
+        sense: str,
+        component: Optional[int],
+        options: Optional[SolverOptions],
+    ) -> SolveUnit:
+        return SolveUnit(
+            problem=problem,
+            sense=sense,
+            fingerprint=canonical.fingerprint,
+            var_order=tuple(canonical.var_order),
+            dense=dense,
+            options=options or self.options,
+            closed_form_ok=component is not None,
+            # A solve under per-call options (a request deadline) is not
+            # authoritative for the fingerprint — see the cache guards.
+            authoritative=options is None,
+            component=component,
+            l2_path=self.l2_path,
+        )
+
+    def _collect(
+        self,
+        result: UnitResult,
+        canonical: CanonicalBIP,
+        sense: str,
+        options: Optional[SolverOptions],
+        parent_span,
+    ) -> Tuple[CachedSolve, bool, float]:
+        """Fold one :class:`UnitResult` back into session state.
+
+        Runs on the submitting thread: L1 write-through (guarded),
+        telemetry, the always-on metrics, and adoption of any span
+        records shipped home from a worker process.
+        """
+        tracer = current_tracer()
+        if result.spans and tracer.enabled:
+            tracer.ingest(result.spans, parent=parent_span)
+        entry = result.to_cached()
+        # A solve truncated by per-call options (a request deadline) is not
+        # authoritative for the fingerprint: only cache it when optimal, so
+        # a degraded request never poisons later full-budget answers.
+        if options is None or entry.status == "optimal":
+            self.cache.put((canonical.fingerprint, sense), entry)
+            self.telemetry.emit(
+                CacheProbe("store", canonical.fingerprint, len(self.cache))
+            )
+        self.telemetry.record(f"solve_{sense}", result.solve_time)
+        self.telemetry.count("solver_nodes", result.nodes)
+        registry = global_registry()
+        registry.counter(
+            "engine_fabric_units_total",
+            "Solve units executed, by fabric kind",
+        ).inc(labels={"fabric": self.fabric.kind})
+        if self.l2_path is not None:
+            if result.l2_hit:
+                self.telemetry.count("l2_hits")
+                registry.counter(
+                    "engine_l2_hits_total", "Cross-process L2 solve cache hits"
+                ).inc()
+            else:
+                self.telemetry.count("l2_misses")
+                registry.counter(
+                    "engine_l2_misses_total", "Cross-process L2 solve cache misses"
+                ).inc()
+            if result.l2_stored:
+                self.telemetry.count("l2_writes")
+                registry.counter(
+                    "engine_l2_writes_total", "Cross-process L2 solve cache writes"
+                ).inc()
+        if not result.l2_hit:
+            # Always-on distribution of real solve walls (cache hits
+            # excluded), exemplar-linked to the request trace so a slow
+            # bucket names a specific span tree.
+            span = parent_span if parent_span is not None else tracer.current()
+            trace_id = getattr(span, "trace_id", "") if span is not None else ""
+            registry.histogram(
+                "engine_solve_seconds", "Wall seconds per engine BIP solve direction"
+            ).observe(
+                result.solve_time,
+                labels={"sense": sense, "backend": result.backend or "unknown"},
+                exemplar={"trace_id": trace_id} if trace_id else None,
+            )
+        self.telemetry.emit(
+            SolveFinished(
+                sense=sense,
+                status=entry.status,
+                objective=entry.objective,
+                nodes=result.nodes,
+                seconds=result.solve_time,
+                backend=entry.backend,
                 fingerprint=canonical.fingerprint,
                 cached=False,
             )
         )
-        return entry, False, solution.solve_time
+        return entry, False, result.solve_time
+
+    def _solve_tasks(
+        self,
+        tasks: Sequence[Tuple[object, dict, CanonicalBIP, str, Optional[int]]],
+        options: Optional[SolverOptions],
+    ) -> List[Tuple[CachedSolve, bool, float]]:
+        """Run ``(problem, dense, canonical, sense, component)`` tasks.
+
+        The one dispatch path for every fabric.  Serial (inline) fabrics
+        process tasks strictly in order — a later task whose fingerprint
+        was just stored by an earlier one hits L1, exactly like the
+        historical serial engine.  Parallel fabrics probe L1 for the
+        whole batch first, then submit every miss and collect as futures
+        complete; both directions (and all components) are in flight at
+        once.
+        """
+        parent_span = current_tracer().current()
+        outcomes: List[Optional[Tuple[CachedSolve, bool, float]]] = [None] * len(tasks)
+        if not self.parallel:
+            for i, (problem, dense, canonical, sense, component) in enumerate(tasks):
+                hit = self._l1_probe(canonical, sense, component, parent_span)
+                if hit is not None:
+                    outcomes[i] = (hit, True, 0.0)
+                    continue
+                unit = self._unit(problem, dense, canonical, sense, component, options)
+                result = self.fabric.submit_unit(unit, parent_span).result()
+                outcomes[i] = self._collect(result, canonical, sense, options, parent_span)
+            return outcomes  # type: ignore[return-value]
+        pending = []
+        for i, (problem, dense, canonical, sense, component) in enumerate(tasks):
+            hit = self._l1_probe(canonical, sense, component, parent_span)
+            if hit is not None:
+                outcomes[i] = (hit, True, 0.0)
+                continue
+            unit = self._unit(problem, dense, canonical, sense, component, options)
+            pending.append(
+                (i, canonical, sense, self.fabric.submit_unit(unit, parent_span))
+            )
+        for i, canonical, sense, future in pending:
+            outcomes[i] = self._collect(
+                future.result(), canonical, sense, options, parent_span
+            )
+        return outcomes  # type: ignore[return-value]
 
     # -- public API --------------------------------------------------------
     def prepare(
@@ -477,14 +562,14 @@ class SolveSession:
         """Both directions of an already-prepared problem.
 
         ``options`` overrides the session's solver options for this call
-        only (the service layer passes a deadline-clamped copy); results
-        from overridden solves enter the cache only when optimal.  Returns
+        only (the service layer passes a deadline-carrying copy); results
+        from overridden solves enter the caches only when optimal.  Returns
         :class:`~repro.core.bounds.AggregateBounds`.
 
         A decomposed preparation (``prepared.components``) dispatches
-        every ``(component, sense)`` pair — to the session pool when
-        parallel — and recombines the per-component optima additively;
-        deadline options and ``stop_check`` apply to each component solve.
+        every ``(component, sense)`` pair through the fabric and
+        recombines the per-component optima additively; deadline options
+        and cancellation apply to each component solve.
         """
         from repro.core.bounds import AggregateBounds
 
@@ -493,30 +578,10 @@ class SolveSession:
             return self._solve_prepared_decomposed(prepared, options)
         problem, dense, canonical = prepared.problem, prepared.dense, prepared.canonical
 
-        if self.parallel:
-            # Pool threads have no span stack: hand them the caller's span
-            # so both directions stay children of the same trace node.
-            parent_span = current_tracer().current()
-            futures = {
-                sense: self._pool().submit(
-                    self._solve_sense,
-                    problem,
-                    dense,
-                    canonical,
-                    sense,
-                    parent_span,
-                    options,
-                )
-                for sense in _SENSES
-            }
-            outcomes = {sense: futures[sense].result() for sense in _SENSES}
-        else:
-            outcomes = {
-                sense: self._solve_sense(
-                    problem, dense, canonical, sense, options=options
-                )
-                for sense in _SENSES
-            }
+        results = self._solve_tasks(
+            [(problem, dense, canonical, sense, None) for sense in _SENSES], options
+        )
+        outcomes = dict(zip(_SENSES, results))
 
         for entry, _, _ in outcomes.values():
             if entry.status == "infeasible":
@@ -573,34 +638,20 @@ class SolveSession:
 
         components = prepared.components
         tasks = [(sense, c) for sense in _SENSES for c in range(len(components))]
-        if self.parallel:
-            parent_span = current_tracer().current()
-            futures = {
-                task: self._pool().submit(
-                    self._solve_sense,
-                    components[task[1]].problem,
-                    components[task[1]].dense,
-                    components[task[1]].canonical,
-                    task[0],
-                    parent_span,
-                    options,
-                    task[1],
-                )
-                for task in tasks
-            }
-            outcomes = {task: futures[task].result() for task in tasks}
-        else:
-            outcomes = {
-                (sense, c): self._solve_sense(
+        results = self._solve_tasks(
+            [
+                (
                     components[c].problem,
                     components[c].dense,
                     components[c].canonical,
                     sense,
-                    options=options,
-                    component=c,
+                    c,
                 )
                 for sense, c in tasks
-            }
+            ],
+            options,
+        )
+        outcomes = dict(zip(tasks, results))
 
         for entry, _, _ in outcomes.values():
             if entry.status == "infeasible":
@@ -705,8 +756,8 @@ class SolveSession:
         problem, dense, canonical, _, _ = self._prepare(
             objective, extra_constraints, do_prune=True
         )
-        entry, _, _ = self._solve_sense(
-            problem, dense, canonical, sense, options=options
+        ((entry, _, _),) = self._solve_tasks(
+            [(problem, dense, canonical, sense, None)], options
         )
         x = None
         if entry.x_canonical is not None:
@@ -735,17 +786,21 @@ class SolveSession:
         return solution.status != "infeasible"
 
     def map(self, fn, items):
-        """Run ``fn`` over ``items``, on the session pool when parallel.
+        """Run ``fn`` over ``items``, on the fabric's workers when possible.
 
         Order-preserving; used for fan-out workloads (per-group bounds,
-        MC per-world evaluation) that want to share the session executor.
+        MC per-world evaluation) that want to share the session's
+        scheduling.  Process fabrics run this inline — arbitrary closures
+        do not cross the process boundary; only solve units do.
         """
-        if self.parallel:
-            return list(self._pool().map(fn, items))
-        return [fn(item) for item in items]
+        return self.fabric.map(fn, items)
 
     def __repr__(self) -> str:
-        mode = f"parallel(max_workers={self.max_workers})" if self.parallel else "serial"
+        mode = (
+            f"{self.fabric.kind}(workers={self.fabric.workers})"
+            if self.parallel
+            else "serial"
+        )
         return (
             f"SolveSession({self.model!r}, {mode}, cache={self.cache.stats['size']}/"
             f"{self.cache.maxsize})"

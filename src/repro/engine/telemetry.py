@@ -221,6 +221,17 @@ class Telemetry:
                 self.timings[phase] = self.timings.get(phase, 0.0) + seconds
             self.emit(PhaseTimed(phase, seconds, dict(meta)))
 
+    def record(self, phase: str, seconds: float, **meta) -> None:
+        """Credit already-measured wall time to a phase.
+
+        The non-contextual sibling of :meth:`timer`, for work measured
+        elsewhere — a solve executed in a forked worker reports its wall
+        seconds home inside the result, and the parent records them here.
+        """
+        with self._lock:
+            self.timings[phase] = self.timings.get(phase, 0.0) + seconds
+        self.emit(PhaseTimed(phase, seconds, dict(meta)))
+
     def total(self, phase: str) -> float:
         """Accumulated seconds recorded for a phase (0.0 if never timed)."""
         return self.timings.get(phase, 0.0)

@@ -78,6 +78,19 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         action="store_true",
         help="disable block-separable BIP decomposition (solve monolithically)",
     )
+    parser.add_argument(
+        "--fabric",
+        choices=("thread", "process", "inline"),
+        default="thread",
+        help="executor fabric for solve units (process = forked workers)",
+    )
+    parser.add_argument(
+        "--solve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve workers per fabric (1 = serial)",
+    )
     return parser.parse_args(argv)
 
 
@@ -114,7 +127,11 @@ def main(argv: list[str]) -> int:
         level=logging.INFO, format="%(asctime)s %(message)s", stream=sys.stderr
     )
     args = _parse_args(argv)
-    config = ExperimentConfig(enable_decomposition=not args.no_decompose)
+    config = ExperimentConfig(
+        enable_decomposition=not args.no_decompose,
+        solve_fabric=args.fabric,
+        solve_workers=args.solve_workers,
+    )
     context = ExperimentContext(config)
     print(f"# workload: {config.label}")
 
@@ -142,6 +159,7 @@ def main(argv: list[str]) -> int:
             _run(args.target, context, args)
         finally:
             _finish_profile()
+            context.close()
         return 0
 
     from repro.obs import (
@@ -182,6 +200,7 @@ def main(argv: list[str]) -> int:
         f"manifest: {manifest_path}",
         file=sys.stderr,
     )
+    context.close()
     return 0
 
 

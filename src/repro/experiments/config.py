@@ -40,6 +40,15 @@ class ExperimentConfig:
     enable_decomposition: bool = True
     #: threads for the engine's min/max solves (1 = strictly serial)
     solve_workers: int = 1
+    #: executor fabric for solve units: ``thread`` (historical in-process
+    #: pool), ``process`` (forked workers that sidestep the GIL), or
+    #: ``inline`` (always serial, regardless of ``solve_workers``)
+    solve_fabric: str = "thread"
+    #: SQLite path for the cross-process L2 solve cache.  ``None`` leaves
+    #: L2 off for thread/inline fabrics and auto-provisions a temp file
+    #: for the process fabric (workers need a shared medium); the literal
+    #: string ``"off"`` disables L2 unconditionally.
+    l2_cache_path: str | None = None
     #: threads for MC per-world query evaluation (1 = strictly serial)
     mc_workers: int = 1
     #: LRU capacity of each encoding's solve cache (0 disables caching)

@@ -15,8 +15,10 @@ instead of ad-hoc ``perf_counter`` bookkeeping.
 from __future__ import annotations
 
 import logging
+import os
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.anonymize import (
     EncodedDatabase,
@@ -30,6 +32,7 @@ from repro.anonymize import (
     safe_grouping,
 )
 from repro.data import TransactionDataset, generate
+from repro.engine.fabric import ExecutorFabric, make_fabric
 from repro.engine.session import SolveSession
 from repro.engine.telemetry import Telemetry
 from repro.experiments.config import ExperimentConfig
@@ -65,6 +68,9 @@ class ExperimentContext:
         self._hierarchy: Hierarchy | None = None
         self._encodings: Dict[Tuple[str, int], EncodingRecord] = {}
         self._sessions: Dict[Tuple[str, int], SolveSession] = {}
+        self._fabric: Optional[ExecutorFabric] = None
+        self._l2_path: Optional[str] = None
+        self._l2_auto = False
 
     @property
     def dataset(self) -> TransactionDataset:
@@ -130,6 +136,41 @@ class ExperimentContext:
         )
         return record
 
+    @property
+    def fabric(self) -> ExecutorFabric:
+        """The executor fabric every session of this context dispatches to.
+
+        Built once, lazily, from ``config.solve_fabric``/``solve_workers``
+        so that all (scheme, k) sessions share one worker pool instead of
+        spawning a pool each.
+        """
+        if self._fabric is None:
+            self._fabric = make_fabric(
+                self.config.solve_fabric, self.config.solve_workers
+            )
+        return self._fabric
+
+    @property
+    def l2_path(self) -> Optional[str]:
+        """SQLite path of the cross-process L2 solve cache (or ``None``).
+
+        An explicit ``config.l2_cache_path`` always wins; otherwise the
+        process fabric auto-provisions a temp file (forked workers need a
+        shared medium to make their solves reusable) which ``close()``
+        removes again.
+        """
+        if self._l2_path is None:
+            if self.config.l2_cache_path == "off":
+                return None
+            if self.config.l2_cache_path:
+                self._l2_path = self.config.l2_cache_path
+            elif self.config.solve_fabric == "process":
+                fd, path = tempfile.mkstemp(prefix="repro-l2-", suffix=".sqlite")
+                os.close(fd)
+                self._l2_path = path
+                self._l2_auto = True
+        return self._l2_path
+
     def session(self, scheme: str, k: int) -> SolveSession:
         """The shared solve session for one encoding (created on demand)."""
         key = (scheme, k)
@@ -138,8 +179,9 @@ class ExperimentContext:
                 self.encoding(scheme, k).encoded.model,
                 options=self.solver_options(),
                 cache_size=self.config.solve_cache_size,
-                max_workers=self.config.solve_workers,
                 telemetry=self.telemetry,
+                fabric=self.fabric,
+                l2_path=self.l2_path,
             )
         return self._sessions[key]
 
@@ -151,11 +193,33 @@ class ExperimentContext:
             for (scheme, k), session in sorted(self._sessions.items())
         }
 
+    def fabric_stats(self) -> dict:
+        """Fabric + L2 configuration snapshot (for ``/v1/status`` and
+        run manifests)."""
+        return {
+            "kind": self._fabric.kind if self._fabric else self.config.solve_fabric,
+            "workers": self.config.solve_workers,
+            "started": self._fabric is not None,
+            "fabric": self._fabric.describe() if self._fabric else None,
+            "l2_cache_path": self._l2_path or self.config.l2_cache_path,
+        }
+
     def close(self) -> None:
-        """Shut down the sessions' executors (no-op for serial configs)."""
+        """Shut down the sessions, the shared fabric, and any auto L2 file."""
         for session in self._sessions.values():
             session.close()
         self._sessions.clear()
+        if self._fabric is not None:
+            self._fabric.close()
+            self._fabric = None
+        if self._l2_auto and self._l2_path:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self._l2_path + suffix)
+                except OSError:
+                    pass
+        self._l2_path = None
+        self._l2_auto = False
 
     def plan(self, query: str, encoded: EncodedDatabase) -> PlanNode:
         builders = {"Q1": query1, "Q2": query2, "Q3": query3}

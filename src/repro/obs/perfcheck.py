@@ -47,6 +47,7 @@ __all__ = [
     "decompose_scenarios",
     "default_baseline_path",
     "default_scenarios",
+    "fabric_scenarios",
     "main",
     "measure",
 ]
@@ -280,6 +281,85 @@ def decompose_scenarios(quick: bool = False) -> List[Scenario]:
     ]
 
 
+def fabric_scenarios(quick: bool = False) -> List[Scenario]:
+    """The ``fabric``-mode workloads: one cold solve per rep through each
+    executor fabric, plus the L2 warm-get path.
+
+    Cache is disabled (``cache_size=0``) so every rep pays the real
+    prepare + solve; the three solve scenarios differ *only* in the
+    fabric, so their relative medians measure pure dispatch overhead
+    (inline) vs thread scheduling vs fork+pickle+IPC.  The L2 scenario
+    gates the SQLite read path a process-fabric worker takes before
+    every solve.
+    """
+    import tempfile
+
+    from repro.engine.cache import CachedSolve
+    from repro.engine.fabric import make_fabric
+    from repro.engine.l2cache import L2SolveCache
+    from repro.engine.session import SolveSession
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.queries.licm_eval import evaluate_licm
+
+    tx = 200 if quick else 400
+    items = 48 if quick else 96
+
+    shared: Dict[str, object] = {}
+
+    def workload():
+        if "w" not in shared:
+            config = ExperimentConfig(
+                num_transactions=tx, num_items=items, mc_samples=8, seed=11
+            )
+            context = ExperimentContext(config)
+            encoded = context.encoding("km", 2).encoded
+            plan = context.plan("Q1", encoded)
+            shared["w"] = (encoded, evaluate_licm(plan, encoded.relations))
+        return shared["w"]
+
+    def make_setup(kind: str, workers: int):
+        def setup():
+            encoded, objective = workload()
+            session = SolveSession(
+                encoded.model, cache_size=0, fabric=make_fabric(kind, workers)
+            )
+            return {"session": session, "objective": objective}
+
+        return setup
+
+    def run_solve(state) -> None:
+        state["session"].bounds(state["objective"])
+
+    def setup_l2():
+        path = os.path.join(tempfile.mkdtemp(prefix="perfcheck_l2_"), "l2.sqlite")
+        cache = L2SolveCache(path)
+        entry = CachedSolve(
+            status="optimal",
+            objective=42,
+            x_canonical=tuple(i % 2 for i in range(64)),
+            bound=42.0,
+            nodes=9,
+            backend="bb",
+        )
+        for i in range(32):
+            cache.put(f"fingerprint-{i}", "max", entry)
+        return {"cache": cache}
+
+    def run_l2_warm_get(state) -> None:
+        cache = state["cache"]
+        for _ in range(8):
+            for i in range(32):
+                assert cache.get(f"fingerprint-{i}", "max") is not None
+
+    return [
+        Scenario("solve_inline", make_setup("inline", 1), run_solve),
+        Scenario("solve_thread", make_setup("thread", 2), run_solve),
+        Scenario("solve_process", make_setup("process", 2), run_solve),
+        Scenario("l2_warm_get", setup_l2, run_l2_warm_get),
+    ]
+
+
 def measure(
     scenarios: List[Scenario],
     reps: int = 7,
@@ -423,6 +503,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate the block-separable decomposition scenarios instead "
         "(perturbed re-queries, decomposed vs monolithic; mode 'decompose')",
     )
+    parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="gate the executor-fabric scenarios instead (cold solves "
+        "through inline/thread/process fabrics + L2 warm gets; mode 'fabric')",
+    )
     parser.add_argument("--reps", type=int, default=None, help="timed reps per scenario")
     parser.add_argument(
         "--rel-tol",
@@ -447,8 +533,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
     )
     args = parser.parse_args(argv)
-    mode_flags = ("--decompose " if args.decompose else "") + (
-        "--quick " if args.quick else ""
+    mode_flags = (
+        ("--decompose " if args.decompose else "")
+        + ("--fabric " if args.fabric else "")
+        + ("--quick " if args.quick else "")
     )
 
     # Resolve the baseline *before* spending minutes measuring, and
@@ -471,7 +559,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     reps = args.reps if args.reps is not None else (5 if args.quick else 7)
-    if args.decompose:
+    if args.decompose and args.fabric:
+        print("perfcheck: --decompose and --fabric are exclusive", file=sys.stderr)
+        return 2
+    if args.fabric:
+        scenarios = fabric_scenarios(quick=args.quick)
+        mode = "fabric"
+    elif args.decompose:
         scenarios = decompose_scenarios(quick=args.quick)
         mode = "decompose"
     else:

@@ -233,6 +233,49 @@ class Tracer:
                     "trace sink %r failed; span %s dropped", sink, span.span_id
                 )
 
+    def ingest(self, records, parent: Optional[Span] = None) -> list[Span]:
+        """Adopt serialized span records from another process.
+
+        Worker processes run with the null tracer (their spans are
+        recorded as plain dicts and shipped home inside results); the
+        parent re-parents each record under ``parent`` — fresh span ids
+        from *this* tracer, the parent's trace id — and finishes it
+        through the normal sink path, so a request's span tree stays
+        connected across the process boundary.
+
+        Each record is a flat dict with at least ``name``; optional
+        ``duration``, ``start_unix``, ``status``, ``thread`` and
+        ``attributes`` are carried over.  Records whose ``parent_key``
+        names another record's ``key`` nest beneath it; the rest attach
+        to ``parent``.  Returns the adopted spans in input order.
+        """
+        if parent is None:
+            parent = self.current()
+        adopted: list[Span] = []
+        by_key: dict = {}
+        for record in records:
+            with self._lock:
+                span_id = f"{next(self._ids):06x}"
+            record_parent = by_key.get(record.get("parent_key"), parent)
+            span = Span(
+                record_parent.trace_id if record_parent is not None else self.trace_id,
+                span_id,
+                record_parent.span_id if record_parent is not None else None,
+                record.get("name", "ingested"),
+            )
+            span.attributes.update(record.get("attributes") or {})
+            if record.get("start_unix") is not None:
+                span.start_unix = record["start_unix"]
+            span.duration = record.get("duration", 0.0)
+            span.status = record.get("status", "ok")
+            if record.get("thread"):
+                span.thread = record["thread"]
+            if record.get("key") is not None:
+                by_key[record["key"]] = span
+            self._finish(span)
+            adopted.append(span)
+        return adopted
+
     # -- reporting helpers -------------------------------------------------
     def roots(self) -> list[Span]:
         with self._lock:

@@ -178,7 +178,11 @@ class QueryResponse:
     exact: bool = False
     error: Optional[str] = None
     fingerprint: Optional[str] = None
-    dedup: bool = False  # coalesced onto another in-flight identical solve
+    #: coalesced onto another in-flight identical solve.  A deduped
+    #: follower is *parked* (no worker slot held) until the leader's
+    #: bounds publish; its ``queue_ms`` covers that parked wait and its
+    #: ``solve_ms`` is 0 when the leader's answer was reused verbatim.
+    dedup: bool = False
     cache_hits: int = 0
     backend: Optional[str] = None
     nodes: int = 0

@@ -5,6 +5,12 @@
     response = client.query(query="Q1", scheme="km", k=2, deadline_ms=500)
     assert response.terminal
 
+Connections are **kept alive**: the client holds one
+:class:`http.client.HTTPConnection` per (process, thread) and reuses it
+across requests (the server speaks HTTP/1.1), so a load generator is not
+paying a TCP handshake per request.  A connection the server has since
+closed is retried once on a fresh one.
+
 Non-200 answers that still carry a response body (429 rejected,
 504 timeout) are returned as :class:`~repro.service.api.QueryResponse`
 like any other; only transport-level failures raise
@@ -13,9 +19,11 @@ like any other; only transport-level failures raise
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import os
+import threading
+import urllib.parse
 from typing import Optional
 
 from repro.errors import ServiceError
@@ -26,14 +34,61 @@ class ServiceClientError(ServiceError):
     """The service could not be reached or answered garbage."""
 
 
+#: Connection states worth one silent retry on a fresh socket: the server
+#: dropped a kept-alive connection between our requests (idle timeout,
+#: restart), which is indistinguishable from a stale socket until we write.
+_RETRYABLE = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    BrokenPipeError,
+    ConnectionResetError,
+)
+
+
 class ServiceClient:
-    """Talk to one serving process over HTTP/JSON."""
+    """Talk to one serving process over HTTP/JSON (kept-alive)."""
 
     def __init__(self, base_url: str, timeout: float = 60.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceClientError(f"unsupported scheme {parsed.scheme!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._prefix = parsed.path.rstrip("/")
+        # One connection per (pid, thread): http.client connections are not
+        # thread-safe, and a forked child must never reuse the parent's socket.
+        self._local = threading.local()
 
     # -- plumbing ----------------------------------------------------------
+    def _connection(self, fresh: bool = False) -> http.client.HTTPConnection:
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if fresh or conn is None or getattr(self._local, "pid", None) != pid:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            self._local.pid = pid
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's kept-alive connection (others are owned by
+        their threads and close with them)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._local.conn = None
+
     def _request(
         self,
         path: str,
@@ -44,20 +99,27 @@ class ServiceClient:
         all_headers = dict(headers or {})
         if body:
             all_headers.setdefault("Content-Type", "application/json")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers=all_headers,
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return reply.status, reply.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            # 4xx/5xx with a JSON body is still a service answer.
-            return exc.code, exc.read().decode("utf-8")
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceClientError(f"{method} {path} failed: {exc}") from exc
+        target = self._prefix + path
+        last_exc: Optional[Exception] = None
+        for attempt in (0, 1):
+            conn = self._connection(fresh=attempt > 0)
+            try:
+                conn.request(method, target, body=body, headers=all_headers)
+                reply = conn.getresponse()
+                text = reply.read().decode("utf-8")
+                if reply.will_close:
+                    self.close()
+                return reply.status, text
+            except _RETRYABLE as exc:
+                # Stale kept-alive socket — retry once on a fresh connection.
+                last_exc = exc
+                self.close()
+            except OSError as exc:
+                self.close()
+                raise ServiceClientError(f"{method} {path} failed: {exc}") from exc
+        raise ServiceClientError(
+            f"{method} {path} failed: {last_exc}"
+        ) from last_exc
 
     def _json(self, path: str, body: Optional[bytes] = None, method: str = "GET"):
         status, text = self._request(path, body, method)

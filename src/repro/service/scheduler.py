@@ -1,9 +1,9 @@
 """Concurrent request scheduling: admission, deadlines, in-flight dedup.
 
-The scheduler is the service's core loop.  Requests enter a *bounded*
-queue (admission control: a full queue rejects immediately with
-429-semantics rather than building unbounded backlog) and a worker pool
-drains it.  Each worker:
+The scheduler is the service's core loop.  Requests enter a queue under a
+*bounded admission count* (admission control: a full queue rejects
+immediately with 429-semantics rather than building unbounded backlog)
+and a worker pool drains it.  Each worker:
 
 1. opens a ``service.request`` root span under a **fresh trace id**, so
    the request's whole scheduler → engine → solver span tree is
@@ -16,12 +16,17 @@ drains it.  Each worker:
    leader's published bounds; distinct requests that prepare to the same
    canonical BIP fingerprint coalesce on the fingerprint and read the
    answer through the session's solve cache — either way, identical
-   concurrent problems cost one engine solve;
+   concurrent problems cost one engine solve.  Followers **park**: they
+   attach a completion callback to the leader's flight and release their
+   worker slot instead of blocking on an event, so a burst of identical
+   requests cannot starve the pool.  A deadline-monitor thread fires the
+   degrade path for any parked request whose budget runs out first;
 4. enforces the request **deadline** with a deadline-clamped
-   ``time_limit`` plus the solver's cooperative ``stop_check`` hook; a
-   solve cut short by its budget **degrades** to the Monte Carlo
-   estimator (observed range ⊆ exact range) instead of hanging, and a
-   request with no time left at all answers ``timeout``.
+   ``time_limit`` plus the solver's absolute ``deadline_at`` (picklable —
+   it crosses into forked solve workers, unlike a closure); a solve cut
+   short by its budget **degrades** to the Monte Carlo estimator
+   (observed range ⊆ exact range) instead of hanging, and a request with
+   no time left at all answers ``timeout``.
 
 Every request therefore reaches a terminal status — ``ok``, ``degraded``,
 ``timeout``, ``rejected`` or ``error`` — the service's no-hang invariant.
@@ -30,6 +35,8 @@ Every request therefore reaches a terminal status — ``ok``, ``degraded``,
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 import logging
 import queue
 import threading
@@ -125,33 +132,96 @@ class SchedulerStats:
 
 
 class _Flight:
-    """One in-flight unit of work, awaited by deduped followers.
+    """One in-flight unit of work, continued by deduped followers.
 
-    The leader publishes its ``fingerprint`` and (exact) ``bounds`` before
-    setting the event; followers reuse them directly.  ``bounds`` stays
-    ``None`` when the leader failed, and inexact when its solve was cut
-    short by *its* deadline — followers then answer under their own budget.
+    The leader publishes its ``fingerprint`` and (exact) ``bounds``
+    before :meth:`finish` fires the attached callbacks; followers reuse
+    them directly.  ``bounds`` stays ``None`` when the leader failed, and
+    inexact when its solve was cut short by *its* deadline — followers
+    then answer under their own budget.
+
+    ``event`` remains for any in-thread waiter, but followers do not
+    block on it: they :meth:`attach` a completion callback and release
+    their worker slot.
     """
 
-    __slots__ = ("event", "fingerprint", "bounds")
+    __slots__ = ("event", "fingerprint", "bounds", "_lock", "_callbacks", "_finished")
 
     def __init__(self):
         self.event = threading.Event()
         self.fingerprint = None
         self.bounds = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+        self._finished = False
+
+    def attach(self, callback) -> bool:
+        """Register a completion callback; False if already finished
+        (the caller should run its continuation itself)."""
+        with self._lock:
+            if not self._finished:
+                self._callbacks.append(callback)
+                return True
+        return False
+
+    def finish(self) -> None:
+        with self._lock:
+            self._finished = True
+            callbacks, self._callbacks = self._callbacks, []
+        self.event.set()
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 — one follower must not block others
+                logger.exception("flight continuation failed")
+
+
+class _Task:
+    """An internal work item (a parked follower's continuation).
+
+    ``on_shutdown`` runs instead of ``run`` when the scheduler closes
+    before the task executes — it must still drive the owning request to
+    a terminal response (the no-hang invariant).
+    """
+
+    __slots__ = ("run", "on_shutdown")
+
+    def __init__(self, run, on_shutdown=None):
+        self.run = run
+        self.on_shutdown = on_shutdown
 
 
 class _Pending:
     """A submitted request waiting for (or holding) its terminal response."""
 
-    __slots__ = ("request", "enqueued", "deadline_at", "_done", "response")
+    __slots__ = (
+        "request",
+        "enqueued",
+        "deadline_at",
+        "_done",
+        "_claim_lock",
+        "_claimed",
+        "response",
+    )
 
     def __init__(self, request: QueryRequest, deadline_at: Optional[float]):
         self.request = request
         self.enqueued = time.monotonic()
         self.deadline_at = deadline_at
         self._done = threading.Event()
+        self._claim_lock = threading.Lock()
+        self._claimed = False
         self.response: Optional[QueryResponse] = None
+
+    def claim(self) -> bool:
+        """First-wins completion right: a parked request can be finished
+        by its leader's continuation *or* the deadline monitor — whichever
+        claims first owns the terminal response."""
+        with self._claim_lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
 
     def finish(self, response: QueryResponse) -> None:
         self.response = response
@@ -182,12 +252,15 @@ def _adhoc_plan(encoded, aggregate: str):
 
 
 class QueryScheduler:
-    """Bounded-queue, worker-pool executor for aggregate-bound requests.
+    """Admission-bounded, worker-pool executor for aggregate-bound requests.
 
     :param context: an :class:`~repro.experiments.runner.ExperimentContext`
         holding the resident encodings and shared solve sessions.
     :param workers: worker threads draining the queue.
-    :param max_queue: admission bound; a full queue rejects new requests.
+    :param max_queue: admission bound on queued *external* requests; at
+        the bound new requests are rejected.  Internal continuations
+        (parked followers resuming) are not admission-bounded — they are
+        already-admitted work.
     :param default_deadline_ms: applied when a request carries none
         (``None`` = no deadline).
     :param allow_cold: build encodings on first use instead of rejecting
@@ -237,7 +310,13 @@ class QueryScheduler:
             "service_request_duration_seconds",
             "End-to-end request latency (terminal status as label)",
         )
-        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue(self.max_queue)
+        # The queue itself is unbounded: it carries external requests
+        # (bounded by the _external_queued admission counter) plus
+        # internal continuation tasks, which must never be refused —
+        # refusing one would strand an already-admitted request.
+        self._queue: "queue.Queue" = queue.Queue()
+        self._depth_lock = threading.Lock()
+        self._external_queued = 0
         # Keyed at two levels: ("request", *dedup_key) before plan
         # evaluation and ("bip", fingerprint) after preparation.
         self._inflight: Dict[tuple, _Flight] = {}
@@ -246,6 +325,12 @@ class QueryScheduler:
         self._locks_lock = threading.Lock()
         self._warmed: set = set()
         self._closed = False
+        self._close_lock = threading.Lock()
+        # Deadline watches for parked followers: a heap of
+        # (deadline_at, seq, pending, on_deadline) drained by the monitor.
+        self._monitor_cv = threading.Condition()
+        self._watched: list = []
+        self._watch_seq = itertools.count()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
@@ -254,6 +339,10 @@ class QueryScheduler:
         ]
         for thread in self._threads:
             thread.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-serve-deadline", daemon=True
+        )
+        self._monitor.start()
 
     # -- lifecycle ---------------------------------------------------------
     def warm(self, pairs: Iterable[Tuple[str, int]]) -> None:
@@ -271,12 +360,14 @@ class QueryScheduler:
     def close(self) -> None:
         """Drain-stop the workers (idempotent).
 
-        Already-queued requests are answered ``rejected`` so no caller is
-        left hanging; in-progress requests finish normally.
+        Already-queued requests are answered ``rejected`` and parked
+        continuations run their shutdown path, so no caller is left
+        hanging; in-progress requests finish normally.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         drained = []
         try:
             while True:
@@ -285,18 +376,28 @@ class QueryScheduler:
                     drained.append(item)
         except queue.Empty:
             pass
-        for pending in drained:
-            pending.finish(
-                QueryResponse(
-                    request_id=pending.request.request_id,
-                    status=STATUS_REJECTED,
-                    error="scheduler shut down before execution",
+        for item in drained:
+            if isinstance(item, _Task):
+                if item.on_shutdown is not None:
+                    item.on_shutdown()
+                continue
+            with self._depth_lock:
+                self._external_queued -= 1
+            if item.claim():
+                item.finish(
+                    QueryResponse(
+                        request_id=item.request.request_id,
+                        status=STATUS_REJECTED,
+                        error="scheduler shut down before execution",
+                    )
                 )
-            )
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=30.0)
+        with self._monitor_cv:
+            self._monitor_cv.notify_all()
+        self._monitor.join(timeout=5.0)
 
     def __enter__(self) -> "QueryScheduler":
         return self
@@ -307,7 +408,8 @@ class QueryScheduler:
     # -- gauges ------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        with self._depth_lock:
+            return self._external_queued
 
     @property
     def in_flight(self) -> int:
@@ -316,7 +418,11 @@ class QueryScheduler:
 
     # -- submission --------------------------------------------------------
     def submit(self, request: QueryRequest) -> _Pending:
-        """Admit a request (validated) or answer ``rejected`` immediately."""
+        """Admit a request (validated) or answer ``rejected`` immediately.
+
+        Never blocks on solve progress: admission enqueues the pending
+        future and returns; worker completion callbacks fulfill it.
+        """
         request.validate()
         deadline_ms = (
             request.deadline_ms
@@ -328,25 +434,26 @@ class QueryScheduler:
         )
         pending = _Pending(request, deadline_at)
         self.stats.record_submit()
-        if self._closed:
+        with self._close_lock:
+            if self._closed:
+                rejection = "scheduler is shut down"
+            else:
+                with self._depth_lock:
+                    if self._external_queued >= self.max_queue:
+                        rejection = f"admission queue full ({self.max_queue})"
+                    else:
+                        self._external_queued += 1
+                        rejection = None
+                if rejection is None:
+                    self._queue.put(pending)
+        if rejection is not None:
+            self.stats.record_rejected()
+            pending.claim()
             pending.finish(
                 QueryResponse(
                     request_id=request.request_id,
                     status=STATUS_REJECTED,
-                    error="scheduler is shut down",
-                )
-            )
-            self.stats.record_rejected()
-            return pending
-        try:
-            self._queue.put_nowait(pending)
-        except queue.Full:
-            self.stats.record_rejected()
-            pending.finish(
-                QueryResponse(
-                    request_id=request.request_id,
-                    status=STATUS_REJECTED,
-                    error=f"admission queue full ({self.max_queue})",
+                    error=rejection,
                 )
             )
         return pending
@@ -372,28 +479,99 @@ class QueryScheduler:
                 lock = self._model_locks[key] = threading.Lock()
             return lock
 
+    def _enqueue_internal(self, task: _Task) -> None:
+        """Queue a continuation; on a closed scheduler run its shutdown
+        path inline so the owning request still terminates."""
+        with self._close_lock:
+            if not self._closed:
+                self._queue.put(task)
+                return
+        if task.on_shutdown is not None:
+            task.on_shutdown()
+
+    def _shutdown_finish(self, pending: _Pending) -> None:
+        if pending.claim():
+            pending.finish(
+                QueryResponse(
+                    request_id=pending.request.request_id,
+                    status=STATUS_REJECTED,
+                    error="scheduler shut down before execution",
+                )
+            )
+
+    def _watch_deadline(self, pending: _Pending, on_deadline) -> None:
+        """Arm the deadline monitor for a parked request."""
+        if pending.deadline_at is None:
+            return
+        with self._monitor_cv:
+            heapq.heappush(
+                self._watched,
+                (pending.deadline_at, next(self._watch_seq), pending, on_deadline),
+            )
+            self._monitor_cv.notify()
+
+    def _monitor_loop(self) -> None:
+        while True:
+            with self._monitor_cv:
+                if self._closed:
+                    return
+                if not self._watched:
+                    self._monitor_cv.wait(timeout=0.5)
+                    continue
+                deadline_at, _, pending, on_deadline = self._watched[0]
+                now = time.monotonic()
+                if deadline_at > now:
+                    self._monitor_cv.wait(timeout=min(deadline_at - now, 0.5))
+                    continue
+                heapq.heappop(self._watched)
+            if not pending.done:
+                try:
+                    on_deadline()
+                except Exception:  # noqa: BLE001 — monitor must survive
+                    logger.exception("deadline continuation failed")
+
     def _worker_loop(self) -> None:
         while True:
-            pending = self._queue.get()
-            if pending is None:
+            item = self._queue.get()
+            if item is None:
                 return
-            if pending.done:  # drained by close()
+            if isinstance(item, _Task):
+                try:
+                    item.run()
+                except Exception:  # noqa: BLE001 — a continuation never kills a worker
+                    logger.exception("internal task failed")
                 continue
-            try:
-                response = self._serve(pending)
-            except ValidationError as exc:
-                response = self._error_response(pending, str(exc))
-            except Exception as exc:  # noqa: BLE001 — terminal status, always
-                logger.exception("request %s failed", pending.request.request_id)
-                response = self._error_response(pending, repr(exc))
-            pending.finish(response)
-            total_s = time.monotonic() - pending.enqueued
-            self.stats.record_done(
-                response.status,
-                total_s=total_s,
-                solve_s=response.solve_ms / 1000.0,
-            )
-            self._observe_done(pending, response, total_s)
+            with self._depth_lock:
+                self._external_queued -= 1
+            if item.done:  # rejected/drained before execution
+                continue
+            self._run_request(item)
+
+    def _run_request(self, pending: _Pending) -> None:
+        """One full serve attempt; parked requests complete later via
+        their flight continuation (``_serve`` returns None)."""
+        try:
+            response = self._serve(pending)
+        except ValidationError as exc:
+            response = self._error_response(pending, str(exc))
+        except Exception as exc:  # noqa: BLE001 — terminal status, always
+            logger.exception("request %s failed", pending.request.request_id)
+            response = self._error_response(pending, repr(exc))
+        if response is not None:
+            self._complete(pending, response)
+
+    def _complete(self, pending: _Pending, response: QueryResponse) -> None:
+        """Deliver a terminal response exactly once (claim-guarded)."""
+        if not pending.claim():
+            return
+        pending.finish(response)
+        total_s = time.monotonic() - pending.enqueued
+        self.stats.record_done(
+            response.status,
+            total_s=total_s,
+            solve_s=response.solve_ms / 1000.0,
+        )
+        self._observe_done(pending, response, total_s)
 
     def _observe_done(self, pending: _Pending, response: QueryResponse, total_s: float) -> None:
         """Post-terminal accounting: histograms, exemplars, slow-query log.
@@ -473,11 +651,13 @@ class QueryScheduler:
         remaining = self._remaining_s(pending)
         if remaining is None:
             return None
-        deadline_at = pending.deadline_at
+        # The absolute deadline (not a closure) so it survives pickling
+        # into forked solve workers; the clamped time_limit covers
+        # backends that only understand a relative budget.
         return dataclasses.replace(
             session.options,
             time_limit=min(session.options.time_limit, max(remaining, 1e-3)),
-            stop_check=lambda: time.monotonic() >= deadline_at,
+            deadline_at=pending.deadline_at,
         )
 
     def _resolve(self, request: QueryRequest):
@@ -500,7 +680,9 @@ class QueryScheduler:
             return QUERY_BUILDERS[request.query](encoded, params)
         return _adhoc_plan(encoded, request.aggregate)
 
-    def _serve(self, pending: _Pending) -> QueryResponse:
+    def _serve(self, pending: _Pending) -> Optional[QueryResponse]:
+        """One serve attempt.  ``None`` means the request parked on a
+        leader's flight; a continuation owns its completion."""
         request = pending.request
         queue_ms = (time.monotonic() - pending.enqueued) * 1e3
         tracer = current_tracer()
@@ -550,13 +732,13 @@ class QueryScheduler:
             return flight, False
 
     def _finish_flight(self, key: tuple, flight: _Flight, fingerprint, bounds) -> None:
-        """Publish the leader's result and wake every follower."""
+        """Publish the leader's result and fire every follower continuation."""
         with self._inflight_lock:
             if self._inflight.get(key) is flight:
                 del self._inflight[key]
         flight.fingerprint = fingerprint
         flight.bounds = bounds
-        flight.event.set()
+        flight.finish()
 
     def _ok_response(
         self, pending, bounds, fingerprint, dedup, queue_ms, solve_ms, trace_id
@@ -579,9 +761,23 @@ class QueryScheduler:
             trace_id=trace_id,
         )
 
+    def _park(self, pending: _Pending, flight: _Flight, resume, on_deadline) -> None:
+        """Attach ``resume`` to the flight and release this worker slot.
+
+        ``resume`` is enqueued as an internal task when the leader
+        finishes (immediately, if it already has); ``on_deadline`` fires
+        from the monitor if the parked request's budget runs out first —
+        whichever claims the pending first wins.
+        """
+        task = _Task(resume, on_shutdown=lambda: self._shutdown_finish(pending))
+        if flight.attach(lambda: self._enqueue_internal(task)):
+            self._watch_deadline(pending, on_deadline)
+        else:
+            self._enqueue_internal(task)
+
     def _serve_linear(
         self, pending, encoded, session, model_lock, plan, queue_ms, trace_id, root
-    ) -> QueryResponse:
+    ) -> Optional[QueryResponse]:
         """COUNT/SUM plans: one BIP objective, deduped at two levels.
 
         *Request-level* first: identical in-flight requests coalesce on
@@ -591,39 +787,60 @@ class QueryScheduler:
         level* second: distinct requests whose plans prepare to the same
         canonical BIP coalesce on the fingerprint and read the answer
         through the solve cache.  Either way, identical concurrent
-        problems cost one engine solve.
+        problems cost one engine solve, and followers park (returning
+        ``None`` here) rather than hold a worker slot.
         """
         request = pending.request
         telemetry = session.telemetry
 
         coarse_key = ("request",) + request.dedup_key()
         flight, leader = self._join_flight(coarse_key)
-        dedup = False
         if not leader:
             self.stats.record_dedup_hit()
-            dedup = True
             root.set("dedup", True)
-            finished = flight.event.wait(timeout=self._remaining_s(pending))
-            if not finished:
-                self.stats.record_deadline_miss()
-                return self._degrade(
-                    pending, encoded, plan, queue_ms, 0.0, trace_id,
-                    cause="deduped request exceeded deadline",
-                    fingerprint=flight.fingerprint,
+            root.set("outcome", "parked")
+
+            def resume():
+                if pending.done:
+                    return
+                bounds, fingerprint = flight.bounds, flight.fingerprint
+                if bounds is not None and bounds.exact:
+                    self._complete(
+                        pending,
+                        self._ok_response(
+                            pending, bounds, fingerprint, True, queue_ms, 0.0, trace_id
+                        ),
+                    )
+                    return
+                # The leader failed, or its solve was cut short by *its*
+                # deadline (truncated results are never cached): answer
+                # under our own budget with a fresh serve attempt.
+                self._run_request(pending)
+
+            def on_deadline():
+                def expire():
+                    if pending.done:
+                        return
+                    self.stats.record_deadline_miss()
+                    self._complete(
+                        pending,
+                        self._degrade(
+                            pending, encoded, plan, queue_ms, 0.0, trace_id,
+                            cause="deduped request exceeded deadline",
+                            fingerprint=flight.fingerprint,
+                        ),
+                    )
+
+                self._enqueue_internal(
+                    _Task(expire, on_shutdown=lambda: self._shutdown_finish(pending))
                 )
-            if flight.bounds is not None and flight.bounds.exact:
-                root.set("fingerprint", flight.fingerprint)
-                root.set("outcome", STATUS_OK)
-                return self._ok_response(
-                    pending, flight.bounds, flight.fingerprint, True,
-                    queue_ms, 0.0, trace_id,
-                )
-            # The leader failed, or its solve was cut short by *its*
-            # deadline (truncated results are never cached): answer under
-            # our own budget below.
+
+            self._park(pending, flight, resume, on_deadline)
+            return None
 
         fingerprint = None
         bounds = None
+        parked = False
         try:
             # Plan evaluation appends lineage to the shared model:
             # serialize it per encoding.  The solves run outside the lock.
@@ -638,19 +855,18 @@ class QueryScheduler:
             bip_flight, bip_leader = self._join_flight(bip_key)
             if not bip_leader:
                 # A *different* request is already solving this exact BIP:
-                # wait for it (bounded by our own deadline), then read the
-                # answer through the solve cache.
+                # park on it; the continuation reads the answer through
+                # the solve cache.  This request stays coarse leader — its
+                # continuation publishes the coarse flight.
                 self.stats.record_dedup_hit()
-                dedup = True
                 root.set("dedup", True)
-                finished = bip_flight.event.wait(timeout=self._remaining_s(pending))
-                if not finished:
-                    self.stats.record_deadline_miss()
-                    return self._degrade(
-                        pending, encoded, plan, queue_ms, 0.0, trace_id,
-                        cause="deduped solve exceeded deadline",
-                        fingerprint=fingerprint,
-                    )
+                root.set("outcome", "parked")
+                parked = True
+                self._follow_bip(
+                    pending, bip_flight, encoded, session, prepared, plan,
+                    queue_ms, trace_id, coarse_key, flight,
+                )
+                return None
 
             options = self._deadline_options(session, pending)
             try:
@@ -661,16 +877,15 @@ class QueryScheduler:
                     status=STATUS_ERROR,
                     error=str(exc),
                     fingerprint=fingerprint,
-                    dedup=dedup,
+                    dedup=False,
                     queue_ms=queue_ms,
                     total_ms=(time.monotonic() - pending.enqueued) * 1e3,
                     trace_id=trace_id,
                 )
             finally:
-                if bip_leader:
-                    self._finish_flight(bip_key, bip_flight, fingerprint, bounds)
+                self._finish_flight(bip_key, bip_flight, fingerprint, bounds)
         finally:
-            if leader:
+            if not parked:
                 self._finish_flight(coarse_key, flight, fingerprint, bounds)
 
         solve_ms = bounds.stats.get("solve_time", 0.0) * 1e3
@@ -687,8 +902,122 @@ class QueryScheduler:
             )
         root.set("outcome", STATUS_OK)
         return self._ok_response(
-            pending, bounds, fingerprint, dedup, queue_ms, solve_ms, trace_id
+            pending, bounds, fingerprint, False, queue_ms, solve_ms, trace_id
         )
+
+    def _follow_bip(
+        self,
+        pending: _Pending,
+        bip_flight: _Flight,
+        encoded,
+        session,
+        prepared,
+        plan,
+        queue_ms: float,
+        trace_id: Optional[str],
+        coarse_key: tuple,
+        coarse_flight: _Flight,
+    ) -> None:
+        """Park a coarse leader on another request's BIP flight.
+
+        The resume continuation re-solves through the (now warm) solve
+        caches under this request's own budget, then publishes the coarse
+        flight for any followers of *this* request.
+        """
+
+        def resume():
+            tracer = current_tracer()
+            bounds = None
+            fingerprint = prepared.fingerprint
+            try:
+                if pending.done:
+                    return
+                with tracer.span(
+                    "service.resume",
+                    trace_id=trace_id,
+                    request_id=pending.request.request_id,
+                    fingerprint=fingerprint,
+                ):
+                    options = self._deadline_options(session, pending)
+                    try:
+                        bounds = session.solve_prepared(prepared, options=options)
+                    except InfeasibleError as exc:
+                        self._complete(
+                            pending,
+                            QueryResponse(
+                                request_id=pending.request.request_id,
+                                status=STATUS_ERROR,
+                                error=str(exc),
+                                fingerprint=fingerprint,
+                                dedup=True,
+                                queue_ms=queue_ms,
+                                total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+                                trace_id=trace_id,
+                            ),
+                        )
+                        return
+                    solve_ms = bounds.stats.get("solve_time", 0.0) * 1e3
+                    expired = (
+                        pending.deadline_at is not None
+                        and time.monotonic() >= pending.deadline_at
+                    )
+                    if not bounds.exact and expired:
+                        self.stats.record_deadline_miss()
+                        self._complete(
+                            pending,
+                            self._degrade(
+                                pending, encoded, plan, queue_ms, solve_ms, trace_id,
+                                cause="deduped solve exceeded deadline",
+                                fingerprint=fingerprint,
+                            ),
+                        )
+                        return
+                    self._complete(
+                        pending,
+                        self._ok_response(
+                            pending, bounds, fingerprint, True,
+                            queue_ms, solve_ms, trace_id,
+                        ),
+                    )
+            except Exception as exc:  # noqa: BLE001 — terminal status, always
+                logger.exception(
+                    "deduped request %s failed", pending.request.request_id
+                )
+                self._complete(pending, self._error_response(pending, repr(exc)))
+            finally:
+                self._finish_flight(
+                    coarse_key, coarse_flight, prepared.fingerprint, bounds
+                )
+
+        def on_deadline():
+            def expire():
+                if pending.done:
+                    return
+                self.stats.record_deadline_miss()
+                self._complete(
+                    pending,
+                    self._degrade(
+                        pending, encoded, plan, queue_ms, 0.0, trace_id,
+                        cause="deduped solve exceeded deadline",
+                        fingerprint=prepared.fingerprint,
+                    ),
+                )
+                # resume() will still run when the BIP leader finishes and
+                # publish the coarse flight; nothing more to do here.
+
+            self._enqueue_internal(
+                _Task(expire, on_shutdown=lambda: self._shutdown_finish(pending))
+            )
+
+        def shutdown():
+            self._shutdown_finish(pending)
+            self._finish_flight(coarse_key, coarse_flight, prepared.fingerprint, None)
+
+        task = _Task(resume, on_shutdown=shutdown)
+        if bip_flight.attach(lambda: self._enqueue_internal(task)):
+            self._watch_deadline(pending, on_deadline)
+        else:
+            self._enqueue_internal(task)
 
     def _serve_minmax(
         self, pending, encoded, session, model_lock, plan, queue_ms, trace_id, root

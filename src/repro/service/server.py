@@ -10,8 +10,8 @@
 * ``GET /healthz``    — liveness probe.
 * ``GET /metrics``    — the engine/telemetry families of
   :func:`repro.obs.export.build_metrics` plus service gauges (queue
-  depth, in-flight solves, dedup hits, deadline misses, p50/p99 latency)
-  and the latency histograms.  Content-negotiated: plain requests get
+  depth, in-flight solves, dedup hits, deadline misses) and the latency
+  histograms.  Content-negotiated: plain requests get
   Prometheus text 0.0.4 (exemplar-free — exemplars are illegal there);
   ``Accept: application/openmetrics-text`` gets the OpenMetrics
   exposition with trace-id exemplars and the ``# EOF`` terminator.
@@ -144,6 +144,7 @@ class QueryService:
             "in_flight": self.scheduler.in_flight,
             "scheduler": self.scheduler.stats.snapshot(),
             "sessions": self.context.cache_stats(),
+            "fabric": self.context.fabric_stats(),
             "trace": self._sink.path if self._sink else None,
             "slow_log": (
                 {
@@ -162,15 +163,16 @@ class QueryService:
         Three sections concatenated (metric names are disjoint):
 
         1. a fresh snapshot registry — engine/telemetry families
-           (:func:`build_metrics`), service gauges and status counters,
-           plus the **deprecated** latency-quantile gauges
-           (``repro_service_latency_seconds`` /
-           ``repro_service_solve_seconds``), kept for one release for
-           dashboards still scraping them;
+           (:func:`build_metrics`), service gauges and status counters
+           (the point-in-time ``repro_service_latency_seconds`` /
+           ``repro_service_solve_seconds`` quantile gauges, deprecated
+           in favour of the duration histograms, are gone as of this
+           release);
         2. the scheduler's long-lived **histograms** (queue wait, solve
            wall, end-to-end latency);
         3. the process-global registry (engine solve wall, B&B
-           nodes/prunes per search).
+           nodes/prunes per search, executor-fabric units, L2 cache
+           hits/misses/writes).
 
         ``fmt="text"`` is Prometheus 0.0.4 and exemplar-free;
         ``fmt="openmetrics"`` carries the trace-id exemplars on the
@@ -206,20 +208,6 @@ class QueryService:
             registry.counter(
                 "service_slow_queries_total", "Requests captured by the slow-query log"
             ).inc(self.slow_log.written)
-        latency = registry.gauge(
-            "service_latency_seconds",
-            "DEPRECATED (use repro_service_request_duration_seconds): "
-            "end-to-end latency quantiles",
-        )
-        latency.set(stats["latency_p50_s"], labels={"quantile": "0.5"})
-        latency.set(stats["latency_p99_s"], labels={"quantile": "0.99"})
-        solve = registry.gauge(
-            "service_solve_seconds",
-            "DEPRECATED (use repro_service_solve_duration_seconds): "
-            "BIP solve latency quantiles",
-        )
-        solve.set(stats["solve_p50_s"], labels={"quantile": "0.5"})
-        solve.set(stats["solve_p99_s"], labels={"quantile": "0.99"})
         return render_registries(
             (registry, self.scheduler.metrics, global_registry()), fmt=fmt
         )

@@ -212,7 +212,7 @@ def _solve_max(
         from repro.solver.cuts import separate_cover_cuts
 
         for _ in range(options.cut_rounds):
-            if options.stop_check is not None and options.stop_check():
+            if options.should_stop():
                 break
             fractional_point = any(
                 options.integrality_tol < value < 1 - options.integrality_tol
@@ -258,7 +258,7 @@ def _solve_max(
         if clock.elapsed > options.time_limit:
             hit_limit = True
             break
-        if options.stop_check is not None and options.stop_check():
+        if options.should_stop():
             hit_limit = True
             break
         neg_bound, _, domains, x_lp, depth = heapq.heappop(heap)

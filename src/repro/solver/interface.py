@@ -57,6 +57,15 @@ def solve(
         raise SolverError(f"sense must be 'max' or 'min', got {sense!r}")
     options = options or SolverOptions()
     backend = _resolve_backend(options.backend)
+    if options.deadline_at is not None:
+        # SciPy cannot poll should_stop() mid-solve, and the B&B checks
+        # its wall budget anyway: fold the absolute deadline into the
+        # time limit here so every backend honours it.
+        import dataclasses
+
+        options = dataclasses.replace(
+            options, time_limit=options.remaining_time_limit()
+        )
     from repro.obs.tracer import current_tracer
 
     with current_tracer().span(

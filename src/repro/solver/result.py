@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from repro.solver.cancel import CancelToken
 
 
 @dataclass
@@ -48,12 +51,25 @@ class SolverOptions:
     ``branching``: ``'most_fractional'``, ``'pseudocost'`` or ``'first'``.
     ``node_selection``: ``'best_bound'`` or ``'dfs'``.
 
-    ``stop_check`` is a cooperative cancellation hook: a zero-argument
-    callable polled between branch-and-bound nodes; returning ``True``
-    stops the search with ``status='limit'`` (best incumbent + proven
-    bound preserved).  The service layer uses it to enforce per-request
-    deadlines.  The SciPy backend cannot poll a callable mid-solve, so
-    deadline callers must *also* clamp ``time_limit``.
+    Cooperative cancellation comes in three picklability tiers, all
+    polled through :meth:`should_stop` between branch-and-bound nodes
+    (returning ``True`` stops the search with ``status='limit'``, best
+    incumbent + proven bound preserved):
+
+    * ``stop_check`` — an arbitrary zero-argument closure.  In-process
+      only: closures do not cross the process boundary, so the process
+      executor fabric strips it before dispatch.
+    * ``deadline_at`` — an absolute ``time.monotonic()`` instant.  A
+      plain float, so it pickles into forked workers unchanged (Linux
+      ``CLOCK_MONOTONIC`` is system-wide).  The service layer uses this
+      to enforce per-request deadlines across processes.
+    * ``cancel`` — a :class:`~repro.solver.cancel.CancelToken` resolving
+      to a shared (inheritable) event; the parent can stop one specific
+      in-flight solve mid-search.
+
+    The SciPy backend cannot poll mid-solve, so deadline callers must
+    *also* clamp ``time_limit`` (the solver facade derives the clamp
+    from ``deadline_at`` automatically).
 
     ``enable_decomposition`` lets the engine split block-separable
     problems into independent connected components, solved (and cached)
@@ -76,3 +92,24 @@ class SolverOptions:
     stop_check: Optional[Callable[[], bool]] = field(
         default=None, repr=False, compare=False
     )
+    deadline_at: Optional[float] = field(default=None, repr=False, compare=False)
+    cancel: Optional[CancelToken] = field(default=None, repr=False, compare=False)
+
+    def should_stop(self) -> bool:
+        """Poll every cancellation source (closure, deadline, token)."""
+        if self.stop_check is not None and self.stop_check():
+            return True
+        if self.deadline_at is not None and time.monotonic() >= self.deadline_at:
+            return True
+        return self.cancel is not None and self.cancel.is_set()
+
+    def remaining_time_limit(self) -> float:
+        """``time_limit`` additionally clamped by ``deadline_at``.
+
+        Backends that enforce a wall budget but cannot poll
+        :meth:`should_stop` mid-solve (SciPy HiGHS) use this so an
+        absolute deadline still bounds their runtime.
+        """
+        if self.deadline_at is None:
+            return self.time_limit
+        return min(self.time_limit, max(self.deadline_at - time.monotonic(), 1e-3))

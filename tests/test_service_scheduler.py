@@ -3,7 +3,7 @@
 Runs against one tiny shared :class:`ExperimentContext` (60 transactions,
 ``bb`` backend so the cooperative ``stop_check`` deadline hook is live).
 Tests that need a stalled or counted solver monkeypatch
-``repro.engine.session.solve`` — the exact symbol the engine layer calls.
+``repro.engine.fabric.solve`` — the exact symbol the solve-unit path calls.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-import repro.engine.session as session_module
+import repro.engine.fabric as fabric_module
 from repro.errors import ValidationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentContext
@@ -28,7 +28,7 @@ from repro.service.api import (
 )
 from repro.service.scheduler import QueryScheduler
 
-REAL_SOLVE = session_module.solve
+REAL_SOLVE = fabric_module.solve
 
 
 @pytest.fixture(scope="module")
@@ -101,7 +101,7 @@ def test_admission_queue_full_rejects(context, monkeypatch):
         release.wait(timeout=10.0)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(session_module, "solve", stalled_solve)
+    monkeypatch.setattr(fabric_module, "solve", stalled_solve)
     with QueryScheduler(context, workers=1, max_queue=1) as sched:
         sched.warm([("km", 2)])
         # Occupy the only worker (a fresh key so the solve really runs) …
@@ -129,7 +129,7 @@ def test_close_answers_queued_requests_and_refuses_new_ones(context, monkeypatch
         release.wait(timeout=10.0)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(session_module, "solve", stalled_solve)
+    monkeypatch.setattr(fabric_module, "solve", stalled_solve)
     sched = QueryScheduler(context, workers=1, max_queue=4)
     sched.warm([("km", 2)])
     busy = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.44}))
@@ -160,7 +160,7 @@ def test_two_concurrent_identical_requests_cost_one_solve(scheduler, monkeypatch
         time.sleep(0.25)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(session_module, "solve", slow_counting_solve)
+    monkeypatch.setattr(fabric_module, "solve", slow_counting_solve)
     request_a = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
     request_b = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
     pending = [scheduler.submit(request_a), scheduler.submit(request_b)]
@@ -204,16 +204,18 @@ def test_slow_solver_is_cancelled_and_degrades(scheduler, monkeypatch):
     def dawdling_solve(problem, sense, options):
         give_up = time.monotonic() + 5.0
         while time.monotonic() < give_up:
-            if options.stop_check is not None and options.stop_check():
+            if options.should_stop():
                 stop_seen.append(sense)
                 break
             time.sleep(0.005)
         # A zero node budget forces a truncated (inexact) solution, exactly
         # like a deadline firing inside the branch-and-bound loop.
-        truncated = dataclasses.replace(options, stop_check=None, node_limit=0)
+        truncated = dataclasses.replace(
+            options, stop_check=None, deadline_at=None, cancel=None, node_limit=0
+        )
         return REAL_SOLVE(problem, sense, truncated)
 
-    monkeypatch.setattr(session_module, "solve", dawdling_solve)
+    monkeypatch.setattr(fabric_module, "solve", dawdling_solve)
     response = scheduler.execute(
         QueryRequest(
             query="Q1", params={"pb_selectivity": 0.61},

@@ -118,11 +118,28 @@ def test_metrics_exposes_engine_and_service_families(client):
         "repro_service_queue_depth",
         "repro_service_dedup_hits_total",
         "repro_service_deadline_misses_total",
-        "repro_service_latency_seconds",
         "repro_phase_seconds_total",
     ):
         assert family in text, f"{family} missing from /metrics"
     assert 'status="ok"' in text
+    # The deprecated point-in-time quantile gauges are gone: the duration
+    # histograms are the one source of latency truth.
+    assert "repro_service_latency_seconds" not in text
+    assert "repro_service_solve_seconds" not in text
+
+
+def test_status_reports_fabric_and_l2(client):
+    payload = client.status()
+    fabric = payload["fabric"]
+    assert fabric["kind"] in ("inline", "thread", "process")
+    assert "l2_cache_path" in fabric
+
+
+def test_client_connection_is_kept_alive(client):
+    client.healthz()
+    first = client._connection()
+    client.healthz()
+    assert client._connection() is first  # same socket reused across requests
 
 
 def test_metrics_content_negotiation(client):
