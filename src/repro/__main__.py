@@ -131,10 +131,18 @@ def _trace(args: argparse.Namespace) -> int:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    import logging
     import signal
 
     from repro.experiments.config import ExperimentConfig
+    from repro.obs.logs import configure_logging
     from repro.service.server import serve
+
+    # Install the structured log handler before anything can print: in
+    # --log-format json every stdout line (banner, profiler notices,
+    # per-request wide events) must be one valid JSON document.
+    configure_logging(args.log_format)
+    log = logging.getLogger("repro.serve")
 
     config = ExperimentConfig(
         num_transactions=args.transactions,
@@ -163,7 +171,7 @@ def _serve(args: argparse.Namespace) -> int:
         # thread mode: the request work happens on scheduler worker
         # threads, which the signal engine can never sample.
         profiler = SamplingProfiler(mode="thread").start()
-        print(f"profiling to {args.profile} (thread sampler)", flush=True)
+        log.info("profiling to %s (thread sampler)", args.profile)
     try:
         result = serve(
             host=args.host,
@@ -179,15 +187,17 @@ def _serve(args: argparse.Namespace) -> int:
             slow_threshold_ms=args.slow_threshold_ms,
             slow_log_dir=args.slow_log,
             ready_file=args.ready_file,
+            log_format=args.log_format,
         )
     finally:
         if profiler is not None:
             profiler.stop()
             stacks = profiler.write_folded(args.profile)
-            print(
-                f"profile: {args.profile} ({stacks} stacks, "
-                f"{profiler.samples_taken} samples)",
-                flush=True,
+            log.info(
+                "profile: %s (%d stacks, %d samples)",
+                args.profile,
+                stacks,
+                profiler.samples_taken,
             )
     return int(result) if isinstance(result, int) else 0
 
@@ -309,6 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--ready-file",
         default=None,
         help="write {host, port, url} JSON here once listening (for scripts)",
+    )
+    server.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="request-log rendering: 'json' emits one JSON object per "
+        "line on stdout (wide per-request events included)",
     )
     server.add_argument(
         "--no-decompose",

@@ -29,12 +29,14 @@ The point of the abstraction: thread and process execution are
 talks only to the fabric interface; swapping ``--fabric thread`` for
 ``--fabric process`` changes scheduling, never semantics.
 
-Known process-mode limitation: spans opened *inside* a worker's solver
-(``solver.solve``, B&B node sampling) and the worker's own
-``global_registry()`` histograms (``repro_bb_nodes_per_solve``) stay in
-the worker process — the parent re-emits the per-unit span and observes
-``repro_engine_solve_seconds`` itself, so request traces and the
-engine-level metrics remain complete.
+Worker-side telemetry is *repatriated*, not lost: each worker runs the
+unit under a bounded :class:`~repro.obs.tracer.RecordingTracer`, so
+solver-internal spans (``solver.solve``, ``bb.search`` with sampled
+node events) come home as serialized records on the result, and the
+worker's ``global_registry()`` delta (``repro_bb_nodes_per_solve`` and
+friends, exemplars included) rides along for the parent to
+``merge_delta`` — process-mode traces and ``/metrics`` are
+indistinguishable from inline ones.
 """
 
 from __future__ import annotations
@@ -79,6 +81,11 @@ class SolveUnit:
     cache format.  ``authoritative`` marks a full-budget solve (no
     per-request deadline override) — the L2 admission guard is stricter
     for non-authoritative outcomes.
+
+    ``trace_id``/``sample_every`` seed the worker's recording tracer so
+    repatriated spans and metric exemplars carry the *requesting*
+    trace's id; ``repatriate=False`` turns worker-side telemetry
+    capture off entirely (the overhead-benchmark control arm).
     """
 
     problem: object
@@ -91,6 +98,9 @@ class SolveUnit:
     authoritative: bool = True
     component: Optional[int] = None
     l2_path: Optional[str] = None
+    trace_id: Optional[str] = None
+    sample_every: int = 64
+    repatriate: bool = True
 
 
 @dataclass
@@ -99,7 +109,9 @@ class UnitResult:
 
     ``spans`` carries serialized span records when the unit ran without
     an active tracer (i.e. in a worker process); the session ingests
-    them into the request trace.
+    them into the request trace.  ``metrics_delta`` is the worker's
+    :meth:`~repro.obs.export.MetricsRegistry.snapshot_delta` for this
+    unit; the parent replays it into its own global registry.
     """
 
     fingerprint: str
@@ -115,6 +127,8 @@ class UnitResult:
     l2_stored: bool = False
     worker_pid: int = 0
     spans: list = field(default_factory=list)
+    spans_dropped: int = 0
+    metrics_delta: Optional[dict] = None
 
     def to_cached(self) -> CachedSolve:
         return CachedSolve(
@@ -200,11 +214,35 @@ def run_unit(unit: SolveUnit, parent_span=None) -> UnitResult:
     """Execute one unit under a span (live tracer) or a span record.
 
     In-process fabrics open a real ``engine.solve.{sense}`` span,
-    parented to the submitting caller's span; in a worker process the
-    tracer is null, so the same information is captured as a serialized
-    record on the result for the parent to ingest.
+    parented to the submitting caller's span.  In a forked worker the
+    unit runs under a bounded :class:`~repro.obs.tracer.RecordingTracer`
+    instead: the ``engine.solve.*`` span *and* everything the solver
+    opens beneath it (``solver.solve``, ``bb.search`` node sampling)
+    are serialized onto the result, together with the worker registry's
+    metrics delta, for the parent to ingest/merge.
     """
-    from repro.obs.tracer import current_tracer
+    from repro.obs.tracer import RecordingTracer, activate, current_tracer
+
+    if _IN_WORKER and unit.repatriate:
+        from repro.obs.export import global_registry
+
+        recorder = RecordingTracer(
+            trace_id=unit.trace_id, sample_every=unit.sample_every
+        )
+        with activate(recorder):
+            with recorder.span(f"engine.solve.{unit.sense}") as span:
+                result = _execute(unit)
+                if unit.component is not None:
+                    span.set("component", unit.component)
+                span.set("cached", False).set("status", result.status)
+                span.set("objective", result.objective).set("nodes", result.nodes)
+                span.set("backend", result.backend)
+                span.set("worker_pid", result.worker_pid)
+                if result.l2_hit:
+                    span.set("l2_hit", True)
+        result.spans, result.spans_dropped = recorder.drain()
+        result.metrics_delta = global_registry().snapshot_delta()
+        return result
 
     tracer = current_tracer()
     if tracer.enabled:
@@ -318,6 +356,12 @@ class ExecutorFabric:
     def map(self, fn, items) -> list:
         raise NotImplementedError
 
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Liveness probe (deep health).  In-process fabrics share our
+        fate, so reaching this code *is* the proof of life; the process
+        fabric round-trips a no-op through a worker."""
+        return not self._closed
+
     def close(self) -> None:
         if self._scope_ready:
             drop_scope(self._scope_name)
@@ -407,17 +451,29 @@ class ThreadFabric(ExecutorFabric):
         super().close()
 
 
+#: set only by :func:`_worker_init` — how :func:`run_unit` knows it is in
+#: a forked worker (where spans must be recorded, not sunk) rather than
+#: merely running under some enabled tracer.
+_IN_WORKER = False
+
+
 def _worker_init() -> None:
     """Process-pool initializer: sever inherited observability state.
 
     Forked children start with the parent's active tracer — including
     open JSONL file descriptors whose writes would interleave with the
-    parent's.  Workers record span dicts instead (see :func:`run_unit`),
-    so the inherited tracer is replaced with the null one.
+    parent's.  The inherited tracer is replaced with the null one
+    (:func:`run_unit` activates a per-unit recording tracer instead),
+    and the inherited global-registry totals are baselined away so the
+    first repatriated delta does not double-count the parent's history.
     """
+    global _IN_WORKER
     import repro.obs.tracer as tracer_module
+    from repro.obs.export import global_registry
 
     tracer_module._active = tracer_module.NULL_TRACER
+    global_registry().snapshot_delta()
+    _IN_WORKER = True
 
 
 class ProcessFabric(ExecutorFabric):
@@ -437,9 +493,15 @@ class ProcessFabric(ExecutorFabric):
     kind = "process"
     eager_scope = True
 
-    def __init__(self, workers: int = 2, start_method: str = "fork"):
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: str = "fork",
+        repatriate: bool = True,
+    ):
         self._ctx = multiprocessing.get_context(start_method)
         super().__init__(workers=workers, event_factory=self._ctx.Event)
+        self.repatriate = repatriate
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -457,13 +519,27 @@ class ProcessFabric(ExecutorFabric):
         options = self._armed_options(unit.options)
         if options.stop_check is not None:
             options = dataclasses.replace(options, stop_check=None)
-        unit = dataclasses.replace(unit, options=options)
+        unit = dataclasses.replace(
+            unit,
+            options=options,
+            repatriate=self.repatriate and unit.repatriate,
+        )
         # parent_span is deliberately not shipped: the worker records a
         # span dict and the parent re-parents it on ingest.
         return self._ensure().submit(run_unit, unit)
 
     def map(self, fn, items) -> list:
         return [fn(item) for item in items]
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        if self._closed:
+            return False
+        try:
+            return isinstance(
+                self._ensure().submit(os.getpid).result(timeout=timeout), int
+            )
+        except Exception:  # noqa: BLE001 — any failure means "not healthy"
+            return False
 
     def close(self) -> None:
         if self._closed:

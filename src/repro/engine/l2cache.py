@@ -57,6 +57,15 @@ CREATE TABLE IF NOT EXISTS solves (
 #: statuses that may ever be persisted (see the poisoning guard above)
 _STORABLE = ("optimal", "infeasible")
 
+#: deep-health probe table — separate from ``solves`` so a probe can
+#: never collide with (or be mistaken for) real cache traffic
+_PROBE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS health_probe (
+    id INTEGER PRIMARY KEY CHECK (id = 1),
+    probed_unix REAL NOT NULL
+)
+"""
+
 
 class L2SolveCache:
     """A shared ``(fingerprint, sense) -> CachedSolve`` map on disk.
@@ -100,6 +109,33 @@ class L2SolveCache:
         self._local.conn = conn
         self._local.pid = pid
         return conn
+
+    def ping(self, timeout_ms: Optional[int] = None) -> bool:
+        """Deep-health probe: can this process open the file *and commit*?
+
+        A **fresh** connection per call, on purpose: the cached per-thread
+        handle was opened when the file was healthy and would keep
+        answering after the file turns read-only underneath it.  The
+        probe writes to its own single-row table so it never touches the
+        ``solves`` rows or the hit/miss/write/reject counters.
+        """
+        budget = self.busy_timeout_ms if timeout_ms is None else int(timeout_ms)
+        try:
+            conn = sqlite3.connect(self.path, timeout=budget / 1000.0)
+            try:
+                conn.execute(f"PRAGMA busy_timeout={budget}")
+                conn.execute(_PROBE_SCHEMA)
+                conn.execute(
+                    "INSERT OR REPLACE INTO health_probe (id, probed_unix) "
+                    "VALUES (1, ?)",
+                    (time.time(),),
+                )
+                conn.commit()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return False
+        return True
 
     def close(self) -> None:
         """Close this thread's connection (others close on GC/exit)."""

@@ -391,7 +391,11 @@ class SolveSession:
         sense: str,
         component: Optional[int],
         options: Optional[SolverOptions],
+        parent_span=None,
     ) -> SolveUnit:
+        tracer = current_tracer()
+        span = parent_span if parent_span is not None else tracer.current()
+        trace_id = getattr(span, "trace_id", "") if span is not None else ""
         return SolveUnit(
             problem=problem,
             sense=sense,
@@ -405,6 +409,10 @@ class SolveSession:
             authoritative=options is None,
             component=component,
             l2_path=self.l2_path,
+            # Seed the worker-side recording tracer: repatriated spans
+            # and exemplars must carry the *requesting* trace's id.
+            trace_id=trace_id or None,
+            sample_every=tracer.sample_every or 64,
         )
 
     def _collect(
@@ -414,14 +422,18 @@ class SolveSession:
         sense: str,
         options: Optional[SolverOptions],
         parent_span,
-    ) -> Tuple[CachedSolve, bool, float]:
+    ) -> Tuple[CachedSolve, bool, float, bool]:
         """Fold one :class:`UnitResult` back into session state.
 
         Runs on the submitting thread: L1 write-through (guarded),
-        telemetry, the always-on metrics, and adoption of any span
-        records shipped home from a worker process.
+        telemetry, the always-on metrics, adoption of any span records
+        shipped home from a worker process, and replay of the worker's
+        metrics delta into this process's global registry.  Returns
+        ``(entry, cached, seconds, l2_hit)``.
         """
         tracer = current_tracer()
+        if result.metrics_delta:
+            global_registry().merge_delta(result.metrics_delta)
         if result.spans and tracer.enabled:
             tracer.ingest(result.spans, parent=parent_span)
         entry = result.to_cached()
@@ -481,13 +493,13 @@ class SolveSession:
                 cached=False,
             )
         )
-        return entry, False, result.solve_time
+        return entry, False, result.solve_time, result.l2_hit
 
     def _solve_tasks(
         self,
         tasks: Sequence[Tuple[object, dict, CanonicalBIP, str, Optional[int]]],
         options: Optional[SolverOptions],
-    ) -> List[Tuple[CachedSolve, bool, float]]:
+    ) -> List[Tuple[CachedSolve, bool, float, bool]]:
         """Run ``(problem, dense, canonical, sense, component)`` tasks.
 
         The one dispatch path for every fabric.  Serial (inline) fabrics
@@ -499,14 +511,18 @@ class SolveSession:
         once.
         """
         parent_span = current_tracer().current()
-        outcomes: List[Optional[Tuple[CachedSolve, bool, float]]] = [None] * len(tasks)
+        outcomes: List[Optional[Tuple[CachedSolve, bool, float, bool]]] = [None] * len(
+            tasks
+        )
         if not self.parallel:
             for i, (problem, dense, canonical, sense, component) in enumerate(tasks):
                 hit = self._l1_probe(canonical, sense, component, parent_span)
                 if hit is not None:
-                    outcomes[i] = (hit, True, 0.0)
+                    outcomes[i] = (hit, True, 0.0, False)
                     continue
-                unit = self._unit(problem, dense, canonical, sense, component, options)
+                unit = self._unit(
+                    problem, dense, canonical, sense, component, options, parent_span
+                )
                 result = self.fabric.submit_unit(unit, parent_span).result()
                 outcomes[i] = self._collect(result, canonical, sense, options, parent_span)
             return outcomes  # type: ignore[return-value]
@@ -514,9 +530,11 @@ class SolveSession:
         for i, (problem, dense, canonical, sense, component) in enumerate(tasks):
             hit = self._l1_probe(canonical, sense, component, parent_span)
             if hit is not None:
-                outcomes[i] = (hit, True, 0.0)
+                outcomes[i] = (hit, True, 0.0, False)
                 continue
-            unit = self._unit(problem, dense, canonical, sense, component, options)
+            unit = self._unit(
+                problem, dense, canonical, sense, component, options, parent_span
+            )
             pending.append(
                 (i, canonical, sense, self.fabric.submit_unit(unit, parent_span))
             )
@@ -583,12 +601,12 @@ class SolveSession:
         )
         outcomes = dict(zip(_SENSES, results))
 
-        for entry, _, _ in outcomes.values():
+        for entry, _, _, _ in outcomes.values():
             if entry.status == "infeasible":
                 raise InfeasibleError("the LICM constraints admit no possible world")
 
-        (min_entry, min_cached, min_time) = outcomes["min"]
-        (max_entry, max_cached, max_time) = outcomes["max"]
+        (min_entry, min_cached, min_time, min_l2) = outcomes["min"]
+        (max_entry, max_cached, max_time, max_l2) = outcomes["max"]
 
         def witness(entry: CachedSolve):
             if entry.x_canonical is None:
@@ -613,6 +631,7 @@ class SolveSession:
                 "nodes": min_entry.nodes + max_entry.nodes,
                 "backend": max_entry.backend,
                 "cache_hits": int(min_cached) + int(max_cached),
+                "l2_hits": int(min_l2) + int(max_l2),
                 "components": 1,
                 "fingerprint": canonical.fingerprint,
             },
@@ -653,7 +672,7 @@ class SolveSession:
         )
         outcomes = dict(zip(tasks, results))
 
-        for entry, _, _ in outcomes.values():
+        for entry, _, _, _ in outcomes.values():
             if entry.status == "infeasible":
                 raise InfeasibleError("the LICM constraints admit no possible world")
 
@@ -664,6 +683,7 @@ class SolveSession:
             all_cached = all(outcomes[(sense, c)][1] for c in range(len(components)))
             hits = sum(int(outcomes[(sense, c)][1]) for c in range(len(components)))
             seconds = sum(outcomes[(sense, c)][2] for c in range(len(components)))
+            l2_hits = sum(int(outcomes[(sense, c)][3]) for c in range(len(components)))
             objective = None
             if all(entry.objective is not None for entry in entries):
                 objective = sum(entry.objective for entry in entries) + constant
@@ -684,6 +704,7 @@ class SolveSession:
                 "nodes": sum(entry.nodes for entry in entries),
                 "cached": all_cached,
                 "hits": hits,
+                "l2_hits": l2_hits,
                 "seconds": seconds,
             }
 
@@ -714,6 +735,7 @@ class SolveSession:
                 "backend": backend,
                 "cache_hits": int(low["cached"]) + int(high["cached"]),
                 "component_cache_hits": low["hits"] + high["hits"],
+                "l2_hits": low["l2_hits"] + high["l2_hits"],
                 "components": len(components),
                 "fingerprint": prepared.canonical.fingerprint,
             },
@@ -756,7 +778,7 @@ class SolveSession:
         problem, dense, canonical, _, _ = self._prepare(
             objective, extra_constraints, do_prune=True
         )
-        ((entry, _, _),) = self._solve_tasks(
+        ((entry, _, _, _),) = self._solve_tasks(
             [(problem, dense, canonical, sense, None)], options
         )
         x = None

@@ -15,6 +15,10 @@ The repo-wide answer to "where did this run spend its time":
   per-trace-id attribution.
 * :mod:`repro.obs.slowlog` — slow-query capture: a per-trace span buffer
   and a bounded on-disk ring of offender documents.
+* :mod:`repro.obs.logs` — wide-event structured request logging
+  (``configure_logging`` / one JSON line per request).
+* :mod:`repro.obs.slo` — rolling-window availability/latency SLOs with
+  multi-window burn rates (``repro_slo_*`` gauges, deep health).
 * :mod:`repro.obs.perfcheck` — the noise-aware perf-regression gate
   behind ``python -m repro perfcheck``.
 
@@ -33,6 +37,7 @@ from repro.obs.export import (
     render_registries,
     render_report,
 )
+from repro.obs.logs import configure_logging, request_logger, wide_event
 from repro.obs.manifest import (
     build_manifest,
     validate_manifest,
@@ -40,10 +45,12 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.profiler import SamplingProfiler, active_profiler
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.slowlog import SlowQueryRing, SpanBuffer
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
+    RecordingTracer,
     Span,
     Tracer,
     activate,
@@ -58,6 +65,9 @@ __all__ = [
     "NullTracer",
     "OPENMETRICS_CONTENT_TYPE",
     "TEXT_CONTENT_TYPE",
+    "RecordingTracer",
+    "SLOConfig",
+    "SLOTracker",
     "SamplingProfiler",
     "SlowQueryRing",
     "Span",
@@ -67,6 +77,7 @@ __all__ = [
     "active_profiler",
     "build_manifest",
     "build_metrics",
+    "configure_logging",
     "current_tracer",
     "global_registry",
     "load_jsonl",
@@ -74,7 +85,9 @@ __all__ = [
     "read_jsonl",
     "render_registries",
     "render_report",
+    "request_logger",
     "validate_manifest",
     "validate_trace",
+    "wide_event",
     "write_manifest",
 ]

@@ -337,6 +337,9 @@ class MetricsRegistry:
         self.prefix = prefix
         self._instruments: dict[str, _Instrument] = {}
         self._lock = threading.Lock()
+        # Per-instrument state as of the last snapshot_delta(), keyed by
+        # full instrument name — what makes deltas *deltas*.
+        self._baselines: dict[str, dict] = {}
 
     def _get(self, cls, name: str, help_text: str, **kwargs):
         full = f"{self.prefix}_{name}" if self.prefix else name
@@ -359,6 +362,165 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help_text: str = "", buckets=DURATION_BUCKETS) -> Histogram:
         return self._get(Histogram, name, help_text, buckets=buckets)
+
+    # -- cross-process repatriation: delta snapshots ----------------------
+
+    def snapshot_delta(self) -> dict:
+        """Everything observed since the previous ``snapshot_delta()``.
+
+        Returns a plain picklable dict (counters, gauges, histogram
+        bucket counts, and exemplars newer than the baseline) and
+        advances the baseline, so successive calls never double-report.
+        A forked solve worker calls this once at startup to discard the
+        state inherited from its parent, then once per solve unit; the
+        parent replays each delta with :meth:`merge_delta`.
+        """
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        delta: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in instruments:
+            if isinstance(instrument, Histogram):
+                self._histogram_delta(delta["histograms"], name, instrument)
+            elif isinstance(instrument, Counter):
+                self._scalar_delta(delta["counters"], name, instrument, diff=True)
+            elif isinstance(instrument, Gauge):
+                self._scalar_delta(delta["gauges"], name, instrument, diff=False)
+        return delta
+
+    def _scalar_delta(self, out: dict, name: str, instrument, diff: bool) -> None:
+        with instrument._lock:
+            current = dict(instrument.series)
+        baseline = self._baselines.get(name, {})
+        series = {}
+        for key, value in current.items():
+            previous = baseline.get(key)
+            if diff:
+                changed = value - (previous or 0)
+                if changed:
+                    series[key] = changed
+            elif previous is None or previous != value:
+                series[key] = value  # gauges carry last-value, not a sum
+        self._baselines[name] = current
+        if series:
+            out[name] = {"help": instrument.help, "series": series}
+
+    def _histogram_delta(self, out: dict, name: str, instrument: "Histogram") -> None:
+        with instrument._lock:
+            current = {
+                key: {
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                    "exemplars": dict(data["exemplars"]),
+                }
+                for key, data in instrument._data.items()
+            }
+        baseline = self._baselines.get(name, {})
+        series = {}
+        for key, data in current.items():
+            base = baseline.get(key) or {
+                "counts": [0] * len(instrument.buckets),
+                "sum": 0.0,
+                "count": 0,
+                "exemplar_ts": {},
+            }
+            count = data["count"] - base["count"]
+            if not count:
+                continue
+            exemplars = {
+                index: (mark.labels, mark.value, mark.timestamp)
+                for index, mark in data["exemplars"].items()
+                if mark.timestamp > base["exemplar_ts"].get(index, -math.inf)
+            }
+            series[key] = {
+                "counts": [
+                    now - then for now, then in zip(data["counts"], base["counts"])
+                ],
+                "sum": data["sum"] - base["sum"],
+                "count": count,
+                "exemplars": exemplars,
+            }
+        self._baselines[name] = {
+            key: {
+                "counts": data["counts"],
+                "sum": data["sum"],
+                "count": data["count"],
+                "exemplar_ts": {
+                    index: mark.timestamp
+                    for index, mark in data["exemplars"].items()
+                },
+            }
+            for key, data in current.items()
+        }
+        if series:
+            out[name] = {
+                "help": instrument.help,
+                "buckets": instrument.buckets,
+                "series": series,
+            }
+
+    def _adopt(self, cls, full_name: str, help_text: str, **kwargs):
+        """Get-or-create by *full* name (deltas carry prefixed names)."""
+        with self._lock:
+            instrument = self._instruments.get(full_name)
+            if instrument is None:
+                instrument = cls(full_name, help_text, **kwargs)
+                self._instruments[full_name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {full_name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def merge_delta(self, delta: dict) -> None:
+        """Replay a :meth:`snapshot_delta` into this registry.
+
+        Counters add, gauges take the shipped last value, histogram
+        buckets add element-wise (bucket layouts must match — merging a
+        worker built against different buckets raises ``ValueError``),
+        and each bucket keeps its newest exemplar by timestamp, so a
+        repatriated exemplar never clobbers a fresher local one.
+        """
+        for name, family in (delta.get("counters") or {}).items():
+            instrument = self._adopt(Counter, name, family["help"])
+            with instrument._lock:
+                for key, value in family["series"].items():
+                    instrument.series[key] = instrument.series.get(key, 0) + value
+        for name, family in (delta.get("gauges") or {}).items():
+            instrument = self._adopt(Gauge, name, family["help"])
+            with instrument._lock:
+                for key, value in family["series"].items():
+                    instrument.series[key] = float(value)
+        for name, family in (delta.get("histograms") or {}).items():
+            buckets = tuple(family["buckets"])
+            instrument = self._adopt(
+                Histogram, name, family["help"], buckets=buckets
+            )
+            if instrument.buckets != buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{instrument.buckets} != {buckets}"
+                )
+            for key, shipped in family["series"].items():
+                with instrument._lock:
+                    data = instrument._data.get(key)
+                    if data is None:
+                        data = instrument._data[key] = {
+                            "counts": [0] * len(buckets),
+                            "sum": 0.0,
+                            "count": 0,
+                            "exemplars": {},
+                        }
+                    for index, value in enumerate(shipped["counts"]):
+                        data["counts"][index] += value
+                    data["sum"] += shipped["sum"]
+                    data["count"] += shipped["count"]
+                    for index, (labels, value, stamp) in shipped["exemplars"].items():
+                        known = data["exemplars"].get(index)
+                        if known is None or stamp >= known.timestamp:
+                            data["exemplars"][index] = Exemplar(
+                                labels, value, timestamp=stamp
+                            )
 
     def _render_lines(self, openmetrics: bool) -> list[str]:
         with self._lock:

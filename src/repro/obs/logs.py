@@ -1,0 +1,135 @@
+"""Structured ("wide-event") logging for the serving process.
+
+One request = one log line carrying everything an operator greps for —
+trace id, dedup role, fingerprint, cache tier, fabric kind, timings,
+outcome — instead of a trail of ad-hoc messages.  Two renderings of the
+same record:
+
+* ``json`` — one JSON object per line on stdout, stable keys, directly
+  ingestible by any log pipeline (the CI smoke job asserts every line
+  parses and carries the request's trace id);
+* ``text`` — the classic human ``asctime level logger message`` line
+  with the wide fields appended as ``key=value`` pairs.
+
+Emitters attach the wide payload via ``extra={"wide": {...}}`` (use
+:func:`wide_event`); both formatters pick it up, so switching formats
+never changes what is logged, only how it renders.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "REQUEST_LOGGER",
+    "configure_logging",
+    "request_logger",
+    "wide_event",
+]
+
+#: the logger name wide per-request events are emitted on
+REQUEST_LOGGER = "repro.service.requests"
+
+#: handler name prefix configure_logging() uses to recognise (and
+#: replace) its own handlers on reconfiguration
+_HANDLER_PREFIX = "repro-logs-"
+
+LOG_FORMATS = ("text", "json")
+
+
+class JsonFormatter(logging.Formatter):
+    """Render every record as one JSON object per line.
+
+    Base keys are ``ts``/``level``/``logger``/``message``; a ``wide``
+    dict attached via ``extra`` is merged in at the top level (its keys
+    win over nothing — base keys are reserved), and exception tracebacks
+    land under ``exc`` as one string, so *every* line stays one valid
+    JSON document even on error paths.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        wide = getattr(record, "wide", None)
+        if isinstance(wide, dict):
+            for key, value in wide.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """The human rendering: base line plus sorted ``key=value`` pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        wide = getattr(record, "wide", None)
+        if isinstance(wide, dict) and wide:
+            pairs = " ".join(f"{key}={wide[key]}" for key in sorted(wide))
+            return f"{base} {pairs}"
+        return base
+
+
+def configure_logging(
+    fmt: str = "text",
+    level: int = logging.INFO,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Install one root handler for the serving process (idempotent).
+
+    ``fmt="json"`` makes stdout a pure JSON-lines stream — including the
+    startup banner, profiler notices and unexpected tracebacks — which
+    is what lets the CI smoke job assert "every stdout line parses".
+    Re-invocation replaces the previously installed handler instead of
+    stacking a duplicate, so tests can reconfigure freely.
+    """
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {fmt!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.set_name(_HANDLER_PREFIX + fmt)
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            KeyValueFormatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root = logging.getLogger()
+    root.setLevel(level)
+    for existing in list(root.handlers):
+        if (existing.get_name() or "").startswith(_HANDLER_PREFIX):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    return handler
+
+
+def request_logger() -> logging.Logger:
+    """The logger wide per-request events go to."""
+    return logging.getLogger(REQUEST_LOGGER)
+
+
+def wide_event(
+    logger: logging.Logger,
+    payload: dict,
+    level: int = logging.INFO,
+    message: Optional[str] = None,
+) -> None:
+    """Emit one wide event: ``payload`` rides the record as ``wide``.
+
+    ``message`` defaults to the payload's ``event`` key so the text
+    rendering stays readable without duplicating fields into the format
+    string.
+    """
+    logger.log(
+        level, message or str(payload.get("event", "event")), extra={"wide": payload}
+    )

@@ -48,6 +48,7 @@ from typing import IO, Optional, Union
 __all__ = [
     "SamplingProfiler",
     "active_profiler",
+    "export_metrics",
     "tag_thread",
     "tagged",
     "untag_thread",
@@ -87,6 +88,28 @@ def tagged(trace_id: Optional[str]):
 def active_profiler() -> Optional["SamplingProfiler"]:
     """The currently running profiler, if any (for slow-query capture)."""
     return _ACTIVE
+
+
+def export_metrics(registry, profiler: Optional["SamplingProfiler"] = None) -> None:
+    """Write the profiler's sample counters into a (per-scrape) registry.
+
+    A no-op when no profiler is running — scrapes of an unprofiled
+    service simply omit the families.  ``samples_dropped`` matters
+    operationally: a nonzero rate means signal-mode samples are being
+    discarded to avoid self-deadlock, i.e. the profile under-counts.
+    """
+    profiler = profiler if profiler is not None else active_profiler()
+    if profiler is None:
+        return
+    registry.counter(
+        "profiler_samples_total",
+        "Stack samples aggregated by the sampling profiler",
+    ).inc(profiler.samples_taken)
+    registry.counter(
+        "profiler_samples_dropped_total",
+        "Samples dropped because the aggregation lock was busy "
+        "(signal mode; the profile under-counts by this much)",
+    ).inc(profiler.samples_dropped)
 
 
 def _frame_label(frame) -> str:

@@ -34,6 +34,7 @@ __all__ = [
     "NULL_TRACER",
     "NullSpan",
     "NullTracer",
+    "RecordingTracer",
     "Span",
     "Tracer",
     "activate",
@@ -297,6 +298,66 @@ class Tracer:
 
     def __repr__(self) -> str:
         return f"Tracer({self.trace_id}, {len(self)} spans)"
+
+
+class RecordingTracer(Tracer):
+    """A bounded tracer that serializes finished spans instead of keeping them.
+
+    Forked solve workers activate one per unit: solver-internal spans
+    (``solver.solve``, ``bb.search`` with its sampled node events) are
+    recorded as plain picklable dicts — ``key``/``parent_key`` preserve
+    the in-worker tree — and shipped home inside the unit result, where
+    :meth:`Tracer.ingest` re-parents them under the request's trace.
+
+    ``trace_id`` should be the *requesting* trace's id so worker-side
+    metric exemplars point at the trace that caused the work; the bound
+    (``max_spans``) keeps a pathological search from bloating the result
+    pickle — overflow is counted, never an error.
+    """
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        max_spans: int = 128,
+        sample_every: int = 64,
+    ):
+        super().__init__(sinks=(), retain=False, sample_every=sample_every)
+        if trace_id:
+            self.trace_id = trace_id
+        self.max_spans = max(1, int(max_spans))
+        self.dropped = 0
+        self._records: list[dict] = []
+
+    def _finish(self, span: Span) -> None:
+        record = {
+            "key": span.span_id,
+            "parent_key": span.parent_id,
+            "name": span.name,
+            "start_unix": span.start_unix,
+            "duration": span.duration,
+            "status": span.status,
+            "thread": span.thread,
+            "attributes": span.attributes,
+        }
+        with self._lock:
+            if len(self._records) < self.max_spans:
+                self._records.append(record)
+            else:
+                self.dropped += 1
+
+    def drain(self) -> tuple[list[dict], int]:
+        """``(records, dropped)``, resetting both.
+
+        Records come back sorted by ``key``: span ids are zero-padded
+        creation order and parents are created before their children, so
+        sorted order is exactly what :meth:`Tracer.ingest` needs to
+        resolve every ``parent_key``.
+        """
+        with self._lock:
+            records, self._records = self._records, []
+            dropped, self.dropped = self.dropped, 0
+        records.sort(key=lambda record: record["key"])
+        return records, dropped
 
 
 class NullSpan:

@@ -184,6 +184,8 @@ class QueryResponse:
     #: ``solve_ms`` is 0 when the leader's answer was reused verbatim.
     dedup: bool = False
     cache_hits: int = 0
+    l2_hits: int = 0
+    components: int = 0
     backend: Optional[str] = None
     nodes: int = 0
     mc_samples: int = 0  # > 0 only for degraded (MC fallback) answers

@@ -131,7 +131,20 @@ class ServiceClient:
             ) from exc
 
     # -- endpoints ---------------------------------------------------------
-    def healthz(self) -> dict:
+    def healthz(self, deep: bool = False) -> dict:
+        """The liveness probe; ``deep=True`` runs the dependency +
+        error-budget checks instead.
+
+        A deep probe does **not** raise on 503 — an unhealthy verdict is
+        an answer, not a transport failure — the payload comes back with
+        the HTTP code under ``http_status`` so callers (and the CI smoke
+        job) can assert on either.
+        """
+        if deep:
+            status, payload = self._json("/healthz?deep=1")
+            if status not in (200, 503):
+                raise ServiceClientError(f"healthz?deep=1 returned {status}: {payload}")
+            return {**payload, "http_status": status}
         status, payload = self._json("/healthz")
         if status != 200:
             raise ServiceClientError(f"healthz returned {status}: {payload}")

@@ -47,7 +47,9 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.errors import InfeasibleError, ServiceError, ValidationError
 from repro.mc import run_monte_carlo
 from repro.obs.export import MetricsRegistry
+from repro.obs.logs import request_logger, wide_event
 from repro.obs.profiler import active_profiler, tagged
+from repro.obs.slo import SLOTracker
 from repro.obs.tracer import current_tracer, new_trace_id
 from repro.queries.licm_eval import evaluate_licm
 from repro.queries.workload import QUERY_BUILDERS
@@ -273,6 +275,8 @@ class QueryScheduler:
     :param span_buffer: a :class:`~repro.obs.slowlog.SpanBuffer` attached
         to the serving tracer; the scheduler pops each request's span
         tree from it on completion (persisted only for slow requests).
+    :param slo: a :class:`~repro.obs.slo.SLOTracker` fed one event per
+        terminal response (a fresh default-config tracker otherwise).
     """
 
     def __init__(
@@ -285,6 +289,7 @@ class QueryScheduler:
         slow_threshold_ms: Optional[float] = None,
         slow_log=None,
         span_buffer=None,
+        slo=None,
     ):
         self.context = context
         self.workers = max(1, int(workers))
@@ -294,6 +299,7 @@ class QueryScheduler:
         self.slow_threshold_ms = slow_threshold_ms
         self.slow_log = slow_log
         self.span_buffer = span_buffer
+        self.slo = slo or SLOTracker()
         self.stats = SchedulerStats()
         # Real latency *distributions* (the /metrics histograms) live here,
         # one registry per scheduler so concurrent schedulers in one
@@ -449,13 +455,20 @@ class QueryScheduler:
         if rejection is not None:
             self.stats.record_rejected()
             pending.claim()
-            pending.finish(
-                QueryResponse(
-                    request_id=request.request_id,
-                    status=STATUS_REJECTED,
-                    error=rejection,
-                )
+            response = QueryResponse(
+                request_id=request.request_id,
+                status=STATUS_REJECTED,
+                error=rejection,
             )
+            pending.finish(response)
+            # Rejections never reach _complete, but they still spend
+            # availability budget and deserve a log line.
+            total_s = time.monotonic() - pending.enqueued
+            try:
+                self.slo.record(STATUS_REJECTED, total_s)
+                wide_event(request_logger(), self._wide_payload(pending, response, total_s))
+            except Exception:  # noqa: BLE001 — observability must not break serving
+                logger.exception("rejection accounting failed")
         return pending
 
     def execute(
@@ -573,20 +586,63 @@ class QueryScheduler:
         )
         self._observe_done(pending, response, total_s)
 
+    def _cache_tier(self, response: QueryResponse) -> str:
+        """Where the answer came from: both senses in L1, any L2 hit, or
+        a cold solve."""
+        if response.cache_hits >= 2:
+            return "l1"
+        if response.l2_hits > 0:
+            return "l2"
+        return "cold"
+
+    def _wide_payload(
+        self, pending: _Pending, response: QueryResponse, total_s: float
+    ) -> dict:
+        """The one-line-per-request wide event (stable keys — the CI smoke
+        job and tests/test_obs_reqlog_slo.py parse these)."""
+        request = pending.request
+        return {
+            "event": "request",
+            "request_id": request.request_id,
+            "trace_id": response.trace_id,
+            "status": response.status,
+            "outcome_reason": response.error,
+            "dedup": "follower" if response.dedup else "leader",
+            "fingerprint": response.fingerprint,
+            "kind": request.kind,
+            "query": request.query or request.aggregate,
+            "scheme": request.scheme,
+            "k": request.k,
+            "cache_tier": self._cache_tier(response),
+            "components": response.components,
+            "cache_hits": response.cache_hits,
+            "l2_hits": response.l2_hits,
+            "nodes": response.nodes,
+            "backend": response.backend,
+            "fabric": self.context.fabric_stats().get("kind"),
+            "mc_samples": response.mc_samples,
+            "queue_ms": round(response.queue_ms, 3),
+            "solve_ms": round(response.solve_ms, 3),
+            "total_ms": round(total_s * 1e3, 3),
+        }
+
     def _observe_done(self, pending: _Pending, response: QueryResponse, total_s: float) -> None:
-        """Post-terminal accounting: histograms, exemplars, slow-query log.
+        """Post-terminal accounting: histograms, exemplars, SLO events,
+        the wide request log line, slow-query capture.
 
         Runs after ``pending.finish`` on purpose: the caller is already
         unblocked, and a failure here must never turn a served request
         into an error.
         """
         try:
+            self.slo.record(response.status, total_s)
             exemplar = {"trace_id": response.trace_id} if response.trace_id else None
             self._hist_queue_wait.observe(response.queue_ms / 1e3, exemplar=exemplar)
             self._hist_solve.observe(response.solve_ms / 1e3, exemplar=exemplar)
             self._hist_total.observe(
                 total_s, labels={"status": response.status}, exemplar=exemplar
             )
+            wide_event(request_logger(), self._wide_payload(pending, response, total_s))
             spans = (
                 self.span_buffer.pop(response.trace_id)
                 if self.span_buffer is not None
@@ -613,12 +669,26 @@ class QueryScheduler:
             if profiler is not None and response.trace_id
             else {}
         )
+        # Per-component node counts from the repatriated engine.solve.*
+        # spans (worker-side solves included — see fabric repatriation).
+        component_nodes: Dict[str, int] = {}
+        for span in spans:
+            if not str(span.get("name", "")).startswith("engine.solve."):
+                continue
+            attributes = span.get("attributes") or {}
+            component = str(attributes.get("component", "?"))
+            component_nodes[component] = component_nodes.get(
+                component, 0
+            ) + int(attributes.get("nodes", 0) or 0)
         path = self.slow_log.record(
             {
                 "trace_id": response.trace_id,
                 "fingerprint": response.fingerprint,
                 "total_ms": total_s * 1e3,
                 "threshold_ms": self.slow_threshold_ms,
+                "fabric": self.context.fabric_stats().get("kind"),
+                "l2_hits": response.l2_hits,
+                "component_nodes": component_nodes,
                 "request": pending.request.to_dict(),
                 "response": response.to_dict(),
                 "spans": spans,
@@ -753,6 +823,8 @@ class QueryScheduler:
             fingerprint=fingerprint,
             dedup=dedup,
             cache_hits=int(bounds.stats.get("cache_hits", 0)),
+            l2_hits=int(bounds.stats.get("l2_hits", 0)),
+            components=int(bounds.stats.get("components", 0)),
             backend=bounds.stats.get("backend") or None,
             nodes=int(bounds.stats.get("nodes", 0)),
             queue_ms=queue_ms,

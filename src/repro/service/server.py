@@ -29,11 +29,13 @@ import json
 import logging
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Sequence, Tuple
 
 import repro
 from repro.errors import ValidationError
+from repro.engine.fabric import l2_handle
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentContext
 from repro.obs.export import (
@@ -45,6 +47,9 @@ from repro.obs.export import (
     global_registry,
     render_registries,
 )
+from repro.obs.logs import configure_logging
+from repro.obs.profiler import export_metrics as export_profiler_metrics
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.slowlog import SlowQueryRing, SpanBuffer
 from repro.obs.tracer import Tracer, activate
 from repro.service.api import QueryRequest, http_status_for
@@ -76,9 +81,11 @@ class QueryService:
         slow_threshold_ms: Optional[float] = None,
         slow_log_dir: Optional[str] = None,
         slow_log_capacity: int = 32,
+        slo_config: Optional[SLOConfig] = None,
     ):
         self.config = config or ExperimentConfig()
         self.context = ExperimentContext(self.config)
+        self.slo = SLOTracker(slo_config)
         # Slow-query capture: a per-trace span buffer feeds the scheduler,
         # which persists over-threshold requests to a bounded on-disk ring.
         self.slow_log: Optional[SlowQueryRing] = None
@@ -97,6 +104,7 @@ class QueryService:
             slow_threshold_ms=slow_threshold_ms,
             slow_log=self.slow_log,
             span_buffer=self._span_buffer,
+            slo=self.slo,
         )
         self._sink = JsonlSink(trace_path) if trace_path else None
         sinks = [s for s in (self._sink, self._span_buffer) if s is not None]
@@ -145,6 +153,7 @@ class QueryService:
             "scheduler": self.scheduler.stats.snapshot(),
             "sessions": self.context.cache_stats(),
             "fabric": self.context.fabric_stats(),
+            "slo": self.slo.snapshot(),
             "trace": self._sink.path if self._sink else None,
             "slow_log": (
                 {
@@ -208,9 +217,57 @@ class QueryService:
             registry.counter(
                 "service_slow_queries_total", "Requests captured by the slow-query log"
             ).inc(self.slow_log.written)
+        export_profiler_metrics(registry)
+        self.slo.export(registry)
         return render_registries(
             (registry, self.scheduler.metrics, global_registry()), fmt=fmt
         )
+
+    def deep_health(self) -> Tuple[bool, dict]:
+        """``/healthz?deep=1``: dependency probes + error-budget state.
+
+        Three checks, all of which must pass:
+
+        * **slo** — no objective is burning budget past its threshold in
+          every window (:meth:`~repro.obs.slo.SLOTracker.snapshot`);
+        * **fabric** — the executor fabric answers a liveness probe (the
+          process fabric round-trips a no-op through a worker);
+        * **l2** — the shared L2 solve cache (when configured) accepts a
+          probe write on a fresh connection.
+
+        The shallow ``/healthz`` stays a pure liveness check — an
+        orchestrator restarting the process on an SLO breach would make
+        every brown-out worse — deep health is for alerting and
+        load-balancer draining.
+        """
+        snapshot = self.slo.snapshot()
+        checks = {
+            "slo": {
+                "ok": not snapshot["breached"]["any"],
+                "breached": snapshot["breached"],
+            }
+        }
+        try:
+            fabric_ok = bool(self.context.fabric.ping(timeout=5.0))
+        except Exception:  # noqa: BLE001 — an unreachable fabric is "not ok"
+            fabric_ok = False
+        checks["fabric"] = {
+            "ok": fabric_ok,
+            "kind": self.context.fabric_stats().get("kind"),
+        }
+        l2_path = self.context.l2_path
+        if l2_path:
+            cache = l2_handle(l2_path)
+            checks["l2"] = {
+                "ok": cache is not None and cache.ping(),
+                "path": l2_path,
+            }
+        ok = all(check["ok"] for check in checks.values())
+        return ok, {
+            "status": "ok" if ok else "unhealthy",
+            "uptime_s": self.uptime_s,
+            "checks": checks,
+        }
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -253,9 +310,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         service = self.server.service
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         if path == "/healthz":
-            self._send_json(200, {"status": "ok", "uptime_s": service.uptime_s})
+            params = urllib.parse.parse_qs(query)
+            if params.get("deep", ["0"])[-1].lower() in ("1", "true", "yes"):
+                ok, payload = service.deep_health()
+                self._send_json(200 if ok else 503, payload)
+            else:
+                self._send_json(200, {"status": "ok", "uptime_s": service.uptime_s})
         elif path == "/v1/status":
             self._send_json(200, service.status())
         elif path == "/metrics":
@@ -303,6 +365,8 @@ def serve(
     slow_threshold_ms: Optional[float] = None,
     slow_log_dir: Optional[str] = None,
     ready_file: Optional[str] = None,
+    log_format: Optional[str] = None,
+    slo_config: Optional[SLOConfig] = None,
     block: bool = True,
 ):
     """Warm a service and run the HTTP front-end.
@@ -311,11 +375,19 @@ def serve(
     when ``ready_file`` is given, written there as JSON — the load
     generator and the CI smoke job wait on that file.
 
+    ``log_format`` installs the structured request-log handler
+    (:func:`repro.obs.logs.configure_logging`); ``"json"`` makes stdout
+    a pure JSON-lines stream — the startup banner included — which is
+    what the CI smoke job asserts.  ``None`` keeps the historical plain
+    ``print`` banner (tests calling ``serve(block=False)``).
+
     With ``block=True`` (the CLI path) this serves until interrupted and
     returns an exit code.  With ``block=False`` (tests) it returns the
     running ``(ServiceHTTPServer, QueryService, Thread)`` triple; the
     caller owns shutdown.
     """
+    if log_format is not None:
+        configure_logging(log_format)
     service = QueryService(
         config=config,
         schemes=schemes,
@@ -327,6 +399,7 @@ def serve(
         trace_path=trace_path,
         slow_threshold_ms=slow_threshold_ms,
         slow_log_dir=slow_log_dir,
+        slo_config=slo_config,
     )
     try:
         httpd = ServiceHTTPServer((host, port), service)
@@ -343,7 +416,10 @@ def serve(
     if ready_file:
         with open(ready_file, "w", encoding="utf-8") as handle:
             json.dump(ready, handle)
-    print(f"repro query service listening on {ready['url']}", flush=True)
+    if log_format is not None:
+        logger.info("repro query service listening on %s", ready["url"])
+    else:
+        print(f"repro query service listening on {ready['url']}", flush=True)
 
     if not block:
         thread = threading.Thread(
@@ -355,7 +431,10 @@ def serve(
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        if log_format is not None:
+            logger.info("shutting down")
+        else:
+            print("shutting down", flush=True)
     finally:
         httpd.shutdown()
         httpd.server_close()

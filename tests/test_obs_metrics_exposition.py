@@ -233,6 +233,26 @@ def test_render_rejects_unknown_fmt():
         MetricsRegistry().render(fmt="protobuf")
 
 
+def test_profiler_export_includes_dropped_samples_counter():
+    """A scrape must surface ``repro_profiler_samples_dropped_total`` —
+    silent sample loss would quietly bias every flame graph."""
+    from repro.obs.profiler import SamplingProfiler, export_metrics
+
+    profiler = SamplingProfiler(interval=0.005)
+    profiler.samples_taken = 7
+    profiler.samples_dropped = 2
+    registry = MetricsRegistry()
+    export_metrics(registry, profiler=profiler)
+    text = registry.render()
+    assert "repro_profiler_samples_total 7" in text
+    assert "repro_profiler_samples_dropped_total 2" in text
+
+    # no active profiler ⇒ the families are simply absent, not zeroed
+    empty = MetricsRegistry()
+    export_metrics(empty)
+    assert "profiler_samples" not in empty.render()
+
+
 def test_render_registries_single_eof_across_registries():
     first, second = MetricsRegistry(), MetricsRegistry(prefix="other")
     first.gauge("a", "").set(1)

@@ -37,7 +37,7 @@ def running_server(tmp_path_factory):
         block=False,
     )
     url = f"http://127.0.0.1:{httpd.server_address[1]}"
-    yield url, trace_path
+    yield url, trace_path, service
     httpd.shutdown()
     httpd.server_close()
     service.close()
@@ -46,7 +46,7 @@ def running_server(tmp_path_factory):
 
 @pytest.fixture()
 def client(running_server):
-    url, _ = running_server
+    url, _, _ = running_server
     return ServiceClient(url, timeout=120.0)
 
 
@@ -90,7 +90,7 @@ def test_deadline_degrades_over_http(client):
 
 
 def test_invalid_request_is_http_400(running_server):
-    url, _ = running_server
+    url, _, _ = running_server
     request = urllib.request.Request(
         url + "/v1/query",
         data=json.dumps({"query": "Q9"}).encode(),
@@ -159,7 +159,7 @@ def test_metrics_content_negotiation(client):
 
 
 def test_metrics_content_type_headers(running_server):
-    url, _ = running_server
+    url, _, _ = running_server
     with urllib.request.urlopen(url + "/metrics", timeout=30) as reply:
         assert reply.headers["Content-Type"].startswith("text/plain; version=0.0.4")
     request = urllib.request.Request(
@@ -173,7 +173,7 @@ def test_metrics_content_type_headers(running_server):
 
 
 def test_trace_stream_is_valid_and_per_request(running_server, client):
-    _, trace_path = running_server
+    _, trace_path, _ = running_server
     client.query(query="Q2")
     assert validate_trace(trace_path) == []
     with open(trace_path, encoding="utf-8") as handle:
@@ -187,6 +187,55 @@ def test_trace_stream_is_valid_and_per_request(running_server, client):
         children_by_trace.setdefault(span["trace_id"], []).append(span["name"])
     for root in roots:
         assert "service.request" in children_by_trace[root["trace_id"]]
+
+
+def test_status_carries_slo_block(client):
+    client.query(query="Q1")
+    slo = client.status()["slo"]
+    assert slo["targets"]["availability"] == 0.999
+    assert slo["total_requests"] >= 1
+    assert len(slo["windows"]) == 2
+    assert not slo["breached"]["any"]  # a healthy test run spends no budget
+
+
+def test_metrics_exposes_slo_gauges(client):
+    client.query(query="Q1")
+    text = client.metrics()
+    for family in (
+        "repro_slo_target_ratio",
+        "repro_slo_objective_ratio",
+        "repro_slo_burn_rate",
+        "repro_slo_breach",
+    ):
+        assert family in text, f"{family} missing from /metrics"
+    assert 'objective="availability",window="300s"' in text
+
+
+def test_deep_health_passes_when_dependencies_are_up(client):
+    payload = client.healthz(deep=True)
+    assert payload["http_status"] == 200
+    assert payload["status"] == "ok"
+    checks = payload["checks"]
+    assert checks["slo"]["ok"] and checks["fabric"]["ok"]
+    assert checks["fabric"]["kind"] in ("inline", "thread", "process")
+
+
+def test_deep_health_flips_503_on_error_budget_burn(running_server):
+    """Burning the error budget must flip ``?deep=1`` to 503 while the
+    shallow probe stays a pure liveness 200 (no restart storms).
+
+    Runs last among the deep-health tests: the injected errors stay in
+    the rolling windows for the rest of the module's lifetime.
+    """
+    url, _, service = running_server
+    probe = ServiceClient(url, timeout=120.0)
+    for _ in range(50):
+        service.slo.record("error", 0.001)
+    payload = probe.healthz(deep=True)
+    assert payload["http_status"] == 503
+    assert payload["status"] == "unhealthy"
+    assert payload["checks"]["slo"]["ok"] is False
+    assert probe.healthz()["status"] == "ok"  # shallow: still alive
 
 
 def test_client_raises_on_unreachable_server():
