@@ -182,6 +182,8 @@ def _serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             max_queue=args.queue_size,
             default_deadline_ms=args.default_deadline_ms,
+            default_precision=args.default_precision,
+            estimator_tolerance=args.estimator_tolerance,
             allow_cold=args.allow_cold,
             trace_path=args.trace,
             slow_threshold_ms=args.slow_threshold_ms,
@@ -259,6 +261,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="deadline applied to requests that carry none",
+    )
+    server.add_argument(
+        "--default-precision",
+        choices=("fast", "balanced", "tight"),
+        default="tight",
+        help="answering precision for requests that carry none "
+        "(estimator tiers vs. exact BIP; see docs/estimators.md)",
+    )
+    server.add_argument(
+        "--estimator-tolerance",
+        type=float,
+        default=1e-6,
+        help="tier-agreement tolerance for the estimator cascade",
     )
     server.add_argument(
         "--allow-cold",

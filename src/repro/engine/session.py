@@ -545,6 +545,24 @@ class SolveSession:
         return outcomes  # type: ignore[return-value]
 
     # -- public API --------------------------------------------------------
+    def solve_units(
+        self,
+        tasks: Sequence[Tuple[object, dict, CanonicalBIP, str, Optional[int]]],
+        options: Optional[SolverOptions] = None,
+    ) -> List[Tuple[CachedSolve, bool, float, bool]]:
+        """Dispatch raw ``(problem, dense, canonical, sense, component)``
+        units through the session's fabric and caches.
+
+        The escalation entry point for the tiered answerer
+        (:mod:`repro.estimator`): individual disagreeing components go to
+        the exact solver without re-running the whole prepared problem.
+        Identical cache/L2 semantics to :meth:`solve_prepared` — entries
+        under per-call ``options`` are cached only when optimal.  Returns
+        one ``(entry, cached, seconds, l2_hit)`` tuple per task, in order.
+        """
+        self._ensure_fresh()
+        return self._solve_tasks(list(tasks), options)
+
     def prepare(
         self,
         objective: LinearExpr,

@@ -1,0 +1,150 @@
+"""Closed-form structural bounds for pure-cardinality blocks.
+
+The anonymization encodings are dominated by cardinality rows of the form
+``Z1 <= x_a + ... + x_m <= Z2`` (paper §III): every coefficient is one, so
+a single row admits direct interval arithmetic.  For one such row over
+scope ``S`` the best objective achievable is
+
+* outside ``S``: every variable takes its individually best value
+  (positives on for max, negatives on for min — no row touches them);
+* inside ``S``: pick the number of *on* variables ``t`` allowed by the
+  row (``t <= Z2``, ``t >= Z1``, or ``t == Z``) that optimizes the sum of
+  the ``t`` best objective coefficients in ``S``.
+
+Relaxing a problem to any **single** one of its rows only enlarges the
+feasible set, so the optimum under the full system is bounded by the
+optimum under each row alone; the estimator takes the tightest such
+single-row bound (and the constraint-free bound when no row qualifies).
+Constraint-free blocks — the decomposition's trailing *free* block — are
+answered exactly via :func:`repro.solver.decompose.closed_form`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.estimator.base import (
+    COST_TRIVIAL,
+    ESTIMATE_BOUNDED,
+    ESTIMATE_INFEASIBLE,
+    EstimateResult,
+    component_problem,
+    free_bound,
+)
+from repro.solver.decompose import closed_form
+
+_VALIDITY = (
+    "single-row relaxation: the optimum under all constraints is bounded "
+    "by the optimum under any one cardinality row alone"
+)
+
+
+def _count_window(op: str, rhs: int, size: int) -> Optional[tuple]:
+    """The admissible range of *on* counts inside the row's scope.
+
+    Returns ``(lo, hi)`` clamped to ``[0, size]``, or ``None`` when the
+    row alone admits no 0/1 assignment (which proves the whole component
+    infeasible).
+    """
+    if op == "<=":
+        lo, hi = 0, rhs
+    elif op == ">=":
+        lo, hi = rhs, size
+    else:  # "=="
+        lo, hi = rhs, rhs
+    if hi < 0 or lo > size:
+        return None
+    return max(lo, 0), min(hi, size)
+
+
+def _best_prefix(coefs, lo: int, hi: int, sense: str) -> float:
+    """Best sum of exactly-``t`` coefficients over ``t`` in ``[lo, hi]``.
+
+    With coefficients sorted best-first the prefix sum is unimodal: it
+    improves while the next coefficient helps (positive for max, negative
+    for min), so the optimal count is the number of helpful coefficients
+    clamped into the admissible window.
+    """
+    ordered = sorted(coefs, reverse=(sense == "max"))
+    if sense == "max":
+        helpful = sum(1 for c in ordered if c > 0)
+    else:
+        helpful = sum(1 for c in ordered if c < 0)
+    take = min(max(helpful, lo), hi)
+    return float(sum(ordered[:take]))
+
+
+class StructuralEstimator:
+    """Tier (b): direct interval arithmetic on cardinality rows."""
+
+    name = "structural"
+    cost = COST_TRIVIAL
+    validity = _VALIDITY
+
+    def estimate(self, prepared_component, sense: str) -> EstimateResult:
+        problem = component_problem(prepared_component)
+        start = perf_counter()
+        if not problem.constraints:
+            solution = closed_form(problem, sense)
+            if solution is not None:
+                return EstimateResult(
+                    sense=sense,
+                    bound=float(solution.objective),
+                    status=ESTIMATE_BOUNDED,
+                    tier=self.name,
+                    validity="closed form: constraint-free block, exact",
+                    cost=self.cost,
+                    seconds=perf_counter() - start,
+                    detail={"exact": True},
+                )
+        best = free_bound(problem, sense)
+        rows_used = 0
+        for constraint in problem.constraints:
+            if any(coef != 1 for coef, _ in constraint.terms):
+                continue  # not a pure-cardinality row — no tightening
+            scope = [idx for _, idx in constraint.terms]
+            window = _count_window(constraint.op, constraint.rhs, len(scope))
+            if window is None:
+                return EstimateResult(
+                    sense=sense,
+                    bound=None,
+                    status=ESTIMATE_INFEASIBLE,
+                    tier=self.name,
+                    validity="a single cardinality row admits no 0/1 point",
+                    cost=self.cost,
+                    seconds=perf_counter() - start,
+                )
+            scope_set = set(scope)
+            if sense == "max":
+                outside = sum(
+                    c for i, c in problem.objective.items()
+                    if c > 0 and i not in scope_set
+                )
+            else:
+                outside = sum(
+                    c for i, c in problem.objective.items()
+                    if c < 0 and i not in scope_set
+                )
+            inside = _best_prefix(
+                [problem.objective.get(i, 0) for i in scope], *window, sense
+            )
+            row_bound = problem.objective_constant + outside + inside
+            rows_used += 1
+            if sense == "max":
+                best = min(best, row_bound)
+            else:
+                best = max(best, row_bound)
+        return EstimateResult(
+            sense=sense,
+            bound=float(best),
+            status=ESTIMATE_BOUNDED,
+            tier=self.name,
+            validity=self.validity,
+            cost=self.cost,
+            seconds=perf_counter() - start,
+            detail={"cardinality_rows": rows_used},
+        )
+
+
+__all__ = ["StructuralEstimator"]

@@ -24,6 +24,8 @@ from typing import IO, Iterable, Optional, Union
 from repro.obs.tracer import Span, Tracer, iter_tree
 
 __all__ = [
+    "DURATION_BUCKETS",
+    "ESTIMATOR_BUCKETS",
     "JsonlSink",
     "MetricsRegistry",
     "OPENMETRICS_CONTENT_TYPE",
@@ -138,6 +140,14 @@ def read_jsonl(path: str) -> list[dict]:
 
 #: default histogram buckets for span durations, in seconds
 DURATION_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+#: finer buckets for the estimator tiers, whose closed-form passes finish
+#: in microseconds — DURATION_BUCKETS would dump them all into the first
+#: bucket and hide the per-tier latency ladder the /metrics scrape exists
+#: to show
+ESTIMATOR_BUCKETS = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0
+)
 
 
 def _labels_key(labels: Optional[dict]) -> tuple:

@@ -1,8 +1,9 @@
 """Structured ("wide-event") logging for the serving process.
 
 One request = one log line carrying everything an operator greps for —
-trace id, dedup role, fingerprint, cache tier, fabric kind, timings,
-outcome — instead of a trail of ad-hoc messages.  Two renderings of the
+trace id, dedup role, fingerprint, cache tier, fabric kind, answering
+tier (estimator/exact/mc) and escalation count, timings, outcome —
+instead of a trail of ad-hoc messages.  Two renderings of the
 same record:
 
 * ``json`` — one JSON object per line on stdout, stable keys, directly

@@ -50,6 +50,7 @@ __all__ = [
     "fabric_scenarios",
     "main",
     "measure",
+    "tiers_scenarios",
 ]
 
 _BASELINE_NAME = "BENCH_perfcheck.json"
@@ -360,6 +361,66 @@ def fabric_scenarios(quick: bool = False) -> List[Scenario]:
     ]
 
 
+def tiers_scenarios(quick: bool = False) -> List[Scenario]:
+    """The ``tiers``-mode workloads: the same prepared k-anonymity Q1
+    problem answered at each precision level (see docs/estimators.md).
+
+    The session cache is disabled, so the ``tight`` arm pays the full
+    exact BIP solve every rep while the estimator arms pay only the tier
+    cascade — their relative medians *are* the fast-vs-tight win the
+    tiered answerer exists for, and gating all three keeps both the
+    estimator overhead and the exact path from regressing.
+    """
+    from repro.engine.session import SolveSession
+    from repro.estimator import TieredAnswerer
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.queries.licm_eval import evaluate_licm
+
+    tx = 300 if quick else 600
+    items = 64 if quick else 128
+
+    shared: Dict[str, object] = {}
+
+    def workload():
+        if "w" not in shared:
+            config = ExperimentConfig(
+                num_transactions=tx, num_items=items, mc_samples=8, seed=3
+            )
+            context = ExperimentContext(config)
+            encoded = context.encoding("km", 2).encoded
+            plan = context.plan("Q1", encoded)
+            shared["w"] = (encoded, evaluate_licm(plan, encoded.relations))
+        return shared["w"]
+
+    def make_setup(precision: str):
+        def setup():
+            encoded, objective = workload()
+            session = SolveSession(encoded.model, cache_size=0)
+            prepared = session.prepare(objective)
+            return {
+                "answerer": TieredAnswerer(),
+                "session": session,
+                "prepared": prepared,
+                "precision": precision,
+            }
+
+        return setup
+
+    def run_answer(state) -> None:
+        # A fresh memo per rep: the per-request estimator memo never
+        # outlives a request in the service either.
+        state["answerer"].answer(
+            state["session"], state["prepared"], state["precision"], memo={}
+        )
+
+    return [
+        Scenario("answer_fast", make_setup("fast"), run_answer),
+        Scenario("answer_balanced", make_setup("balanced"), run_answer),
+        Scenario("answer_tight", make_setup("tight"), run_answer),
+    ]
+
+
 def measure(
     scenarios: List[Scenario],
     reps: int = 7,
@@ -509,6 +570,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate the executor-fabric scenarios instead (cold solves "
         "through inline/thread/process fabrics + L2 warm gets; mode 'fabric')",
     )
+    parser.add_argument(
+        "--tiers",
+        action="store_true",
+        help="gate the tiered-answerer scenarios instead (the same prepared "
+        "problem at precision fast/balanced/tight; mode 'tiers')",
+    )
     parser.add_argument("--reps", type=int, default=None, help="timed reps per scenario")
     parser.add_argument(
         "--rel-tol",
@@ -536,6 +603,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     mode_flags = (
         ("--decompose " if args.decompose else "")
         + ("--fabric " if args.fabric else "")
+        + ("--tiers " if args.tiers else "")
         + ("--quick " if args.quick else "")
     )
 
@@ -559,10 +627,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     reps = args.reps if args.reps is not None else (5 if args.quick else 7)
-    if args.decompose and args.fabric:
-        print("perfcheck: --decompose and --fabric are exclusive", file=sys.stderr)
+    if sum((args.decompose, args.fabric, args.tiers)) > 1:
+        print(
+            "perfcheck: --decompose, --fabric and --tiers are exclusive",
+            file=sys.stderr,
+        )
         return 2
-    if args.fabric:
+    if args.tiers:
+        scenarios = tiers_scenarios(quick=args.quick)
+        mode = "tiers"
+    elif args.fabric:
         scenarios = fabric_scenarios(quick=args.quick)
         mode = "fabric"
     elif args.decompose:

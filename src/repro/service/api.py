@@ -2,10 +2,14 @@
 
 A request names a workload query (``Q1``/``Q2``/``Q3``) *or* an ad-hoc
 aggregate over the uncertain TRANSITEM view, the encoding to run it
-against (``scheme``, ``k``) and an optional deadline.  A response always
-carries a terminal ``status``:
+against (``scheme``, ``k``), an optional deadline, and an optional
+``precision`` — ``fast`` (estimator tiers only), ``balanced`` (estimators
+with escalation of disagreeing components) or ``tight`` (exact BIP; see
+docs/estimators.md).  A response always carries a terminal ``status``:
 
-* ``ok``       — exact LICM bounds within the deadline;
+* ``ok``       — bounds within the deadline at the requested precision:
+  exact LICM bounds for ``tight``, a provably containing estimator
+  interval otherwise (``tier`` and the ``*_components`` fields say which);
 * ``degraded`` — the BIP solve exceeded its budget; the bounds are the
   Monte Carlo observed range (contained in the exact range, never wider);
 * ``timeout``  — the deadline passed with no usable answer at all;
@@ -41,6 +45,8 @@ QUERIES = ("Q1", "Q2", "Q3")
 AGGREGATES = ("count", "sum", "min", "max")
 #: anonymization schemes the service can hold encodings for
 SCHEMES = ("km", "k-anonymity", "bipartite", "coherence")
+#: answering precision levels (``None`` on a request = the server default)
+PRECISIONS = ("fast", "balanced", "tight")
 
 #: HTTP status the front-end answers with, per terminal request status
 _HTTP_STATUS = {
@@ -69,12 +75,15 @@ class QueryRequest:
     (an ad-hoc aggregate over TRANSITEM; ``sum``/``min``/``max`` apply to
     ITEM.Price) must be set.  ``params`` optionally overrides
     :class:`~repro.queries.workload.QueryParams` fields for canned plans.
+    ``precision`` picks the answering tier policy (``fast``, ``balanced``
+    or ``tight``); ``None`` defers to the server's configured default.
     """
 
     scheme: str = "km"
     k: int = 2
     query: Optional[str] = None
     aggregate: Optional[str] = None
+    precision: Optional[str] = None
     deadline_ms: Optional[float] = None
     mc_fallback: bool = True
     mc_samples: int = 8
@@ -100,6 +109,10 @@ class QueryRequest:
             )
         if self.scheme not in SCHEMES:
             problems.append(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.precision is not None and self.precision not in PRECISIONS:
+            problems.append(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
         if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
             problems.append(f"k must be a positive integer, got {self.k!r}")
         if self.deadline_ms is not None:
@@ -163,6 +176,7 @@ class QueryRequest:
             self.query or self.aggregate,
             self.scheme,
             self.k,
+            self.precision,
             tuple(sorted(self.params.items())),
         )
 
@@ -189,6 +203,16 @@ class QueryResponse:
     backend: Optional[str] = None
     nodes: int = 0
     mc_samples: int = 0  # > 0 only for degraded (MC fallback) answers
+    #: answering-tier provenance: the deepest tier that contributed
+    #: (``structural``/``entropy``/``lp``/``exact``/``mc``), how many
+    #: decomposed components were answered exactly vs. by estimators, how
+    #: many escalated past the estimator tiers, and the worst
+    #: per-component tier disagreement at decision time (0.0 when exact).
+    tier: Optional[str] = None
+    exact_components: int = 0
+    estimated_components: int = 0
+    escalations: int = 0
+    gap: Optional[float] = None
     queue_ms: float = 0.0
     solve_ms: float = 0.0
     total_ms: float = 0.0

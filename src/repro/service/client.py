@@ -170,7 +170,13 @@ class ServiceClient:
         return text
 
     def query(self, request: Optional[QueryRequest] = None, **fields) -> QueryResponse:
-        """POST one request (either a built one or keyword fields)."""
+        """POST one request (either a built one or keyword fields).
+
+        Every :class:`~repro.service.api.QueryRequest` field forwards —
+        including ``precision`` (``fast``/``balanced``/``tight``), whose
+        per-tier provenance comes back in the response's ``tier``,
+        ``exact_components``, ``estimated_components`` and ``gap`` fields.
+        """
         if request is None:
             request = QueryRequest(**fields)
         http_status, payload = self._json(

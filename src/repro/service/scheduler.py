@@ -21,12 +21,18 @@ and a worker pool drains it.  Each worker:
    worker slot instead of blocking on an event, so a burst of identical
    requests cannot starve the pool.  A deadline-monitor thread fires the
    degrade path for any parked request whose budget runs out first;
-4. enforces the request **deadline** with a deadline-clamped
+4. answers at the request's **precision**: ``tight`` runs the exact BIP
+   solves; ``fast``/``balanced`` consult the tiered estimator ladder
+   (:mod:`repro.estimator`) per decomposed component and escalate only
+   disagreeing components to the exact solver — estimated bounds are
+   per-request only and never enter the shared solve caches;
+5. enforces the request **deadline** with a deadline-clamped
    ``time_limit`` plus the solver's absolute ``deadline_at`` (picklable —
    it crosses into forked solve workers, unlike a closure); a solve cut
-   short by its budget **degrades** to the Monte Carlo estimator
-   (observed range ⊆ exact range) instead of hanging, and a request with
-   no time left at all answers ``timeout``.
+   short by its budget **degrades** down the ladder — first a fast
+   estimator interval (provably containing the exact range), then the
+   Monte Carlo estimator (observed range ⊆ exact range) — instead of
+   hanging, and a request with no time left at all answers ``timeout``.
 
 Every request therefore reaches a terminal status — ``ok``, ``degraded``,
 ``timeout``, ``rejected`` or ``error`` — the service's no-hang invariant.
@@ -45,8 +51,14 @@ from collections import deque
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import InfeasibleError, ServiceError, ValidationError
+from repro.estimator import (
+    PRECISION_FAST,
+    PRECISION_TIGHT,
+    TIER_EXACT,
+    TieredAnswerer,
+)
 from repro.mc import run_monte_carlo
-from repro.obs.export import MetricsRegistry
+from repro.obs.export import ESTIMATOR_BUCKETS, MetricsRegistry
 from repro.obs.logs import request_logger, wide_event
 from repro.obs.profiler import active_profiler, tagged
 from repro.obs.slo import SLOTracker
@@ -55,6 +67,7 @@ from repro.queries.licm_eval import evaluate_licm
 from repro.queries.workload import QUERY_BUILDERS
 from repro.relational.query import CountStar, MaxAttr, MinAttr, NaturalJoin, Scan, SumAttr
 from repro.service.api import (
+    PRECISIONS,
     STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
@@ -277,6 +290,11 @@ class QueryScheduler:
         tree from it on completion (persisted only for slow requests).
     :param slo: a :class:`~repro.obs.slo.SLOTracker` fed one event per
         terminal response (a fresh default-config tracker otherwise).
+    :param default_precision: applied when a request carries no
+        ``precision`` — ``tight`` (exact, the historical behavior),
+        ``balanced`` or ``fast``; see :mod:`repro.estimator`.
+    :param estimator_tolerance: two consecutive estimator tiers whose
+        intervals agree within this distance short-circuit the cascade.
     """
 
     def __init__(
@@ -290,8 +308,17 @@ class QueryScheduler:
         slow_log=None,
         span_buffer=None,
         slo=None,
+        default_precision: str = PRECISION_TIGHT,
+        estimator_tolerance: float = 1e-6,
     ):
+        if default_precision not in PRECISIONS:
+            raise ValueError(
+                f"default_precision must be one of {PRECISIONS}, "
+                f"got {default_precision!r}"
+            )
         self.context = context
+        self.default_precision = default_precision
+        self.answerer = TieredAnswerer(tolerance=estimator_tolerance)
         self.workers = max(1, int(workers))
         self.max_queue = max(1, int(max_queue))
         self.default_deadline_ms = default_deadline_ms
@@ -316,6 +343,26 @@ class QueryScheduler:
             "service_request_duration_seconds",
             "End-to-end request latency (terminal status as label)",
         )
+        # Tiered-answering provenance: who served the request, which
+        # components escalated, and how long each tier spent (the fine
+        # ESTIMATOR_BUCKETS resolve the microsecond closed-form tiers).
+        self._estimator_requests = self.metrics.counter(
+            "estimator_requests_total",
+            "Requests answered, by serving tier and effective precision",
+        )
+        self._estimator_components = self.metrics.counter(
+            "estimator_components_total",
+            "Components answered by the tiered path, by outcome",
+        )
+        self._estimator_escalations = self.metrics.counter(
+            "estimator_escalations_total",
+            "Components escalated from estimator tiers to the exact solver",
+        )
+        self._hist_estimator = self.metrics.histogram(
+            "estimator_tier_seconds",
+            "Wall seconds spent per answering tier for one request",
+            buckets=ESTIMATOR_BUCKETS,
+        )
         # The queue itself is unbounded: it carries external requests
         # (bounded by the _external_queued admission counter) plus
         # internal continuation tasks, which must never be refused —
@@ -329,6 +376,14 @@ class QueryScheduler:
         self._inflight_lock = threading.Lock()
         self._model_locks: Dict[Tuple[str, int], threading.Lock] = {}
         self._locks_lock = threading.Lock()
+        # Evaluated LICM objectives, keyed by the plan identity (scheme, k,
+        # kind, name, params).  Lineage evaluation is deterministic for a
+        # fixed encoding and append-only on the shared model, so reusing
+        # the LinearExpr across requests is safe (the decompose benchmark
+        # reuses one objective across many prepares the same way) and
+        # skips the dominant shared cost of an estimator-tier answer.
+        # Guarded by the per-encoding model lock.
+        self._objectives: Dict[tuple, object] = {}
         self._warmed: set = set()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -620,6 +675,8 @@ class QueryScheduler:
             "nodes": response.nodes,
             "backend": response.backend,
             "fabric": self.context.fabric_stats().get("kind"),
+            "tier": response.tier,
+            "escalations": response.escalations,
             "mc_samples": response.mc_samples,
             "queue_ms": round(response.queue_ms, 3),
             "solve_ms": round(response.solve_ms, 3),
@@ -636,6 +693,13 @@ class QueryScheduler:
         """
         try:
             self.slo.record(response.status, total_s)
+            if response.tier:
+                self._estimator_requests.inc(
+                    labels={
+                        "tier": response.tier,
+                        "precision": self._effective_precision(pending.request),
+                    }
+                )
             exemplar = {"trace_id": response.trace_id} if response.trace_id else None
             self._hist_queue_wait.observe(response.queue_ms / 1e3, exemplar=exemplar)
             self._hist_solve.observe(response.solve_ms / 1e3, exemplar=exemplar)
@@ -688,6 +752,9 @@ class QueryScheduler:
                 "threshold_ms": self.slow_threshold_ms,
                 "fabric": self.context.fabric_stats().get("kind"),
                 "l2_hits": response.l2_hits,
+                "tier": response.tier,
+                "escalations": response.escalations,
+                "gap": response.gap,
                 "component_nodes": component_nodes,
                 "request": pending.request.to_dict(),
                 "response": response.to_dict(),
@@ -729,6 +796,10 @@ class QueryScheduler:
             time_limit=min(session.options.time_limit, max(remaining, 1e-3)),
             deadline_at=pending.deadline_at,
         )
+
+    def _effective_precision(self, request: QueryRequest) -> str:
+        """The request's precision, falling back to the server default."""
+        return request.precision or self.default_precision
 
     def _resolve(self, request: QueryRequest):
         """The (encoded, session, model_lock) triple serving this request."""
@@ -813,7 +884,8 @@ class QueryScheduler:
     def _ok_response(
         self, pending, bounds, fingerprint, dedup, queue_ms, solve_ms, trace_id
     ) -> QueryResponse:
-        """An ``ok`` answer from one (possibly reused) solved BIP."""
+        """An ``ok`` answer from one (possibly reused) exact solved BIP."""
+        components = int(bounds.stats.get("components", 0))
         return QueryResponse(
             request_id=pending.request.request_id,
             status=STATUS_OK,
@@ -824,14 +896,65 @@ class QueryScheduler:
             dedup=dedup,
             cache_hits=int(bounds.stats.get("cache_hits", 0)),
             l2_hits=int(bounds.stats.get("l2_hits", 0)),
-            components=int(bounds.stats.get("components", 0)),
+            components=components,
             backend=bounds.stats.get("backend") or None,
             nodes=int(bounds.stats.get("nodes", 0)),
+            tier=TIER_EXACT,
+            exact_components=components,
+            estimated_components=0,
+            gap=0.0,
             queue_ms=queue_ms,
             solve_ms=solve_ms,
             total_ms=(time.monotonic() - pending.enqueued) * 1e3,
             trace_id=trace_id,
         )
+
+    def _estimated_response(
+        self, pending, answer, fingerprint, dedup, queue_ms, trace_id,
+        status: str = STATUS_OK, cause: Optional[str] = None,
+    ) -> QueryResponse:
+        """An answer served by the tiered estimator path, with provenance."""
+        self._observe_tiers(answer)
+        return QueryResponse(
+            request_id=pending.request.request_id,
+            status=status,
+            lower=answer.lower,
+            upper=answer.upper,
+            exact=answer.exact,
+            error=cause,
+            fingerprint=fingerprint,
+            dedup=dedup,
+            cache_hits=int(answer.stats.get("cache_hits", 0)),
+            l2_hits=int(answer.stats.get("l2_hits", 0)),
+            components=answer.components,
+            backend=answer.stats.get("backend") or None,
+            nodes=int(answer.stats.get("nodes", 0)),
+            tier=answer.tier,
+            exact_components=answer.exact_components,
+            estimated_components=answer.estimated_components,
+            escalations=answer.escalations,
+            gap=answer.gap,
+            queue_ms=queue_ms,
+            solve_ms=answer.seconds * 1e3,
+            total_ms=(time.monotonic() - pending.enqueued) * 1e3,
+            trace_id=trace_id,
+        )
+
+    def _observe_tiers(self, answer) -> None:
+        """Per-tier latency + component outcomes for one tiered answer."""
+        try:
+            self._estimator_components.inc(
+                answer.exact_components, labels={"outcome": "exact"}
+            )
+            self._estimator_components.inc(
+                answer.estimated_components, labels={"outcome": "estimated"}
+            )
+            if answer.escalations:
+                self._estimator_escalations.inc(answer.escalations)
+            for tier, seconds in answer.tier_seconds.items():
+                self._hist_estimator.observe(seconds, labels={"tier": tier})
+        except Exception:  # noqa: BLE001 — observability must not break serving
+            logger.exception("estimator tier accounting failed")
 
     def _park(self, pending: _Pending, flight: _Flight, resume, on_deadline) -> None:
         """Attach ``resume`` to the flight and release this worker slot.
@@ -912,13 +1035,23 @@ class QueryScheduler:
 
         fingerprint = None
         bounds = None
+        answer = None
+        precision = self._effective_precision(request)
         parked = False
         try:
             # Plan evaluation appends lineage to the shared model:
             # serialize it per encoding.  The solves run outside the lock.
+            objective_key = (request.scheme, request.k) + request.dedup_key()[:2] + (
+                tuple(sorted(request.params.items())),
+            )
             with model_lock:
-                with telemetry.timer("l_query"):
-                    objective = evaluate_licm(plan, encoded.relations)
+                objective = self._objectives.get(objective_key)
+                if objective is None:
+                    with telemetry.timer("l_query"):
+                        objective = evaluate_licm(plan, encoded.relations)
+                    if len(self._objectives) >= 256:  # bounded; eviction is rare
+                        self._objectives.clear()
+                    self._objectives[objective_key] = objective
                 prepared = session.prepare(objective)
             fingerprint = prepared.fingerprint
             root.set("fingerprint", fingerprint)
@@ -942,7 +1075,17 @@ class QueryScheduler:
 
             options = self._deadline_options(session, pending)
             try:
-                bounds = session.solve_prepared(prepared, options=options)
+                if precision == PRECISION_TIGHT:
+                    bounds = session.solve_prepared(prepared, options=options)
+                else:
+                    # The tiered path: estimator ladder per component,
+                    # escalation through the session's fabric.  Estimated
+                    # bounds memoize per-request only ({} below) — never
+                    # into the shared caches, and never onto the flight
+                    # (followers re-answer at their own precision).
+                    answer = self.answerer.answer(
+                        session, prepared, precision, options=options, memo={}
+                    )
             except InfeasibleError as exc:
                 return QueryResponse(
                     request_id=request.request_id,
@@ -960,6 +1103,13 @@ class QueryScheduler:
             if not parked:
                 self._finish_flight(coarse_key, flight, fingerprint, bounds)
 
+        if answer is not None:
+            root.set("outcome", STATUS_OK)
+            root.set("tier", answer.tier)
+            return self._estimated_response(
+                pending, answer, fingerprint, False, queue_ms, trace_id
+            )
+
         solve_ms = bounds.stats.get("solve_time", 0.0) * 1e3
         expired = (
             pending.deadline_at is not None
@@ -971,6 +1121,7 @@ class QueryScheduler:
             return self._degrade(
                 pending, encoded, plan, queue_ms, solve_ms, trace_id,
                 cause="BIP solve exceeded deadline", fingerprint=fingerprint,
+                session=session, prepared=prepared,
             )
         root.set("outcome", STATUS_OK)
         return self._ok_response(
@@ -1011,8 +1162,23 @@ class QueryScheduler:
                     fingerprint=fingerprint,
                 ):
                     options = self._deadline_options(session, pending)
+                    precision = self._effective_precision(pending.request)
                     try:
-                        bounds = session.solve_prepared(prepared, options=options)
+                        if precision == PRECISION_TIGHT:
+                            bounds = session.solve_prepared(prepared, options=options)
+                        else:
+                            answer = self.answerer.answer(
+                                session, prepared, precision, options=options,
+                                memo={},
+                            )
+                            self._complete(
+                                pending,
+                                self._estimated_response(
+                                    pending, answer, fingerprint, True,
+                                    queue_ms, trace_id,
+                                ),
+                            )
+                            return
                     except InfeasibleError as exc:
                         self._complete(
                             pending,
@@ -1041,6 +1207,7 @@ class QueryScheduler:
                                 pending, encoded, plan, queue_ms, solve_ms, trace_id,
                                 cause="deduped solve exceeded deadline",
                                 fingerprint=fingerprint,
+                                session=session, prepared=prepared,
                             ),
                         )
                         return
@@ -1118,12 +1285,16 @@ class QueryScheduler:
                 cause="MIN/MAX probes exceeded deadline",
             )
         root.set("outcome", STATUS_OK)
+        # MIN/MAX probes have no linear BIP objective to estimate over:
+        # they are always answered exactly, whatever the precision.
         return QueryResponse(
             request_id=request.request_id,
             status=STATUS_OK,
             lower=bounds.lower,
             upper=bounds.upper,
             exact=bounds.exact,
+            tier=TIER_EXACT,
+            gap=0.0,
             queue_ms=queue_ms,
             solve_ms=answer.solve_time * 1e3,
             total_ms=(time.monotonic() - pending.enqueued) * 1e3,
@@ -1140,16 +1311,40 @@ class QueryScheduler:
         trace_id: Optional[str],
         cause: str,
         fingerprint: Optional[str] = None,
+        session=None,
+        prepared=None,
     ) -> QueryResponse:
-        """Deadline exceeded: fall back to the MC estimator, else timeout.
+        """Deadline exceeded: step down the ladder — estimator tiers,
+        then the MC estimator, then ``timeout``.
 
-        The fallback runs slightly past the deadline on purpose (a
-        slightly-late approximate answer beats none; ``mc_samples`` keeps
-        it small).  The observed MC range is contained in the exact range
-        by construction, so ``exact`` is always False here.
+        When the request already has a prepared problem in hand, a
+        ``fast`` pass over the estimator tiers yields a *provably
+        containing* interval in microseconds — strictly better degraded
+        semantics than Monte Carlo (whose observed range is contained in
+        the exact range instead).  Both fallbacks run slightly past the
+        deadline on purpose (a slightly-late approximate answer beats
+        none).  ``exact`` is always False here, and ``tier`` records
+        which rung actually served the answer.
         """
         request = pending.request
         tracer = current_tracer()
+        if session is not None and prepared is not None:
+            try:
+                with tracer.span("service.estimator_fallback", cause=cause):
+                    answer = self.answerer.answer(
+                        session, prepared, PRECISION_FAST,
+                        options=self._deadline_options(session, pending),
+                        memo={},
+                    )
+                if answer.lower is not None and answer.upper is not None:
+                    return self._estimated_response(
+                        pending, answer, fingerprint, False, queue_ms, trace_id,
+                        status=STATUS_DEGRADED, cause=cause,
+                    )
+            except Exception as exc:  # noqa: BLE001 — next rung: MC
+                logger.warning(
+                    "estimator fallback for %s failed: %r", request.request_id, exc
+                )
         if request.mc_fallback:
             try:
                 with tracer.span("service.mc_fallback", cause=cause):
@@ -1168,6 +1363,7 @@ class QueryScheduler:
                     exact=False,
                     error=cause,
                     fingerprint=fingerprint,
+                    tier="mc",
                     mc_samples=len(mc.values),
                     queue_ms=queue_ms,
                     solve_ms=solve_ms,

@@ -82,6 +82,8 @@ class QueryService:
         slow_log_dir: Optional[str] = None,
         slow_log_capacity: int = 32,
         slo_config: Optional[SLOConfig] = None,
+        default_precision: str = "tight",
+        estimator_tolerance: float = 1e-6,
     ):
         self.config = config or ExperimentConfig()
         self.context = ExperimentContext(self.config)
@@ -105,6 +107,8 @@ class QueryService:
             slow_log=self.slow_log,
             span_buffer=self._span_buffer,
             slo=self.slo,
+            default_precision=default_precision,
+            estimator_tolerance=estimator_tolerance,
         )
         self._sink = JsonlSink(trace_path) if trace_path else None
         sinks = [s for s in (self._sink, self._span_buffer) if s is not None]
@@ -148,6 +152,7 @@ class QueryService:
             "workers": self.scheduler.workers,
             "max_queue": self.scheduler.max_queue,
             "default_deadline_ms": self.scheduler.default_deadline_ms,
+            "default_precision": self.scheduler.default_precision,
             "queue_depth": self.scheduler.queue_depth,
             "in_flight": self.scheduler.in_flight,
             "scheduler": self.scheduler.stats.snapshot(),
@@ -367,6 +372,8 @@ def serve(
     ready_file: Optional[str] = None,
     log_format: Optional[str] = None,
     slo_config: Optional[SLOConfig] = None,
+    default_precision: str = "tight",
+    estimator_tolerance: float = 1e-6,
     block: bool = True,
 ):
     """Warm a service and run the HTTP front-end.
@@ -400,6 +407,8 @@ def serve(
         slow_threshold_ms=slow_threshold_ms,
         slow_log_dir=slow_log_dir,
         slo_config=slo_config,
+        default_precision=default_precision,
+        estimator_tolerance=estimator_tolerance,
     )
     try:
         httpd = ServiceHTTPServer((host, port), service)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.solver.model import BIPProblem
-from repro.solver.propagation import ONE, ZERO
+from repro.solver.propagation import FREE, ONE, ZERO
 
 
 def _bounds_from_domains(domains: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
@@ -43,6 +43,43 @@ def solve_relaxation(
     if engine == "highs":
         return _solve_highs(problem, lower, upper)
     raise SolverError(f"unknown LP engine {engine!r}")
+
+
+def relaxation_bound(
+    problem: BIPProblem,
+    sense: str = "max",
+    engine: str = "highs",
+) -> Tuple[str, float]:
+    """A valid one-sided bound on the 0/1 optimum from the pure relaxation.
+
+    All variables are left free in ``[0, 1]`` (no branch fixings, no
+    integrality), so the LP optimum dominates the integer optimum in the
+    requested direction: an upper bound for ``sense="max"``, a lower
+    bound for ``sense="min"`` (via the negated objective).  Because the
+    BIP objective and constant are integral, the fractional value is
+    rounded inward — still sound, often exact.  Returns
+    ``(status, bound)``; the bound is meaningful only when ``status`` is
+    ``"optimal"``.
+    """
+    if problem.num_vars == 0:
+        return "optimal", float(problem.objective_constant)
+    domains = [FREE] * problem.num_vars
+    if sense == "max":
+        status, value, _ = solve_relaxation(problem, domains, engine)
+        if status != "optimal":
+            return status, 0.0
+        return status, float(np.floor(value + 1e-9))
+    negated = BIPProblem(
+        num_vars=problem.num_vars,
+        constraints=list(problem.constraints),
+        objective={idx: -coef for idx, coef in problem.objective.items()},
+        objective_constant=-problem.objective_constant,
+        names=list(problem.names),
+    )
+    status, value, _ = solve_relaxation(negated, domains, engine)
+    if status != "optimal":
+        return status, 0.0
+    return status, float(np.ceil(-value - 1e-9))
 
 
 def _objective_vector(problem: BIPProblem) -> np.ndarray:

@@ -79,6 +79,31 @@ def test_mc_samples_bounds():
         QueryRequest(query="Q1", mc_samples=10_000).validate()
 
 
+def test_unknown_precision_rejected_alongside_other_problems():
+    # Precision joins the all-problems-at-once error shape, not a 500.
+    with pytest.raises(ValidationError) as excinfo:
+        QueryRequest(query="Q9", precision="exactish", k=0).validate()
+    problems = excinfo.value.problems
+    assert len(problems) == 3
+    assert any("precision must be one of" in p and "exactish" in p for p in problems)
+
+
+def test_valid_precisions_roundtrip_and_default_is_server_side():
+    for precision in ("fast", "balanced", "tight"):
+        request = QueryRequest(query="Q1", precision=precision).validate()
+        again = QueryRequest.from_json(request.to_json())
+        assert again.precision == precision
+    # None (the default) defers to the server and stays off the wire.
+    assert "precision" not in QueryRequest(query="Q1").validate().to_dict()
+
+
+def test_precision_participates_in_dedup_key():
+    fast = QueryRequest(query="Q1", precision="fast")
+    tight = QueryRequest(query="Q1", precision="tight")
+    assert fast.dedup_key() != tight.dedup_key()
+    assert fast.dedup_key() == QueryRequest(query="Q1", precision="fast").dedup_key()
+
+
 def test_validation_error_is_a_service_error():
     assert issubclass(ValidationError, ServiceError)
 

@@ -224,8 +224,62 @@ def test_slow_solver_is_cancelled_and_degrades(scheduler, monkeypatch):
     )
     assert stop_seen, "stop_check never fired"
     assert response.status == STATUS_DEGRADED
-    assert response.mc_samples == 4
+    # The prepared problem was in hand when the deadline fired, so the
+    # first degradation rung — the fast estimator tiers — serves a
+    # provably containing interval; Monte Carlo never runs.
+    assert response.tier in ("structural", "entropy", "lp", "exact")
+    assert response.mc_samples == 0
+    assert response.estimated_components > 0
     assert response.lower <= response.upper
+
+
+# -- precision tiers -------------------------------------------------------
+def test_tight_precision_carries_exact_provenance(scheduler):
+    response = scheduler.execute(QueryRequest(query="Q1", precision="tight"))
+    assert response.status == STATUS_OK
+    assert response.exact
+    assert response.tier == "exact"
+    assert response.gap == 0.0
+    assert response.estimated_components == 0
+
+
+def test_fast_precision_contains_tight_and_reports_tiers(context, scheduler):
+    fast = scheduler.execute(QueryRequest(query="Q1", precision="fast"))
+    assert fast.status == STATUS_OK, fast.error
+    assert fast.tier in ("structural", "entropy", "lp", "exact")
+    assert not fast.exact
+    assert fast.estimated_components + fast.exact_components == fast.components
+    assert fast.gap is not None and fast.gap >= 0.0
+    direct = context.licm_answer("Q1", "km", 2)
+    assert fast.lower <= direct.lower <= direct.upper <= fast.upper
+
+
+def test_fast_then_tight_same_fingerprint_returns_exact(context, scheduler):
+    """An estimated answer must never leak into a later exact one: the
+    second request hits the same fingerprint but answers through the
+    authoritative solve path, bit-for-bit equal to the direct answer."""
+    fast = scheduler.execute(QueryRequest(query="Q2", precision="fast"))
+    tight = scheduler.execute(QueryRequest(query="Q2", precision="tight"))
+    assert fast.fingerprint == tight.fingerprint
+    assert tight.status == STATUS_OK and tight.exact
+    assert tight.tier == "exact"
+    direct = context.licm_answer("Q2", "km", 2)
+    assert (tight.lower, tight.upper) == (direct.lower, direct.upper)
+    assert fast.lower <= tight.lower <= tight.upper <= fast.upper
+
+
+def test_precision_levels_do_not_dedup_across_each_other(scheduler):
+    fast = QueryRequest(query="Q1", precision="fast")
+    tight = QueryRequest(query="Q1", precision="tight")
+    assert fast.dedup_key() != tight.dedup_key()
+
+
+def test_estimator_metrics_families_present_after_fast_request(scheduler):
+    scheduler.execute(QueryRequest(query="Q1", precision="fast"))
+    exposition = scheduler.metrics.render()
+    assert "repro_estimator_requests_total" in exposition
+    assert "repro_estimator_components_total" in exposition
+    assert "repro_estimator_tier_seconds_bucket" in exposition
 
 
 # -- the no-hang invariant -------------------------------------------------

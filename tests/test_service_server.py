@@ -104,6 +104,38 @@ def test_invalid_request_is_http_400(running_server):
     assert "Q9" in payload["error"]
 
 
+def test_unknown_precision_is_http_400_not_500(running_server):
+    url, _, _ = running_server
+    request = urllib.request.Request(
+        url + "/v1/query",
+        data=json.dumps({"query": "Q9", "precision": "exactish"}).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    payload = json.loads(excinfo.value.read())
+    # Both problems come back at once, not just the first.
+    assert "precision must be one of" in payload["error"]
+    assert "Q9" in payload["error"]
+
+
+def test_client_forwards_precision_and_tier_provenance_roundtrips(client):
+    fast = client.query(query="Q1", precision="fast")
+    tight = client.query(query="Q1", precision="tight")
+    assert fast.status == STATUS_OK, fast.error
+    assert fast.tier in ("structural", "entropy", "lp", "exact")
+    assert not fast.exact
+    assert fast.estimated_components + fast.exact_components == fast.components
+    assert tight.tier == "exact" and tight.exact
+    assert fast.lower <= tight.lower <= tight.upper <= fast.upper
+
+
+def test_status_reports_default_precision(client):
+    assert client.status()["default_precision"] == "tight"
+
+
 def test_unknown_route_is_http_404(client):
     status, payload = client._json("/v2/nope")
     assert status == 404
