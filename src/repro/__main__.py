@@ -13,6 +13,17 @@ emits ``trace_out/trace.jsonl`` (hierarchical span trace),
 the from-scratch ``bb`` solver backend so the trace includes node-level
 branch-and-bound search profiling.
 
+The ``explain`` subcommand answers one workload query and prints the
+structured EXPLAIN account (see :mod:`repro.obs.explain`): the
+decomposition map, per-component provenance (tier, cache level, fabric,
+B&B nodes, prunes by reason), a time-ordered bound-convergence chart,
+and — with ``--infeasible`` (which injects a contradictory constraint)
+— the named-constraint IIS::
+
+    python -m repro explain Q1 --precision tight
+    python -m repro explain Q1 --infeasible
+    python -m repro explain Q1 --json
+
 The ``serve`` subcommand starts the long-lived aggregate-query service
 (see docs/service.md): it generates and encodes a fixture database, keeps
 one solve session per ``(scheme, k)`` resident, and answers
@@ -44,6 +55,7 @@ def _banner() -> int:
         "  python -m repro.experiments all        regenerate figures 5/6/7\n"
         "  python -m repro.experiments utility    Section V-D utility table\n"
         "  python -m repro trace Q1               traced demo query + metrics\n"
+        "  python -m repro explain Q1             EXPLAIN one query (provenance + convergence)\n"
         "  python -m repro serve                  HTTP aggregate-query service\n"
         "  python -m repro perfcheck              perf-regression gate\n"
         "  python examples/quickstart.py          the paper's running example\n"
@@ -130,6 +142,113 @@ def _trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import InfeasibleError
+    from repro.estimator import TieredAnswerer
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.obs import SpanBuffer, Tracer, activate, new_trace_id
+    from repro.obs.explain import build_explanation, decomposition_map
+    from repro.queries.licm_eval import evaluate_licm
+    from repro.queries.workload import QUERY_BUILDERS
+    from repro.solver.diagnostics import find_iis, render_constraints
+
+    config = ExperimentConfig(
+        num_transactions=args.transactions,
+        num_items=96,
+        k_values=(args.k,),
+        mc_samples=5,
+        seed=3,
+        solver_backend=args.backend,
+    )
+    context = ExperimentContext(config)
+    # A SpanBuffer-only tracer: EXPLAIN mines the request's finished
+    # span tree exactly like the service does.
+    buffer = SpanBuffer()
+    tracer = Tracer([buffer], retain=False, sample_every=args.sample_every)
+    trace_id = new_trace_id()
+    status = "ok"
+    bounds_payload: dict = {}
+    decomposition = None
+    component_tiers = None
+    infeasibility = None
+    try:
+        with activate(tracer):
+            with tracer.span(
+                "explain.request",
+                trace_id=trace_id,
+                query=args.query,
+                scheme=args.scheme,
+                k=args.k,
+            ):
+                encoded = context.encoding(args.scheme, args.k).encoded
+                session = context.session(args.scheme, args.k)
+                plan = QUERY_BUILDERS[args.query](encoded, context.config.params)
+                objective = evaluate_licm(plan, encoded.relations)
+                extra = []
+                if args.infeasible:
+                    # Inject x >= 1 and x <= 0 on one objective variable:
+                    # a guaranteed two-constraint conflict demonstrating
+                    # the IIS path on an otherwise-real encoding.
+                    from repro.core.linexpr import linear_sum
+
+                    by_index = {var.index: var for var in session.model.pool}
+                    indexes = sorted(objective.coeffs) or sorted(by_index)
+                    pivot = by_index[indexes[0]]
+                    extra = [linear_sum([pivot]) >= 1, linear_sum([pivot]) <= 0]
+                prepared = session.prepare(objective, extra_constraints=extra)
+                decomposition = decomposition_map(prepared)
+                try:
+                    answer = TieredAnswerer().answer(
+                        session, prepared, args.precision, memo={}
+                    )
+                    bounds_payload = {
+                        "lower": answer.lower,
+                        "upper": answer.upper,
+                        "exact": answer.exact,
+                        "precision": args.precision,
+                        "tier": answer.tier,
+                    }
+                    component_tiers = answer.component_tiers
+                except InfeasibleError:
+                    status = "infeasible"
+                    started = time.monotonic()
+                    iis = find_iis(prepared.problem, time_budget=args.iis_budget)
+                    took = time.monotonic() - started
+                    if iis is not None:
+                        infeasibility = {
+                            "iis": render_constraints(iis, prepared.problem.names),
+                            "constraints": len(iis),
+                            "seconds": took,
+                            "budget_exhausted": took >= args.iis_budget,
+                        }
+    finally:
+        context.close()
+
+    explanation = build_explanation(
+        request={
+            "query": args.query,
+            "scheme": args.scheme,
+            "k": args.k,
+            "precision": args.precision,
+        },
+        status=status,
+        bounds=bounds_payload,
+        spans=buffer.pop(trace_id),
+        decomposition=decomposition,
+        component_tiers=component_tiers,
+        infeasibility=infeasibility,
+    )
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True, default=repr))
+    else:
+        print(explanation.render_text())
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     import logging
     import signal
@@ -210,7 +329,7 @@ def _serve(args: argparse.Namespace) -> int:
 #: registered below so ``python -m repro --help`` lists the full CLI —
 #: tests/test_cli_help.py keeps this set, the help text and the README
 #: command table in sync.
-SUBCOMMANDS = ("trace", "serve", "perfcheck", "experiments")
+SUBCOMMANDS = ("trace", "explain", "serve", "perfcheck", "experiments")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,6 +352,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="B&B node-sampling stride (1 records every node)",
+    )
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN one query: decomposition, per-component provenance, "
+        "bound-convergence timeline, and IIS on infeasible databases",
+    )
+    explain.add_argument("query", nargs="?", default="Q1", choices=("Q1", "Q2", "Q3"))
+    explain.add_argument("--scheme", default="km", help="anonymization scheme")
+    explain.add_argument("--k", type=int, default=2, help="anonymity parameter")
+    explain.add_argument(
+        "--precision",
+        choices=("fast", "balanced", "tight"),
+        default="tight",
+        help="answering precision (estimator tiers vs. exact BIP)",
+    )
+    explain.add_argument(
+        "--backend", default="bb", help="solver backend (bb shows B&B search stats)"
+    )
+    explain.add_argument(
+        "--transactions", type=int, default=300, help="demo dataset size"
+    )
+    explain.add_argument(
+        "--sample-every",
+        type=int,
+        default=8,
+        help="B&B node-sampling stride (1 records every node)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the raw JSON payload"
+    )
+    explain.add_argument(
+        "--infeasible",
+        action="store_true",
+        help="inject a contradictory constraint pair to demonstrate IIS diagnosis",
+    )
+    explain.add_argument(
+        "--iis-budget",
+        type=float,
+        default=2.0,
+        help="IIS deletion-filter time budget in seconds",
     )
     server = sub.add_parser(
         "serve", help="start the HTTP aggregate-query service on a fixture database"
@@ -379,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "explain":
+        return _explain(args)
     if args.command == "serve":
         return _serve(args)
     return _banner()

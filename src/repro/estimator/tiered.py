@@ -95,6 +95,10 @@ class TieredAnswer:
     gap: float  # worst per-component disagreement at decision time
     tier_seconds: Dict[str, float] = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
+    #: per-component provenance dicts (component index, fingerprint, tier,
+    #: agreed/infeasible/gap from the cascade, escalated, exact) — the raw
+    #: material for EXPLAIN payloads.
+    component_tiers: List[dict] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -191,6 +195,27 @@ class TieredAnswerer:
         if precision == PRECISION_TIGHT:
             bounds = session.solve_prepared(prepared, options=options)
             count = int(bounds.stats.get("components", 1))
+            if prepared.decomposed:
+                exact_tiers = [
+                    {
+                        "component": index,
+                        "fingerprint": component.canonical.fingerprint,
+                        "tier": TIER_EXACT,
+                        "escalated": False,
+                        "exact": True,
+                    }
+                    for index, component in enumerate(prepared.components)
+                ]
+            else:
+                exact_tiers = [
+                    {
+                        "component": 0,
+                        "fingerprint": prepared.fingerprint,
+                        "tier": TIER_EXACT,
+                        "escalated": False,
+                        "exact": True,
+                    }
+                ]
             return TieredAnswer(
                 lower=bounds.lower,
                 upper=bounds.upper,
@@ -204,6 +229,7 @@ class TieredAnswerer:
                 gap=0.0,
                 tier_seconds={TIER_EXACT: bounds.stats.get("solve_time", 0.0)},
                 stats=dict(bounds.stats),
+                component_tiers=exact_tiers,
             )
 
         if prepared.decomposed:
@@ -268,9 +294,21 @@ class TieredAnswerer:
         deepest = 0
         all_exact = True
         tier_seconds: Dict[str, float] = {}
+        component_tiers: List[dict] = []
         for index, (component, verdict) in enumerate(zip(components, verdicts)):
             for name, seconds in verdict.seconds.items():
                 tier_seconds[name] = tier_seconds.get(name, 0.0) + seconds
+            provenance = {
+                "component": index,
+                "fingerprint": component.canonical.fingerprint,
+                "tier": verdict.tier,
+                "agreed": verdict.agreed,
+                "infeasible": verdict.infeasible,
+                "gap": verdict.gap if math.isfinite(verdict.gap) else None,
+                "escalated": index in exact_values,
+                "exact": False,
+                "seconds": sum(verdict.seconds.values()),
+            }
             if index in exact_values:
                 low_entry, high_entry = exact_values[index]
                 lo, hi, comp_exact = _escalated_interval(
@@ -278,6 +316,8 @@ class TieredAnswerer:
                 )
                 exact_components += 1
                 deepest = max(deepest, ladder.index(TIER_EXACT))
+                provenance["tier"] = TIER_EXACT
+                provenance["exact"] = comp_exact
                 if not comp_exact:
                     all_exact = False
             else:
@@ -289,6 +329,7 @@ class TieredAnswerer:
                     worst_gap = max(worst_gap, verdict.gap)
                 else:
                     worst_gap = max(worst_gap, hi - lo)
+            component_tiers.append(provenance)
             lower_total += lo
             upper_total += hi
         if exact_seconds:
@@ -313,6 +354,7 @@ class TieredAnswerer:
                 "fingerprint": prepared.fingerprint,
                 "solve_time": sum(tier_seconds.values()),
             },
+            component_tiers=component_tiers,
         )
 
 

@@ -15,6 +15,10 @@ The repo-wide answer to "where did this run spend its time":
   per-trace-id attribution.
 * :mod:`repro.obs.slowlog` — slow-query capture: a per-trace span buffer
   and a bounded on-disk ring of offender documents.
+* :mod:`repro.obs.explain` — EXPLAIN: structured solve explanations
+  (decomposition map, per-component provenance, bound-convergence
+  timeline, IIS rendering) behind ``explain=true`` and
+  ``python -m repro explain``.
 * :mod:`repro.obs.logs` — wide-event structured request logging
   (``configure_logging`` / one JSON line per request).
 * :mod:`repro.obs.slo` — rolling-window availability/latency SLOs with
@@ -25,6 +29,13 @@ The repo-wide answer to "where did this run spend its time":
 See ``docs/observability.md`` and ``python -m repro trace``.
 """
 
+from repro.obs.explain import (
+    SolveExplanation,
+    build_explanation,
+    decomposition_map,
+    mine_components,
+    mine_timeline,
+)
 from repro.obs.export import (
     OPENMETRICS_CONTENT_TYPE,
     TEXT_CONTENT_TYPE,
@@ -70,17 +81,22 @@ __all__ = [
     "SLOTracker",
     "SamplingProfiler",
     "SlowQueryRing",
+    "SolveExplanation",
     "Span",
     "SpanBuffer",
     "Tracer",
     "activate",
     "active_profiler",
+    "build_explanation",
     "build_manifest",
     "build_metrics",
     "configure_logging",
     "current_tracer",
+    "decomposition_map",
     "global_registry",
     "load_jsonl",
+    "mine_components",
+    "mine_timeline",
     "new_trace_id",
     "read_jsonl",
     "render_registries",

@@ -536,6 +536,52 @@ def _format_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _format_baselines(
+    document: dict,
+    path: str,
+    rel_tol: float = 0.35,
+    mad_multiplier: float = 4.0,
+) -> str:
+    """One table over every committed baseline mode (``--report``).
+
+    The limit column is what :func:`check` would enforce on a machine
+    exactly as fast as the baseline one (``speed_ratio = 1``); a slower
+    runner scales it up at check time.
+    """
+    lines = [
+        f"perfcheck baselines: {path}",
+        f"(limits at speed_ratio=1, rel_tol={rel_tol:.0%}, "
+        f"mad_mult={mad_multiplier:g})",
+        "",
+        f"  {'mode':<10} {'metric':<20} {'reps':>4} "
+        f"{'baseline':>10} {'mad':>9} {'limit':>10}",
+    ]
+    modes = document.get("modes", {})
+    if not modes:
+        lines.append("  (no baselines committed yet — run --update)")
+        return "\n".join(lines)
+    for mode in sorted(modes):
+        entry = modes[mode]
+        reps = entry.get("reps", "?")
+        for name in sorted(entry.get("scenarios", {})):
+            row = entry["scenarios"][name]
+            median = row["median_s"]
+            mad = row["mad_s"]
+            limit = median * (1.0 + rel_tol) + mad_multiplier * mad
+            lines.append(
+                f"  {mode:<10} {name:<20} {reps:>4} "
+                f"{median * 1e3:>8.1f}ms {mad * 1e3:>7.2f}ms "
+                f"{limit * 1e3:>8.1f}ms"
+            )
+        cal = entry.get("calibration_s")
+        if cal is not None:
+            lines.append(
+                f"  {mode:<10} {'(cpu calibration)':<20} {'':>4} "
+                f"{cal * 1e3:>8.1f}ms"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro perfcheck",
@@ -599,6 +645,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
     )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="render every committed baseline (all modes) as one table "
+        "and exit — no measuring",
+    )
     args = parser.parse_args(argv)
     mode_flags = (
         ("--decompose " if args.decompose else "")
@@ -618,6 +670,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.report:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError:
+            print(
+                f"perfcheck: no baseline at {baseline_path} — run --update first",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            _format_baselines(
+                document,
+                baseline_path,
+                rel_tol=args.rel_tol,
+                mad_multiplier=args.mad_mult,
+            )
+        )
+        return 0
     if not args.update and not os.path.isfile(baseline_path):
         print(
             f"perfcheck: no baseline at {baseline_path} — run "

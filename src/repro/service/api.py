@@ -88,6 +88,10 @@ class QueryRequest:
     mc_fallback: bool = True
     mc_samples: int = 8
     params: dict = field(default_factory=dict)
+    #: attach a structured :mod:`~repro.obs.explain` payload to the
+    #: response.  Excluded from :meth:`dedup_key` and never cached —
+    #: explanations describe this execution, not the answer.
+    explain: bool = False
     request_id: str = field(default_factory=_new_request_id)
 
     @property
@@ -136,6 +140,8 @@ class QueryRequest:
             known = {f.name for f in dataclasses.fields(QueryParams)}
             for key in sorted(set(self.params) - known):
                 problems.append(f"unknown params key {key!r}")
+        if not isinstance(self.explain, bool):
+            problems.append(f"explain must be a boolean, got {self.explain!r}")
         if not isinstance(self.request_id, str) or not self.request_id:
             problems.append("request_id must be a non-empty string")
         if problems:
@@ -164,13 +170,20 @@ class QueryRequest:
 
     def to_dict(self) -> dict:
         out = dataclasses.asdict(self)
+        if not out.get("explain"):
+            out.pop("explain", None)  # keep the wire format stable when off
         return {key: value for key, value in out.items() if value is not None}
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     def dedup_key(self) -> tuple:
-        """Coarse request-level identity (the fine key is the BIP fingerprint)."""
+        """Coarse request-level identity (the fine key is the BIP fingerprint).
+
+        ``explain`` is deliberately excluded: an explain request must
+        coalesce with (and reuse the cache entries of) its plain twin —
+        explanations never perturb answers or cache state.
+        """
         return (
             self.kind,
             self.query or self.aggregate,
@@ -217,6 +230,9 @@ class QueryResponse:
     solve_ms: float = 0.0
     total_ms: float = 0.0
     trace_id: Optional[str] = None
+    #: structured EXPLAIN payload (:class:`repro.obs.explain.SolveExplanation`
+    #: as a dict) — present only when the request set ``explain=true``.
+    explain: Optional[dict] = None
 
     def __post_init__(self):
         if self.status not in STATUSES:

@@ -175,7 +175,11 @@ class ServiceClient:
         Every :class:`~repro.service.api.QueryRequest` field forwards —
         including ``precision`` (``fast``/``balanced``/``tight``), whose
         per-tier provenance comes back in the response's ``tier``,
-        ``exact_components``, ``estimated_components`` and ``gap`` fields.
+        ``exact_components``, ``estimated_components`` and ``gap`` fields,
+        and ``explain`` (``True`` attaches the structured
+        :mod:`~repro.obs.explain` payload under ``response.explain`` —
+        decomposition map, per-component provenance, convergence
+        timeline, and a rendered IIS on infeasible databases).
         """
         if request is None:
             request = QueryRequest(**fields)

@@ -217,6 +217,7 @@ class _Pending:
         "_claim_lock",
         "_claimed",
         "response",
+        "explain_ctx",
     )
 
     def __init__(self, request: QueryRequest, deadline_at: Optional[float]):
@@ -227,6 +228,10 @@ class _Pending:
         self._claim_lock = threading.Lock()
         self._claimed = False
         self.response: Optional[QueryResponse] = None
+        #: EXPLAIN raw material captured while it is in scope (the
+        #: decomposition map, tier provenance, IIS) — assembled into the
+        #: response's ``explain`` block at completion.
+        self.explain_ctx: dict = {}
 
     def claim(self) -> bool:
         """First-wins completion right: a parked request can be finished
@@ -629,9 +634,29 @@ class QueryScheduler:
             self._complete(pending, response)
 
     def _complete(self, pending: _Pending, response: QueryResponse) -> None:
-        """Deliver a terminal response exactly once (claim-guarded)."""
+        """Deliver a terminal response exactly once (claim-guarded).
+
+        The request's finished span tree is popped here — *before*
+        ``pending.finish`` — so the EXPLAIN assembly and the slow-query
+        capture share one pop.  Explanations are attached per-response
+        and never published onto flights or caches.
+        """
         if not pending.claim():
             return
+        spans = (
+            self.span_buffer.pop(response.trace_id)
+            if self.span_buffer is not None and response.trace_id
+            else []
+        )
+        if pending.request.explain:
+            try:
+                response.explain = self._build_explanation(
+                    pending, response, spans
+                ).to_dict()
+            except Exception:  # noqa: BLE001 — explain must not break serving
+                logger.exception(
+                    "explain assembly for %s failed", pending.request.request_id
+                )
         pending.finish(response)
         total_s = time.monotonic() - pending.enqueued
         self.stats.record_done(
@@ -639,7 +664,7 @@ class QueryScheduler:
             total_s=total_s,
             solve_s=response.solve_ms / 1000.0,
         )
-        self._observe_done(pending, response, total_s)
+        self._observe_done(pending, response, total_s, spans)
 
     def _cache_tier(self, response: QueryResponse) -> str:
         """Where the answer came from: both senses in L1, any L2 hit, or
@@ -683,13 +708,80 @@ class QueryScheduler:
             "total_ms": round(total_s * 1e3, 3),
         }
 
-    def _observe_done(self, pending: _Pending, response: QueryResponse, total_s: float) -> None:
+    def _build_explanation(
+        self, pending: _Pending, response: QueryResponse, spans: list
+    ):
+        """Assemble the :class:`~repro.obs.explain.SolveExplanation` for
+        one terminal response from context captured during the serve."""
+        from repro.obs.explain import build_explanation
+
+        ctx = pending.explain_ctx
+        decomposition = ctx.get("decomposition")
+        component_tiers = ctx.get("component_tiers")
+        if component_tiers is None and response.tier == TIER_EXACT and decomposition:
+            # The exact path never runs the tier cascade: every block was
+            # answered by the exact solver by definition.
+            component_tiers = [
+                {
+                    "component": block.get("component"),
+                    "fingerprint": block.get("fingerprint"),
+                    "tier": TIER_EXACT,
+                    "escalated": False,
+                    "exact": response.exact,
+                }
+                for block in decomposition.get("blocks", ())
+            ]
+        return build_explanation(
+            request=pending.request.to_dict(),
+            status=response.status,
+            bounds={
+                "lower": response.lower,
+                "upper": response.upper,
+                "exact": response.exact,
+                "precision": self._effective_precision(pending.request),
+                "tier": response.tier,
+            },
+            spans=spans,
+            decomposition=decomposition,
+            component_tiers=component_tiers,
+            infeasibility=ctx.get("infeasibility"),
+        )
+
+    def _diagnose_infeasibility(self, prepared, budget_s: float = 2.0) -> Optional[dict]:
+        """A time-budgeted IIS over the prepared BIP, rendered with the
+        problem's variable names (EXPLAIN's infeasibility block)."""
+        from repro.solver.diagnostics import find_iis, render_constraints
+
+        try:
+            started = time.monotonic()
+            iis = find_iis(prepared.problem, time_budget=budget_s)
+            took = time.monotonic() - started
+            if iis is None:
+                return None
+            return {
+                "iis": render_constraints(iis, prepared.problem.names),
+                "constraints": len(iis),
+                "seconds": took,
+                "budget_exhausted": took >= budget_s,
+            }
+        except Exception:  # noqa: BLE001 — diagnosis must not break serving
+            logger.exception("IIS diagnosis failed")
+            return None
+
+    def _observe_done(
+        self,
+        pending: _Pending,
+        response: QueryResponse,
+        total_s: float,
+        spans: list,
+    ) -> None:
         """Post-terminal accounting: histograms, exemplars, SLO events,
         the wide request log line, slow-query capture.
 
         Runs after ``pending.finish`` on purpose: the caller is already
         unblocked, and a failure here must never turn a served request
-        into an error.
+        into an error.  ``spans`` is the request's span tree, popped once
+        in :meth:`_complete`.
         """
         try:
             self.slo.record(response.status, total_s)
@@ -707,11 +799,6 @@ class QueryScheduler:
                 total_s, labels={"status": response.status}, exemplar=exemplar
             )
             wide_event(request_logger(), self._wide_payload(pending, response, total_s))
-            spans = (
-                self.span_buffer.pop(response.trace_id)
-                if self.span_buffer is not None
-                else []
-            )
             if (
                 self.slow_threshold_ms is not None
                 and total_s * 1e3 >= self.slow_threshold_ms
@@ -744,8 +831,17 @@ class QueryScheduler:
             component_nodes[component] = component_nodes.get(
                 component, 0
             ) + int(attributes.get("nodes", 0) or 0)
+        # A compact explanation (top-cost components, prune/cache totals,
+        # convergence event count) so the slow log says *why* a request
+        # was slow without storing the full EXPLAIN payload.
+        try:
+            compact = self._build_explanation(pending, response, spans).compact()
+        except Exception:  # noqa: BLE001 — capture must not break serving
+            logger.exception("compact explanation failed")
+            compact = None
         path = self.slow_log.record(
             {
+                "explain": compact,
                 "trace_id": response.trace_id,
                 "fingerprint": response.fingerprint,
                 "total_ms": total_s * 1e3,
@@ -1055,6 +1151,10 @@ class QueryScheduler:
                 prepared = session.prepare(objective)
             fingerprint = prepared.fingerprint
             root.set("fingerprint", fingerprint)
+            if request.explain:
+                from repro.obs.explain import decomposition_map
+
+                pending.explain_ctx["decomposition"] = decomposition_map(prepared)
 
             bip_key = ("bip", fingerprint)
             bip_flight, bip_leader = self._join_flight(bip_key)
@@ -1087,6 +1187,10 @@ class QueryScheduler:
                         session, prepared, precision, options=options, memo={}
                     )
             except InfeasibleError as exc:
+                if request.explain:
+                    pending.explain_ctx["infeasibility"] = (
+                        self._diagnose_infeasibility(prepared)
+                    )
                 return QueryResponse(
                     request_id=request.request_id,
                     status=STATUS_ERROR,
@@ -1106,6 +1210,8 @@ class QueryScheduler:
         if answer is not None:
             root.set("outcome", STATUS_OK)
             root.set("tier", answer.tier)
+            if request.explain:
+                pending.explain_ctx["component_tiers"] = answer.component_tiers
             return self._estimated_response(
                 pending, answer, fingerprint, False, queue_ms, trace_id
             )
@@ -1155,6 +1261,10 @@ class QueryScheduler:
             try:
                 if pending.done:
                     return
+                if pending.request.explain:
+                    from repro.obs.explain import decomposition_map
+
+                    pending.explain_ctx["decomposition"] = decomposition_map(prepared)
                 with tracer.span(
                     "service.resume",
                     trace_id=trace_id,
@@ -1171,6 +1281,10 @@ class QueryScheduler:
                                 session, prepared, precision, options=options,
                                 memo={},
                             )
+                            if pending.request.explain:
+                                pending.explain_ctx["component_tiers"] = (
+                                    answer.component_tiers
+                                )
                             self._complete(
                                 pending,
                                 self._estimated_response(
@@ -1180,6 +1294,10 @@ class QueryScheduler:
                             )
                             return
                     except InfeasibleError as exc:
+                        if pending.request.explain:
+                            pending.explain_ctx["infeasibility"] = (
+                                self._diagnose_infeasibility(prepared)
+                            )
                         self._complete(
                             pending,
                             QueryResponse(

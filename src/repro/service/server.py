@@ -88,15 +88,16 @@ class QueryService:
         self.config = config or ExperimentConfig()
         self.context = ExperimentContext(self.config)
         self.slo = SLOTracker(slo_config)
-        # Slow-query capture: a per-trace span buffer feeds the scheduler,
-        # which persists over-threshold requests to a bounded on-disk ring.
+        # The per-trace span buffer feeds the scheduler unconditionally:
+        # EXPLAIN mines a request's finished span tree from it, and fast
+        # requests' buckets are popped (and dropped) on completion either
+        # way.  The slow-query ring stays opt-in via slow_threshold_ms.
+        self._span_buffer = SpanBuffer()
         self.slow_log: Optional[SlowQueryRing] = None
-        self._span_buffer: Optional[SpanBuffer] = None
         if slow_threshold_ms is not None:
             self.slow_log = SlowQueryRing(
                 slow_log_dir or "slow-queries", capacity=slow_log_capacity
             )
-            self._span_buffer = SpanBuffer()
         self.scheduler = QueryScheduler(
             self.context,
             workers=workers,

@@ -43,12 +43,14 @@ _NULL_SPAN = NullSpan()
 _SEARCH_BUCKETS = (1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000)
 
 
-def _observe_search(span, nodes: int, prunes_total: int) -> None:
+def _observe_search(span, nodes: int, prunes: dict) -> None:
     """Always-on histograms over completed searches (exemplar = trace id).
 
     The distribution of nodes/prunes *per solve* is what makes "the p99
     solve exploded" legible on a scrape — each bucket carries a trace-id
     exemplar so the offending search's span tree is one lookup away.
+    The per-reason counter answers the complementary question: *which*
+    prune mechanism is doing the work fleet-wide.
     """
     trace_id = getattr(span, "trace_id", "")
     exemplar = {"trace_id": trace_id} if trace_id else None
@@ -62,7 +64,13 @@ def _observe_search(span, nodes: int, prunes_total: int) -> None:
         "bb_prunes_per_solve",
         "Branch-and-bound prunes (all reasons) per completed search",
         buckets=_SEARCH_BUCKETS,
-    ).observe(prunes_total, exemplar=exemplar)
+    ).observe(sum(prunes.values()), exemplar=exemplar)
+    counter = registry.counter(
+        "bb_prunes_total", "Branch-and-bound prunes by reason"
+    )
+    for reason, count in prunes.items():
+        if count:
+            counter.inc(count, labels={"reason": reason})
 
 
 def solve_bip(
@@ -173,7 +181,12 @@ def _solve_max(
                 heuristic_incumbents += 1
             span.event(
                 "incumbents",
-                {"node": nodes_processed, "objective": value, "source": source},
+                {
+                    "node": nodes_processed,
+                    "objective": value,
+                    "source": source,
+                    "t": clock.elapsed,
+                },
             )
             logger.debug(
                 "incumbent %s after %d nodes (%.2fs)",
@@ -268,6 +281,10 @@ def _solve_max(
             # drop is the proven global upper bound improving.
             last_global_bound = bound
             bound_improvements += 1
+            span.event(
+                "bounds",
+                {"node": nodes_processed, "bound": bound, "t": clock.elapsed},
+            )
         if bound <= best_obj:
             prunes["bound"] += 1
             continue  # integer bound cannot improve the incumbent
@@ -346,7 +363,7 @@ def _solve_max(
                 )
 
     elapsed = clock.elapsed
-    _observe_search(span, nodes_processed, sum(prunes.values()))
+    _observe_search(span, nodes_processed, prunes)
     span.set("max_depth", max_depth).set("incumbent_updates", incumbent_updates)
     span.set("bound_improvements", bound_improvements)
     span.set("integral_leaves", integral_leaves)

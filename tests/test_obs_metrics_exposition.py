@@ -264,3 +264,34 @@ def test_render_registries_single_eof_across_registries():
     plain = render_registries((first, second))
     assert "# EOF" not in plain
     assert "# {" not in plain
+
+
+# -- the per-reason prune counter (repro_bb_prunes_total) --------------------
+def test_prune_reason_counter_renders_one_series_per_reason():
+    """The shape ``_observe_search`` emits: one counter family with a
+    ``reason`` label per prune mechanism, each its own monotone series."""
+    from repro.obs.explain import PRUNE_REASONS
+
+    registry = MetricsRegistry()
+    counter = registry.counter("bb_prunes_total", "prunes by reason")
+    for amount, reason in enumerate(PRUNE_REASONS, start=1):
+        counter.inc(amount, labels={"reason": reason})
+    lines = [
+        line
+        for line in registry.render().splitlines()
+        if line.startswith("repro_bb_prunes_total{")
+    ]
+    assert len(lines) == len(PRUNE_REASONS)
+    seen = {}
+    for line in lines:
+        match = re.match(r'repro_bb_prunes_total\{reason="([^"]+)"\} (\d+)', line)
+        assert match, line
+        seen[match.group(1)] = int(match.group(2))
+    assert seen == {
+        reason: amount for amount, reason in enumerate(PRUNE_REASONS, start=1)
+    }
+    # incrementing one reason never disturbs its siblings
+    counter.inc(10, labels={"reason": PRUNE_REASONS[0]})
+    text = registry.render()
+    assert f'reason="{PRUNE_REASONS[0]}"}} 11' in text
+    assert f'reason="{PRUNE_REASONS[1]}"}} 2' in text
