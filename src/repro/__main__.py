@@ -273,6 +273,7 @@ def _serve(args: argparse.Namespace) -> int:
         solve_fabric=args.fabric,
         l2_cache_path=args.l2_cache,
         enable_decomposition=not args.no_decompose,
+        portfolio=args.portfolio,
     )
 
     # SIGTERM (what `kill` and CI teardown send) must take the same
@@ -457,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="executor fabric for solve units (process = forked workers, "
         "sidesteps the GIL; pair with --solve-workers)",
+    )
+    server.add_argument(
+        "--portfolio",
+        choices=("off", "auto"),
+        default="off",
+        help="race own B&B vs SciPy HiGHS per solve unit, first conclusive "
+        "finisher wins (see docs/performance.md)",
     )
     server.add_argument(
         "--l2-cache",

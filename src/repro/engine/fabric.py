@@ -53,9 +53,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.engine.cache import CachedSolve
 from repro.engine.l2cache import L2SolveCache
+from repro.engine.portfolio import portfolio_solve
 from repro.solver.cancel import CancelToken, create_scope, drop_scope
 from repro.solver.decompose import closed_form
-from repro.solver.interface import solve
 from repro.solver.result import SolverOptions
 
 __all__ = [
@@ -184,7 +184,10 @@ def _execute(unit: SolveUnit) -> UnitResult:
         # closed-form optimum — no backend round-trip.
         solution = closed_form(unit.problem, unit.sense)
     if solution is None:
-        solution = solve(unit.problem, unit.sense, unit.options)
+        # portfolio_solve() is the engine's backend-racing entry point:
+        # a no-op passthrough to solve() unless options.portfolio='auto',
+        # in which case the worker races B&B vs SciPy inside this unit.
+        solution = portfolio_solve(unit.problem, unit.sense, unit.options)
     x_canonical = None
     if solution.x is not None:
         x_canonical = tuple(

@@ -1,0 +1,185 @@
+"""Backend portfolio racing: own B&B vs SciPy HiGHS, first finisher wins.
+
+The two exact backends have complementary cost profiles.  The
+kernel-accelerated branch-and-bound closes the decomposed k-anonymity
+components at the root in microseconds but can stall on dense, genuinely
+coupled programs; SciPy's HiGHS MILP pays a large fixed import/setup
+cost yet scales to instances the own B&B cannot.  Rather than predict
+which regime a problem falls in, :func:`portfolio_solve` races both arms
+and returns the first *conclusive* result (``optimal`` or
+``infeasible``), so per-solve latency is ``min`` of the arms instead of
+a guess.
+
+Protocol:
+
+* Each arm runs :func:`_solve_arm` (module-level so tests can
+  monkeypatch a slow or wrong loser) on its own daemon thread with
+  ``portfolio='off'`` — arms never recurse into the race.
+* The B&B arm's options gain a ``stop_check`` wired to a shared
+  :class:`threading.Event`; when the other arm wins, the event is set
+  and the loser stops cooperatively at its next node poll.  Any
+  caller-supplied ``stop_check``/``deadline_at``/``cancel`` sources
+  keep working — the race only *adds* a stop source.
+* SciPy cannot poll mid-solve, so a losing SciPy arm is abandoned: its
+  daemon thread finishes (bounded by ``remaining_time_limit()``) and
+  its result is discarded.  Only the winner's :class:`Solution` is ever
+  returned, so an abandoned loser can never reach the caller or any
+  cache that stores the return value.
+* If neither arm is conclusive (both hit limits), the better incumbent
+  wins — higher objective for ``max``, lower for ``min`` — and if both
+  arms error the race falls back to a plain in-thread ``solve()``.
+
+The winner is recorded on the ``repro_solver_portfolio_wins_total``
+counter (label ``backend``) and on a ``solver.portfolio`` span.
+
+Tracer note: span stacks are thread-local, so each arm's
+``solver.solve`` span becomes a root span in its own thread; the
+``solver.portfolio`` span lives on the calling thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, Optional
+
+from repro.solver.interface import solve
+from repro.solver.model import BIPProblem
+from repro.solver.result import Solution, SolverOptions
+
+__all__ = ["portfolio_solve"]
+
+#: statuses that end the race immediately — a proof, not a partial answer
+_CONCLUSIVE = frozenset({"optimal", "infeasible"})
+
+
+def _scipy_available() -> bool:
+    try:
+        from scipy.optimize import milp  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _solve_arm(problem: BIPProblem, sense: str, options: SolverOptions) -> Solution:
+    """Run one portfolio arm (module-level for test monkeypatching)."""
+    return solve(problem, sense, options)
+
+
+def _better(sense: str, a: Solution, b: Solution) -> Solution:
+    """The better of two inconclusive results, by incumbent quality."""
+    if a.objective is None:
+        return b if b.objective is not None else a
+    if b.objective is None:
+        return a
+    if sense == "max":
+        return a if a.objective >= b.objective else b
+    return a if a.objective <= b.objective else b
+
+
+def _race(problem: BIPProblem, sense: str, options: SolverOptions) -> Solution:
+    stop = threading.Event()
+    results: Dict[str, Optional[Solution]] = {}
+    done = threading.Condition()
+
+    caller_check = options.stop_check
+
+    def bb_stop() -> bool:
+        if stop.is_set():
+            return True
+        return caller_check() if caller_check is not None else False
+
+    arms = {
+        "bb": dataclasses.replace(
+            options, backend="bb", portfolio="off", stop_check=bb_stop
+        ),
+        "scipy": dataclasses.replace(
+            options, backend="scipy", portfolio="off", stop_check=None
+        ),
+    }
+
+    def run(name: str, arm_options: SolverOptions) -> None:
+        try:
+            solution: Optional[Solution] = _solve_arm(problem, sense, arm_options)
+        except Exception:  # noqa: BLE001 — a crashed arm just loses the race
+            solution = None
+        with done:
+            results[name] = solution
+            done.notify_all()
+
+    for name, arm_options in arms.items():
+        threading.Thread(
+            target=run,
+            args=(name, arm_options),
+            name=f"repro-portfolio-{name}",
+            daemon=True,
+        ).start()
+
+    winner_name: Optional[str] = None
+    winner: Optional[Solution] = None
+    with done:
+        while True:
+            for name in arms:
+                solution = results.get(name)
+                if solution is not None and solution.status in _CONCLUSIVE:
+                    winner_name, winner = name, solution
+                    break
+            if winner is not None or len(results) == len(arms):
+                break
+            done.wait()
+        finished = dict(results)
+
+    # Tell the losing B&B arm to stand down; a losing SciPy arm is
+    # abandoned (its thread is a daemon and its result is discarded).
+    stop.set()
+
+    if winner is None:
+        candidates = {
+            name: solution
+            for name, solution in finished.items()
+            if solution is not None
+        }
+        if not candidates:
+            # Both arms crashed — degrade to a plain solve so the caller
+            # still gets the normal error/solution path.
+            return solve(problem, sense, options)
+        winner_name = min(candidates)
+        winner = candidates[winner_name]
+        for name, solution in candidates.items():
+            chosen = _better(sense, winner, solution)
+            if chosen is solution:
+                winner_name, winner = name, solution
+
+    from repro.obs.export import global_registry
+
+    global_registry().counter(
+        "solver_portfolio_wins_total",
+        "Portfolio races won, by backend arm",
+    ).inc(labels={"backend": winner_name})
+    return winner
+
+
+def portfolio_solve(
+    problem: BIPProblem,
+    sense: str = "max",
+    options: Optional[SolverOptions] = None,
+) -> Solution:
+    """Solve, racing backends when ``options.portfolio == 'auto'``.
+
+    Falls through to a plain :func:`repro.solver.interface.solve` when
+    the portfolio is off or SciPy is unavailable (one arm is no race).
+    A caller-pinned ``backend`` does not skip the race: each arm
+    overrides ``backend`` for itself.
+    """
+    options = options or SolverOptions()
+    if options.portfolio != "auto" or not _scipy_available():
+        return solve(problem, sense, options)
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span(
+        "solver.portfolio", sense=sense, vars=problem.num_vars
+    ) as span:
+        solution = _race(problem, sense, options)
+        span.set("winner", solution.backend).set("status", solution.status)
+        return solution

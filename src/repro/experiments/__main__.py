@@ -85,6 +85,12 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         help="executor fabric for solve units (process = forked workers)",
     )
     parser.add_argument(
+        "--portfolio",
+        choices=("off", "auto"),
+        default="off",
+        help="race own B&B vs SciPy HiGHS per solve, first finisher wins",
+    )
+    parser.add_argument(
         "--solve-workers",
         type=int,
         default=1,
@@ -131,6 +137,7 @@ def main(argv: list[str]) -> int:
         enable_decomposition=not args.no_decompose,
         solve_fabric=args.fabric,
         solve_workers=args.solve_workers,
+        portfolio=args.portfolio,
     )
     context = ExperimentContext(config)
     print(f"# workload: {config.label}")

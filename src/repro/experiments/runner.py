@@ -230,6 +230,7 @@ class ExperimentContext:
             backend=self.config.solver_backend,
             time_limit=self.config.solver_time_limit,
             enable_decomposition=self.config.enable_decomposition,
+            portfolio=self.config.portfolio,
         )
 
     def licm_answer(self, query: str, scheme: str, k: int):

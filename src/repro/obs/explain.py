@@ -42,7 +42,13 @@ __all__ = [
 
 #: prune reasons the B&B reports (``prune_<reason>`` span attributes and
 #: the ``repro_bb_prunes_total{reason=...}`` counter share this list).
-PRUNE_REASONS = ("bound", "child_bound", "propagation", "lp_infeasible")
+PRUNE_REASONS = (
+    "bound",
+    "child_bound",
+    "propagation",
+    "lp_infeasible",
+    "kernel_bound",
+)
 
 _SOLVE_SPAN = re.compile(r"^engine\.solve\.(min|max)$")
 

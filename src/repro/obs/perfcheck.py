@@ -48,6 +48,7 @@ __all__ = [
     "default_baseline_path",
     "default_scenarios",
     "fabric_scenarios",
+    "kernels_scenarios",
     "main",
     "measure",
     "tiers_scenarios",
@@ -361,6 +362,97 @@ def fabric_scenarios(quick: bool = False) -> List[Scenario]:
     ]
 
 
+def kernels_scenarios(quick: bool = False) -> List[Scenario]:
+    """The ``kernels``-mode workloads: the vectorized B&B inner loops
+    against their scalar fallback (see docs/performance.md).
+
+    ``solve_kernels_auto`` is the tentpole path — a fully cold decomposed
+    k-anonymity solve with the numpy kernels and node-0 seeding, where
+    nearly every component closes at the root with zero LP calls.
+    ``solve_kernels_off`` is the same solve through the scalar worklist
+    paths (the parity oracle), gated so the fallback cannot silently rot.
+    ``kernel_microbench`` times compile → propagate → greedy seed →
+    surrogate bound on one synthetic BIP, isolating the kernel module
+    from the engine around it.
+    """
+    import random
+
+    from repro.engine.session import SolveSession
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentContext
+    from repro.queries.licm_eval import evaluate_licm
+    from repro.solver.result import SolverOptions
+
+    tx = 300 if quick else 600
+    items = 64 if quick else 128
+
+    shared: Dict[str, object] = {}
+
+    def workload():
+        if "w" not in shared:
+            config = ExperimentConfig(
+                num_transactions=tx, num_items=items, mc_samples=8, seed=3
+            )
+            context = ExperimentContext(config)
+            encoded = context.encoding("k-anonymity", 2).encoded
+            plan = context.plan("Q1", encoded)
+            shared["w"] = (encoded, evaluate_licm(plan, encoded.relations))
+        return shared["w"]
+
+    def make_setup(kernels: str):
+        def setup():
+            encoded, objective = workload()
+            return {"encoded": encoded, "objective": objective, "kernels": kernels}
+
+        return setup
+
+    def run_cold_solve(state) -> None:
+        # A fresh session per rep: every rep pays the real cold
+        # prepare + solve, exactly the path the kernels accelerate.
+        session = SolveSession(
+            state["encoded"].model,
+            cache_size=0,
+            options=SolverOptions(kernels=state["kernels"]),
+        )
+        session.bounds(state["objective"])
+
+    def setup_micro():
+        from repro.solver import kernels as kernels_module
+        from repro.solver.model import BIPConstraint, BIPProblem
+
+        rng = random.Random(7)
+        num_vars = 400 if quick else 900
+        constraints = []
+        for _ in range(num_vars // 2):
+            arity = rng.randint(2, 6)
+            idxs = rng.sample(range(num_vars), arity)
+            terms = tuple((rng.choice((1, 1, 1, -1)), i) for i in idxs)
+            positive = sum(c for c, _ in terms if c > 0)
+            constraints.append(
+                BIPConstraint(terms, "<=", rng.randint(1, max(1, positive)))
+            )
+        problem = BIPProblem(
+            num_vars=num_vars,
+            constraints=constraints,
+            objective={i: rng.randint(-3, 3) for i in range(num_vars)},
+        )
+        return {"kernels": kernels_module, "problem": problem}
+
+    def run_micro(state) -> None:
+        kernels_module = state["kernels"]
+        compiled = kernels_module.compile_problem(state["problem"])
+        domains = compiled.propagate(compiled.root_domains())
+        if domains is not None:
+            compiled.greedy_seed(domains)
+            compiled.upper_bound(domains)
+
+    return [
+        Scenario("solve_kernels_auto", make_setup("auto"), run_cold_solve),
+        Scenario("solve_kernels_off", make_setup("off"), run_cold_solve),
+        Scenario("kernel_microbench", setup_micro, run_micro),
+    ]
+
+
 def tiers_scenarios(quick: bool = False) -> List[Scenario]:
     """The ``tiers``-mode workloads: the same prepared k-anonymity Q1
     problem answered at each precision level (see docs/estimators.md).
@@ -622,6 +714,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate the tiered-answerer scenarios instead (the same prepared "
         "problem at precision fast/balanced/tight; mode 'tiers')",
     )
+    parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="gate the vectorized-kernel scenarios instead (cold decomposed "
+        "solves with kernels auto/off + a kernel microbench; mode 'kernels')",
+    )
     parser.add_argument("--reps", type=int, default=None, help="timed reps per scenario")
     parser.add_argument(
         "--rel-tol",
@@ -656,6 +754,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("--decompose " if args.decompose else "")
         + ("--fabric " if args.fabric else "")
         + ("--tiers " if args.tiers else "")
+        + ("--kernels " if args.kernels else "")
         + ("--quick " if args.quick else "")
     )
 
@@ -698,13 +797,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     reps = args.reps if args.reps is not None else (5 if args.quick else 7)
-    if sum((args.decompose, args.fabric, args.tiers)) > 1:
+    if sum((args.decompose, args.fabric, args.tiers, args.kernels)) > 1:
         print(
-            "perfcheck: --decompose, --fabric and --tiers are exclusive",
+            "perfcheck: --decompose, --fabric, --tiers and --kernels are exclusive",
             file=sys.stderr,
         )
         return 2
-    if args.tiers:
+    if args.kernels:
+        scenarios = kernels_scenarios(quick=args.quick)
+        mode = "kernels"
+    elif args.tiers:
         scenarios = tiers_scenarios(quick=args.quick)
         mode = "tiers"
     elif args.fabric:

@@ -7,6 +7,21 @@ branching rules.  Because LICM objectives have integer coefficients, dual
 bounds are floored to the nearest integer, which prunes far earlier than
 the raw LP value.
 
+Two raw-speed mechanisms sit in front of the search (see docs/solver.md):
+
+* **Vectorized kernels** (``SolverOptions.kernels``, default ``'auto'``):
+  the problem is compiled once into numpy CSR arrays
+  (:mod:`repro.solver.kernels`) and per-node propagation, cover-cut
+  separation, and a surrogate knapsack dual bound run as batch array
+  operations.  The scalar worklist remains the fallback and parity oracle.
+* **Node-0 incumbent seeding** (``SolverOptions.seed_incumbent``): a
+  greedy point (repaired by :func:`~repro.solver.heuristics.greedy_seed`)
+  is installed as the incumbent before any LP is solved; when the kernel
+  bound already matches it, the solve closes at the root with *zero* LP
+  calls — the common case for single-cardinality-row components.  The
+  rounded root LP point is also offered as a seed.  Provenance lands in
+  ``Solution.seed_incumbent`` and the ``incumbents`` span events.
+
 When a tracer is active (:mod:`repro.obs.tracer`) the search opens a
 ``bb.search`` span with node-level profiling: nodes expanded, maximum
 depth, incumbent updates, global-bound improvements, prune counts by
@@ -25,10 +40,10 @@ import math
 from typing import Optional
 
 from repro.engine.telemetry import Stopwatch
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, SolverError
 from repro.obs.export import global_registry
 from repro.obs.tracer import NullSpan, current_tracer
-from repro.solver.heuristics import round_and_repair
+from repro.solver.heuristics import greedy_seed, round_and_repair
 from repro.solver.model import BIPProblem
 from repro.solver.presolve import presolve
 from repro.solver.propagation import FREE, ONE, ZERO, CompiledConstraints, propagate
@@ -38,6 +53,20 @@ from repro.solver.result import Solution, SolverOptions
 logger = logging.getLogger(__name__)
 
 _NULL_SPAN = NullSpan()
+
+
+def _load_kernels(options: SolverOptions):
+    """Resolve the kernels toggle to a module or ``None`` (scalar path)."""
+    mode = getattr(options, "kernels", "auto")
+    if mode == "off":
+        return None
+    try:
+        from repro.solver import kernels
+    except ImportError:
+        if mode == "on":
+            raise SolverError("kernels='on' requires numpy, which is not importable")
+        return None
+    return kernels
 
 #: count-shaped buckets for the per-search node/prune distributions
 _SEARCH_BUCKETS = (1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000)
@@ -100,6 +129,7 @@ def solve_bip(
             nodes=inner.nodes,
             solve_time=inner.solve_time,
             backend=inner.backend,
+            seed_incumbent=inner.seed_incumbent,
         )
 
     tracer = current_tracer()
@@ -121,6 +151,14 @@ def _solve_max(
     :class:`~repro.obs.tracer.Span` under tracing, a shared no-op span
     otherwise, so the hot loop has no branching on "is tracing on"."""
     clock = Stopwatch()
+
+    # An already-cancelled solve must not claim proof: the seed shortcut can
+    # close a problem before the node loop ever polls should_stop(), so the
+    # cancellation sources get one poll before any root work happens.
+    if options.should_stop():
+        return Solution(
+            status="limit", nodes=0, solve_time=clock.elapsed, backend="bb"
+        )
 
     # ---- presolve --------------------------------------------------------
     if options.use_presolve:
@@ -151,7 +189,9 @@ def _solve_max(
             backend="bb",
         )
 
-    compiled = CompiledConstraints(core)
+    kernels = _load_kernels(options)
+    kern = kernels.compile_problem(core) if kernels is not None else None
+    compiled = CompiledConstraints(core) if kern is None else None
     counter = itertools.count()
     best_x: Optional[list[int]] = None
     best_obj = -math.inf
@@ -162,7 +202,13 @@ def _solve_max(
     incumbent_updates = 0
     bound_improvements = 0
     max_depth = 0
-    prunes = {"bound": 0, "child_bound": 0, "propagation": 0, "lp_infeasible": 0}
+    prunes = {
+        "bound": 0,
+        "child_bound": 0,
+        "propagation": 0,
+        "lp_infeasible": 0,
+        "kernel_bound": 0,
+    }
     integral_leaves = 0
     heuristic_incumbents = 0
     last_global_bound = math.inf
@@ -196,7 +242,10 @@ def _solve_max(
             )
 
     # Root node.
-    root_domains = propagate(compiled, [FREE] * core.num_vars)
+    if kern is not None:
+        root_domains = kern.propagate(kern.root_domains())
+    else:
+        root_domains = propagate(compiled, [FREE] * core.num_vars)
     if root_domains is None:
         return Solution(
             status="infeasible",
@@ -205,64 +254,108 @@ def _solve_max(
             backend="bb",
         )
 
-    # Heap of (-bound, tiebreak, domains, x_lp, depth). Bound is the floored
-    # LP value.
-    status_root, lp_value, x_lp = solve_relaxation(core, root_domains, options.lp_engine)
-    if status_root == "infeasible":
-        return Solution(
-            status="infeasible",
-            nodes=1,
-            solve_time=clock.elapsed,
-            backend="bb",
-        )
+    # Node-0 incumbent seeding: install a greedy incumbent before any LP
+    # is solved, so bound pruning bites from the very first node.
+    seed_source: Optional[str] = None
+    if options.seed_incumbent:
+        if kern is not None:
+            seeded = kern.greedy_seed(root_domains)
+        else:
+            seeded = greedy_seed(core, root_domains)
+        if seeded is not None:
+            try_incumbent(seeded, "seed")
+            if incumbent_updates:
+                seed_source = "greedy"
 
-    # Root cutting planes: strengthen the relaxation with cover cuts before
-    # branching (the "branch-and-cut" ingredient the paper credits solvers
-    # with).  Cuts are valid for every integer-feasible point, so the
-    # optimum is unchanged; only the LP bound tightens.
-    cuts_added = 0
-    if options.cut_rounds > 0:
-        from repro.solver.cuts import separate_cover_cuts
+    # Kernel shortcut: when the surrogate knapsack bound already equals the
+    # seed, the root is closed without solving a single LP.
+    seed_closed = False
+    if kern is not None and best_x is not None:
+        if kern.upper_bound(root_domains) <= best_obj:
+            seed_closed = True
+            nodes_processed = 1  # the root was evaluated and closed
+            span.set("seed_shortcut", 1)
 
-        for _ in range(options.cut_rounds):
-            if options.should_stop():
-                break
-            fractional_point = any(
-                options.integrality_tol < value < 1 - options.integrality_tol
-                for value in x_lp
-            )
-            if not fractional_point:
-                break
-            cuts = separate_cover_cuts(core, x_lp)
-            if not cuts:
-                break
-            cuts_added += len(cuts)
-            core = BIPProblem(
-                num_vars=core.num_vars,
-                constraints=core.constraints + cuts,
-                objective=core.objective,
-                objective_constant=core.objective_constant,
-                names=core.names,
-            )
-            compiled = CompiledConstraints(core)
-            status_root, lp_value, x_lp = solve_relaxation(
-                core, root_domains, options.lp_engine
-            )
-            if status_root == "infeasible":
-                # Cuts are valid for every integer point, so a cut-tightened
-                # LP going empty proves the instance has no integer solution.
-                span.set("root_cuts", cuts_added).set("prune_cuts", 1)
-                return Solution(
-                    status="infeasible",
-                    nodes=1,
-                    solve_time=clock.elapsed,
-                    backend="bb",
-                )
-    span.set("root_cuts", cuts_added).set("root_lp_bound", lp_value)
-
-    root_bound = math.floor(lp_value + 1e-7)
-    heap = [(-root_bound, next(counter), root_domains, x_lp, 0)]
+    heap: list = []
     hit_limit = False
+    if not seed_closed:
+        # Heap of (-bound, tiebreak, domains, x_lp, depth). Bound is the
+        # floored LP value.
+        status_root, lp_value, x_lp = solve_relaxation(
+            core, root_domains, options.lp_engine
+        )
+        if status_root == "infeasible":
+            return Solution(
+                status="infeasible",
+                nodes=1,
+                solve_time=clock.elapsed,
+                backend="bb",
+            )
+
+        # Offer the rounded root LP point as a (better) seed.
+        if options.seed_incumbent:
+            repaired = round_and_repair(core, x_lp, root_domains)
+            if repaired is not None:
+                before = incumbent_updates
+                try_incumbent(repaired, "seed")
+                if incumbent_updates > before and seed_source is None:
+                    seed_source = "lp_round"
+
+        # Root cutting planes: strengthen the relaxation with cover cuts
+        # before branching (the "branch-and-cut" ingredient the paper
+        # credits solvers with).  Cuts are valid for every integer-feasible
+        # point, so the optimum is unchanged; only the LP bound tightens.
+        cuts_added = 0
+        if options.cut_rounds > 0:
+            from repro.solver.cuts import separate_cover_cuts
+
+            for _ in range(options.cut_rounds):
+                if options.should_stop():
+                    break
+                if math.floor(lp_value + 1e-7) <= best_obj:
+                    break  # the seed already matches the dual bound
+                fractional_point = any(
+                    options.integrality_tol < value < 1 - options.integrality_tol
+                    for value in x_lp
+                )
+                if not fractional_point:
+                    break
+                if kern is not None:
+                    cuts = kernels.separate_cover_cuts_vec(kern, x_lp)
+                else:
+                    cuts = separate_cover_cuts(core, x_lp)
+                if not cuts:
+                    break
+                cuts_added += len(cuts)
+                core = BIPProblem(
+                    num_vars=core.num_vars,
+                    constraints=core.constraints + cuts,
+                    objective=core.objective,
+                    objective_constant=core.objective_constant,
+                    names=core.names,
+                )
+                if kern is not None:
+                    kern = kernels.compile_problem(core)
+                else:
+                    compiled = CompiledConstraints(core)
+                status_root, lp_value, x_lp = solve_relaxation(
+                    core, root_domains, options.lp_engine
+                )
+                if status_root == "infeasible":
+                    # Cuts are valid for every integer point, so a
+                    # cut-tightened LP going empty proves the instance has
+                    # no integer solution.
+                    span.set("root_cuts", cuts_added).set("prune_cuts", 1)
+                    return Solution(
+                        status="infeasible",
+                        nodes=1,
+                        solve_time=clock.elapsed,
+                        backend="bb",
+                    )
+        span.set("root_cuts", cuts_added).set("root_lp_bound", lp_value)
+
+        root_bound = math.floor(lp_value + 1e-7)
+        heap = [(-root_bound, next(counter), root_domains, x_lp, 0)]
 
     while heap:
         if nodes_processed >= options.node_limit:
@@ -335,12 +428,22 @@ def _solve_max(
         order = (ONE, ZERO) if x_lp[branch_var] >= 0.5 else (ZERO, ONE)
         parent_lp = lp_value
         for value in order:
-            child = list(domains)
-            child[branch_var] = value
-            child = propagate(compiled, child, dirty=compiled.by_var[branch_var])
+            if kern is not None:
+                fixed = domains.copy()
+                fixed[branch_var] = value
+                child = kern.propagate(fixed)
+            else:
+                fixed = list(domains)
+                fixed[branch_var] = value
+                child = propagate(compiled, fixed, dirty=compiled.by_var[branch_var])
             if child is None:
                 prunes["propagation"] += 1
                 continue
+            # Surrogate knapsack bound: prune before paying for an LP solve.
+            if kern is not None and best_obj != -math.inf:
+                if kern.upper_bound(child) <= best_obj:
+                    prunes["kernel_bound"] += 1
+                    continue
             status, child_lp, child_x = solve_relaxation(core, child, options.lp_engine)
             if status == "infeasible":
                 prunes["lp_infeasible"] += 1
@@ -384,9 +487,13 @@ def _solve_max(
         objective=None if best_obj == -math.inf else int(best_obj),
         x=lifted,
         bound=float(proven_bound) if proven_bound != -math.inf else None,
-        nodes=nodes_processed,
+        # A seeded search can close by pruning the root before expanding
+        # anything; evaluating the root still counts as one node (matching
+        # the root-infeasible convention above).
+        nodes=max(nodes_processed, 1),
         solve_time=elapsed,
         backend="bb",
+        seed_incumbent=seed_source,
     )
 
 

@@ -12,6 +12,24 @@ coefficients are normalized by complementing variables
 directions.  Separation is the classical greedy: pick items by LP value
 until the weights exceed the capacity, emit the cut if the LP point
 violates it.
+
+Input/output invariants (the contract the vectorized separator in
+:mod:`repro.solver.kernels` holds parity with):
+
+* ``knapsack_rows`` normalizes every row into ``<=``-form with strictly
+  positive weights: a negative coefficient becomes a *complemented*
+  literal ``x' = 1 - x`` (flag ``complemented=True``), a ``>=`` row is
+  negated, and an ``==`` row contributes **both** directions.  The
+  emitted row order is deterministic (input order, ``==`` yielding
+  ``<=`` before ``>=``) — the kernels compile the identical sequence.
+* Every emitted cut is a **globally valid inequality**: it is satisfied
+  by every 0/1-feasible point of the original problem, not just near
+  the current LP point, so cuts may be kept for the whole search and
+  are safe in either objective space (they never read the objective).
+* Cuts are only *emitted* when the supplied LP point violates them by
+  more than a small tolerance; a cut that would not separate the point
+  is suppressed.  Minimalization only removes items whose removal keeps
+  the set a cover, so it preserves validity.
 """
 
 from __future__ import annotations

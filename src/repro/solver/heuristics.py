@@ -4,6 +4,19 @@ A good early incumbent lets branch-and-bound prune aggressively.  The
 rounding-and-repair heuristic here exploits the structure of LICM
 constraints (short rows, mostly 0/±1 coefficients): round the LP point,
 then greedily flip free variables to mend violated rows.
+
+Input/output invariants (the contract the vectorized kernels and the
+node-0 seeding path rely on):
+
+* ``domains`` uses the :mod:`repro.solver.propagation` encoding
+  (``FREE=-1, ZERO=0, ONE=1``).  Variables fixed by propagation are
+  **never** flipped — a repaired point always agrees with ``domains``.
+* Callers pass problems in whatever objective space they search
+  (branch-and-bound hands over the negated-max form for minimization);
+  the heuristics only read constraints, so the space does not matter.
+* A non-``None`` return is validated against **all** rows via
+  ``problem.is_feasible`` before being handed back — a repaired point is
+  never a silently-infeasible (dead-on-arrival) incumbent.
 """
 
 from __future__ import annotations
@@ -12,6 +25,25 @@ from typing import Optional, Sequence
 
 from repro.solver.model import BIPProblem
 from repro.solver.propagation import FREE, ONE, ZERO
+
+
+def _accept(
+    problem: BIPProblem, x: list[int], domains: Sequence[int]
+) -> Optional[list[int]]:
+    """Final acceptance gate: full-row feasibility + domain agreement.
+
+    The repair loop only flips FREE variables and only returns early when
+    no row is violated, so this *should* be redundant — it exists so a
+    future repair tweak can never hand branch-and-bound an infeasible or
+    domain-contradicting incumbent (which would silently corrupt the
+    reported optimum).
+    """
+    if not problem.is_feasible(x):
+        return None
+    for state, value in zip(domains, x):
+        if state != FREE and state != value:
+            return None
+    return x
 
 
 def round_and_repair(
@@ -32,7 +64,7 @@ def round_and_repair(
     for _ in range(max_passes):
         violated = [c for c in problem.constraints if not c.satisfied_by(x)]
         if not violated:
-            return x
+            return _accept(problem, x, domains)
         progress = False
         for constraint in violated:
             lhs = sum(coef * x[idx] for coef, idx in constraint.terms)
@@ -66,4 +98,29 @@ def round_and_repair(
                 progress = True
         if not progress:
             return None
-    return x if problem.is_feasible(x) else None
+    return _accept(problem, x, domains)
+
+
+def greedy_seed(
+    problem: BIPProblem,
+    domains: Sequence[int],
+    max_passes: Optional[int] = None,
+) -> Optional[list[int]]:
+    """Pure-greedy node-0 incumbent: no LP point required.
+
+    Starts from the objective's preferred corner (1 where the coefficient
+    is positive, 0 elsewhere — in the search's own objective space, so
+    minimization callers pass the negated problem) and lets
+    :func:`round_and_repair` mend violated rows.  Repair flips one bit
+    per violated row per sweep, so cardinality rows ``sum(x) == z`` may
+    need up to ``num_vars`` sweeps to shed their excess: the default
+    pass budget scales with problem size instead of the LP-rounding
+    default of 5.
+    """
+    point = [
+        1.0 if problem.objective.get(i, 0) > 0 else 0.0
+        for i in range(problem.num_vars)
+    ]
+    if max_passes is None:
+        max_passes = max(8, 2 * problem.num_vars)
+    return round_and_repair(problem, point, domains, max_passes=max_passes)

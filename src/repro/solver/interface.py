@@ -17,6 +17,14 @@ from repro.solver.result import Solution, SolverOptions
 # and a session issues dozens of solves — probe once per process.
 _auto_backend: Optional[str] = None
 
+# 'auto' routes problems at or under this size to the own branch-and-bound:
+# with the vectorized kernels and node-0 seeding, small components (the
+# decomposed k-anonymity workload) close at the root faster than a SciPy
+# MILP round-trip — and without even paying the scipy import on the cold
+# path.  Larger, genuinely coupled programs still go to HiGHS.
+AUTO_BB_MAX_VARS = 160
+AUTO_BB_MAX_CONSTRAINTS = 96
+
 
 def _probe_scipy() -> bool:
     """Can we import SciPy's MILP entry point?"""
@@ -34,10 +42,22 @@ def _reset_backend_probe() -> None:
     _auto_backend = None
 
 
-def _resolve_backend(name: str) -> str:
+def _resolve_backend(name: str, problem: Optional[BIPProblem] = None) -> str:
+    """Resolve ``'auto'`` to a concrete backend.
+
+    Size-aware when a ``problem`` is given: small instances go to the
+    kernel-accelerated B&B without probing scipy at all; everything else
+    memoizes one scipy import probe per process.
+    """
     global _auto_backend
     if name != "auto":
         return name
+    if (
+        problem is not None
+        and problem.num_vars <= AUTO_BB_MAX_VARS
+        and problem.num_constraints <= AUTO_BB_MAX_CONSTRAINTS
+    ):
+        return "bb"
     if _auto_backend is None:
         _auto_backend = "scipy" if _probe_scipy() else "bb"
     return _auto_backend
@@ -56,7 +76,7 @@ def solve(
     if sense not in ("max", "min"):
         raise SolverError(f"sense must be 'max' or 'min', got {sense!r}")
     options = options or SolverOptions()
-    backend = _resolve_backend(options.backend)
+    backend = _resolve_backend(options.backend, problem)
     if options.deadline_at is not None:
         # SciPy cannot poll should_stop() mid-solve, and the B&B checks
         # its wall budget anyway: fold the absolute deadline into the

@@ -1,0 +1,441 @@
+"""Vectorized numpy kernels over a compiled :class:`BIPProblem`.
+
+The scalar solver modules (:mod:`repro.solver.propagation`,
+:mod:`repro.solver.cuts`) walk Python tuples per constraint; for the
+branch-and-bound hot loop that cost is paid at *every node*.  This module
+compiles a problem once into CSR-style integer arrays and re-implements
+the per-node primitives as whole-matrix batch operations:
+
+* :meth:`CompiledProblem.propagate` — bound propagation to fixpoint over
+  all rows at once.  Exact integer arithmetic (int64), so its fixpoint and
+  its infeasibility verdict match the scalar worklist bit-for-bit: both
+  compute the closure of the same monotone forcing operator, and monotone
+  closures are confluent (order of application cannot change the result).
+* :meth:`CompiledProblem.upper_bound` — a sound integer upper bound on the
+  *maximization* objective under partial domains, without solving an LP:
+  the best single-row surrogate relaxation (per-row fractional knapsack
+  over the normalized <=-form rows, plus the trivial activity bound).
+  Used to prove greedy seeds optimal at node 0 and to prune children
+  before paying for an LP solve.
+* :func:`separate_cover_cuts_vec` — cover-cut separation whose greedy
+  ordering/prefix phase runs as batch array ops; emits exactly the cuts
+  the scalar :func:`repro.solver.cuts.separate_cover_cuts` would.
+
+The scalar implementations remain the fallback (``SolverOptions.kernels
+= 'off'``, or numpy missing) and the parity oracle for the hypothesis
+suites in ``tests/test_kernels_properties.py``.
+
+Conventions shared with the scalar path: domains use ``FREE=-1, ZERO=0,
+ONE=1``; the search works in negated-max objective space (minimization is
+solved by negating coefficients); all coefficients, bounds and objective
+values are integers, so dual bounds may be floored.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.solver.cuts import _cover_cut, _literal_value
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.propagation import FREE, ONE, ZERO
+
+__all__ = ["CompiledProblem", "compile_problem", "separate_cover_cuts_vec"]
+
+#: same epsilon branch_and_bound uses when flooring fractional bounds
+_FLOOR_EPS = 1e-7
+
+
+def _segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sums of a CSR-ordered value array.
+
+    Uses cumsum-then-diff rather than ``np.add.reduceat`` because reduceat
+    returns the *element* (not 0) for empty segments.
+    """
+    csum = np.concatenate((np.zeros(1, dtype=values.dtype), np.cumsum(values)))
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+class CompiledProblem:
+    """A :class:`BIPProblem` flattened into numpy arrays, built once.
+
+    Two views are compiled:
+
+    * the *constraint view* (``indptr``/``cols``/``coefs``/``rhs`` plus
+      ``check_le``/``check_ge`` masks) drives :meth:`propagate`;
+    * the *knapsack view* normalizes every row into ``<=``-form with
+      positive weights (negative coefficients complement the variable,
+      ``>=`` rows are negated, ``==`` rows contribute both directions —
+      the same normalization as :func:`repro.solver.cuts.knapsack_rows`,
+      in the same order) and drives :meth:`upper_bound` and
+      :func:`separate_cover_cuts_vec`.
+    """
+
+    def __init__(self, problem: BIPProblem):
+        self.problem = problem
+        n = problem.num_vars
+        m = problem.num_constraints
+
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        cols: List[int] = []
+        coefs: List[int] = []
+        rhs = np.zeros(m, dtype=np.int64)
+        check_le = np.zeros(m, dtype=bool)
+        check_ge = np.zeros(m, dtype=bool)
+        for pos, constraint in enumerate(problem.constraints):
+            for coef, idx in constraint.terms:
+                cols.append(idx)
+                coefs.append(coef)
+            indptr[pos + 1] = len(cols)
+            rhs[pos] = constraint.rhs
+            check_le[pos] = constraint.op in ("<=", "==")
+            check_ge[pos] = constraint.op in (">=", "==")
+        self.indptr = indptr
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.coefs = np.asarray(coefs, dtype=np.int64)
+        self.rhs = rhs
+        self.check_le = check_le
+        self.check_ge = check_ge
+        #: row id of each nonzero (CSR row expansion)
+        self.row = np.repeat(np.arange(m, dtype=np.int64), np.diff(indptr))
+
+        #: dense objective vector (constant kept separately)
+        c = np.zeros(n, dtype=np.int64)
+        for idx, coef in problem.objective.items():
+            c[idx] = coef
+        self.c = c
+
+        # ---- knapsack view ------------------------------------------------
+        k_indptr = [0]
+        k_cols: List[int] = []
+        k_w: List[int] = []
+        k_compl: List[bool] = []
+        k_cap: List[int] = []
+
+        def normalize(terms, bound) -> None:
+            capacity = bound
+            start = len(k_cols)
+            for coef, index in terms:
+                if coef > 0:
+                    k_cols.append(index)
+                    k_w.append(coef)
+                    k_compl.append(False)
+                elif coef < 0:
+                    # a*x with a<0  ==  |a|*(1-x) - |a|
+                    k_cols.append(index)
+                    k_w.append(-coef)
+                    k_compl.append(True)
+                    capacity += -coef
+            if len(k_cols) == start:
+                return
+            k_indptr.append(len(k_cols))
+            k_cap.append(capacity)
+
+        for constraint in problem.constraints:
+            if constraint.op in ("<=", "=="):
+                normalize(constraint.terms, constraint.rhs)
+            if constraint.op in (">=", "=="):
+                normalize(
+                    [(-coef, index) for coef, index in constraint.terms],
+                    -constraint.rhs,
+                )
+        self.k_indptr = np.asarray(k_indptr, dtype=np.int64)
+        self.k_cols = np.asarray(k_cols, dtype=np.int64)
+        self.k_w = np.asarray(k_w, dtype=np.int64)
+        self.k_compl = np.asarray(k_compl, dtype=bool)
+        self.k_cap = np.asarray(k_cap, dtype=np.int64)
+        self.k_rows = len(k_cap)
+        self.k_row = np.repeat(
+            np.arange(self.k_rows, dtype=np.int64), np.diff(self.k_indptr)
+        )
+        k_total = _segment_sum(self.k_w, self.k_indptr)
+        #: rows the scalar ``knapsack_rows`` would emit (a cover exists)
+        self.k_coverable = (k_total > self.k_cap) & (self.k_cap >= 0)
+
+        #: constraint-row count per variable — the greedy seed prefers
+        #: flipping low-degree variables (they cannot break other rows)
+        self.var_degree = np.bincount(self.cols, minlength=n).astype(np.int64)
+
+    # -- propagation --------------------------------------------------------
+    def root_domains(self) -> np.ndarray:
+        """A fresh all-FREE domain vector of the right dtype."""
+        return np.full(self.problem.num_vars, FREE, dtype=np.int8)
+
+    def propagate(self, domains: Sequence[int]) -> Optional[np.ndarray]:
+        """Bound propagation to fixpoint; ``None`` on conflict.
+
+        Semantically identical to the scalar
+        :func:`repro.solver.propagation.propagate`: same fixpoint, same
+        infeasibility verdicts (see module docstring for why the sweep
+        order cannot matter).  Each sweep recomputes every row's activity
+        bounds and applies all forcings at once; a sweep that fixes
+        nothing terminates the loop, so at most ``num_vars + 1`` sweeps run.
+        """
+        d = np.array(domains, dtype=np.int8, copy=True)
+        if self.cols.size == 0:
+            return d
+        coefs = self.coefs
+        cols = self.cols
+        rhs_nz = self.rhs[self.row]
+        le_nz = self.check_le[self.row]
+        ge_nz = self.check_ge[self.row]
+        neg_part = np.minimum(coefs, 0)
+        pos_part = np.maximum(coefs, 0)
+
+        while True:
+            vals = d[cols]
+            free = vals == FREE
+            fixed_contrib = np.where(free, 0, coefs * np.maximum(vals, 0))
+            lo_terms = np.where(free, neg_part, fixed_contrib)
+            hi_terms = np.where(free, pos_part, fixed_contrib)
+            lo = _segment_sum(lo_terms, self.indptr)
+            hi = _segment_sum(hi_terms, self.indptr)
+            if np.any((self.check_le & (lo > self.rhs)) | (self.check_ge & (hi < self.rhs))):
+                return None
+
+            # Activity bounds per free nonzero if its variable took 0 / 1.
+            lo0 = lo[self.row] - neg_part
+            hi0 = hi[self.row] - pos_part
+            lo1 = lo0 + coefs
+            hi1 = hi0 + coefs
+            zero_bad = (le_nz & (lo0 > rhs_nz)) | (ge_nz & (hi0 < rhs_nz))
+            one_bad = (le_nz & (lo1 > rhs_nz)) | (ge_nz & (hi1 < rhs_nz))
+            if np.any(free & zero_bad & one_bad):
+                return None
+            force_one = free & zero_bad & ~one_bad
+            force_zero = free & one_bad & ~zero_bad
+            if not force_one.any() and not force_zero.any():
+                return d
+            mask_one = np.zeros(d.shape, dtype=bool)
+            mask_zero = np.zeros(d.shape, dtype=bool)
+            mask_one[cols[force_one]] = True
+            mask_zero[cols[force_zero]] = True
+            if np.any(mask_one & mask_zero):
+                return None
+            d[mask_zero] = ZERO
+            d[mask_one] = ONE
+
+    # -- primal seed --------------------------------------------------------
+    def greedy_seed(
+        self, domains: Sequence[int], max_passes: int = 12
+    ) -> Optional[list]:
+        """Vectorized pure-greedy incumbent attempt (no LP point needed).
+
+        The batch analogue of :func:`repro.solver.heuristics.greedy_seed`:
+        start from the objective's preferred corner, then repair each
+        violated row in bulk — flipping however many free bits that row
+        needs in one sweep (ordered by objective retention per unit of
+        activity), instead of one bit per row per sweep.  Returns a
+        feasible, domain-respecting 0/1 list or ``None``; a non-``None``
+        return is always validated against every row.
+        """
+        d = np.asarray(domains, dtype=np.int8)
+        c = self.c
+        x = np.where(d == FREE, (c > 0).astype(np.int8), np.maximum(d, 0)).astype(
+            np.int64
+        )
+        if self.cols.size == 0:
+            return [int(v) for v in x]
+        for _ in range(max_passes):
+            act = _segment_sum(self.coefs * x[self.cols], self.indptr)
+            violated = np.flatnonzero(
+                (self.check_le & (act > self.rhs))
+                | (self.check_ge & (act < self.rhs))
+            )
+            if violated.size == 0:
+                return [int(v) for v in x]
+            progress = False
+            for r in violated:
+                lo, hi = self.indptr[r], self.indptr[r + 1]
+                cols_r = self.cols[lo:hi]
+                coefs_r = self.coefs[lo:hi]
+                lhs = int(np.sum(coefs_r * x[cols_r]))  # rows may share vars
+                target = int(self.rhs[r])
+                need_lower = bool(self.check_le[r]) and lhs > target
+                need_higher = bool(self.check_ge[r]) and lhs < target
+                if not (need_lower or need_higher):
+                    continue
+                free_r = d[cols_r] == FREE
+                delta = coefs_r * (1 - 2 * x[cols_r])  # activity change if flipped
+                if need_lower:
+                    need = lhs - target
+                    cand = np.flatnonzero(free_r & (delta < 0))
+                    mag = -delta
+                else:
+                    need = target - lhs
+                    cand = np.flatnonzero(free_r & (delta > 0))
+                    mag = delta
+                if cand.size == 0:
+                    continue
+                # Least objective damage per unit of activity change first;
+                # ties go to low-degree variables (flipping a variable that
+                # appears in no other row cannot start a repair oscillation).
+                obj_delta = c[cols_r] * (1 - 2 * x[cols_r])
+                score = obj_delta[cand] / mag[cand]
+                order = cand[np.lexsort((self.var_degree[cols_r[cand]], -score))]
+                got = np.cumsum(mag[order])
+                take = int(np.searchsorted(got, need)) + 1
+                flips = cols_r[order[:take]]
+                x[flips] = 1 - x[flips]
+                progress = True
+            if not progress:
+                return None
+        act = _segment_sum(self.coefs * x[self.cols], self.indptr)
+        ok = not np.any(
+            (self.check_le & (act > self.rhs)) | (self.check_ge & (act < self.rhs))
+        )
+        return [int(v) for v in x] if ok else None
+
+    # -- surrogate dual bound ----------------------------------------------
+    def upper_bound(self, domains: Sequence[int]) -> int:
+        """Sound integer upper bound on ``max c.x + c0`` under ``domains``.
+
+        Only valid for domains that survived :meth:`propagate` (rows must
+        be individually satisfiable).  Starting from the *trivial* bound
+        (fixed contributions plus every free positive coefficient), each
+        knapsack row is given an *improvement*: how far its fractional-
+        knapsack optimum over the row's free literals drops below their
+        trivial contribution (a single-row surrogate relaxation, valid
+        for any feasible point).  Rows whose free variables are pairwise
+        disjoint constrain independent parts of the objective, so their
+        improvements **add**: the bound subtracts a greedily-chosen
+        disjoint set of rows, best improvement first.
+
+        On cardinality-partitioned components (the k-anonymity workload,
+        where subgroup rows tile the group) this matches the LP bound,
+        which is what lets a greedy seed close the node with no LP solve.
+        """
+        d = np.asarray(domains, dtype=np.int8)
+        c = self.c
+        free = d == FREE
+        fixed_contrib = int(np.sum(np.where(free, 0, c * np.maximum(d, 0))))
+        pos_free_total = int(np.sum(np.where(free & (c > 0), c, 0)))
+        trivial = fixed_contrib + pos_free_total
+        best = float(trivial)
+
+        if self.k_rows:
+            dk = d[self.k_cols]
+            freek = dk == FREE
+            ck = c[self.k_cols]
+            fixed_vals = np.maximum(dk, 0)
+            lit_fixed = np.where(self.k_compl, 1 - fixed_vals, fixed_vals)
+            used = np.where(freek, 0, self.k_w * lit_fixed)
+            cap_eff = self.k_cap - _segment_sum(used, self.k_indptr)
+            np.maximum(cap_eff, 0, out=cap_eff)
+
+            # Objective of a free literal l: a + g*l (complemented literals
+            # substitute x = 1 - l).  g<=0 literals sit at l=0, contributing a.
+            a = np.where(self.k_compl, ck, 0)
+            g = np.where(self.k_compl, -ck, ck)
+            base_row = _segment_sum(np.where(freek, a, 0), self.k_indptr)
+            drop_row = _segment_sum(
+                np.where(freek & (ck > 0), ck, 0), self.k_indptr
+            )
+
+            fk = np.zeros(self.k_rows, dtype=np.float64)
+            sel = freek & (g > 0)
+            if sel.any():
+                rows_s = self.k_row[sel]
+                w_s = self.k_w[sel].astype(np.float64)
+                g_s = g[sel].astype(np.float64)
+                order = np.lexsort((-g_s / w_s, rows_s))
+                rows_o = rows_s[order]
+                w_o = w_s[order]
+                g_o = g_s[order]
+                cw = np.cumsum(w_o)
+                first = np.searchsorted(rows_o, np.arange(self.k_rows))
+                start_cum = np.concatenate((np.zeros(1), cw))[first]
+                local = cw - start_cum[rows_o]
+                prev = local - w_o
+                cap_e = cap_eff[rows_o].astype(np.float64)
+                full = local <= cap_e
+                partial = ~full & (prev < cap_e)
+                gains = np.where(full, g_o, 0.0) + np.where(
+                    partial, (cap_e - prev) / w_o * g_o, 0.0
+                )
+                fk = np.bincount(rows_o, weights=gains, minlength=self.k_rows)
+
+            improvement = np.maximum(drop_row - (base_row + fk), 0.0)
+            candidates = np.flatnonzero(improvement > _FLOOR_EPS)
+            if candidates.size:
+                var_used = np.zeros(self.problem.num_vars, dtype=bool)
+                total = 0.0
+                for r in candidates[np.argsort(-improvement[candidates], kind="stable")]:
+                    cols_r = self.k_cols[self.k_indptr[r] : self.k_indptr[r + 1]]
+                    free_cols = cols_r[free[cols_r]]
+                    if free_cols.size == 0 or var_used[free_cols].any():
+                        continue
+                    var_used[free_cols] = True
+                    total += float(improvement[r])
+                best = trivial - total
+        return math.floor(best + _FLOOR_EPS) + self.problem.objective_constant
+
+
+def compile_problem(problem: BIPProblem) -> CompiledProblem:
+    """Compile ``problem`` into CSR arrays (see :class:`CompiledProblem`)."""
+    return CompiledProblem(problem)
+
+
+def separate_cover_cuts_vec(
+    compiled: CompiledProblem,
+    x_lp: Sequence[float],
+    max_cuts: int = 50,
+    violation_tol: float = 1e-4,
+) -> List[BIPConstraint]:
+    """Greedy cover-cut separation; batch ordering, scalar-identical cuts.
+
+    The per-row literal valuation, descending sort, and greedy prefix (the
+    bulk of the scalar cost) run as whole-array operations; only the
+    minimalization of the few *violated* candidate covers stays a narrow
+    Python loop.  Output order, dedup, and the ``max_cuts`` budget match
+    :func:`repro.solver.cuts.separate_cover_cuts` exactly.
+    """
+    if not compiled.k_rows or not compiled.k_coverable.any():
+        return []
+    x = np.asarray(x_lp, dtype=np.float64)
+    v = np.where(compiled.k_compl, 1.0 - x[compiled.k_cols], x[compiled.k_cols])
+    # Stable descending-by-value order within each row: np.lexsort is
+    # stable ascending, so sorting on -v reproduces Python's
+    # sorted(..., reverse=True) tie order.
+    order = np.lexsort((-v, compiled.k_row))
+    rows_o = compiled.k_row[order]
+    w_o = compiled.k_w[order]
+    cw = np.cumsum(w_o)
+    first = np.searchsorted(rows_o, np.arange(compiled.k_rows))
+    start_cum = np.concatenate((np.zeros(1, dtype=cw.dtype), cw))[first]
+    local = cw - start_cum[rows_o]
+    prev = local - w_o
+    member = prev <= compiled.k_cap[rows_o]  # greedy prefix incl. overflow item
+
+    cuts: List[BIPConstraint] = []
+    seen: set = set()
+    boundaries = np.searchsorted(rows_o, np.arange(compiled.k_rows + 1))
+    for r in np.flatnonzero(compiled.k_coverable):
+        lo, hi = boundaries[r], boundaries[r + 1]
+        idxs = order[lo:hi][member[lo:hi]]
+        cover = [
+            (int(compiled.k_w[j]), int(compiled.k_cols[j]), bool(compiled.k_compl[j]))
+            for j in idxs
+        ]
+        weight = sum(item[0] for item in cover)
+        capacity = int(compiled.k_cap[r])
+        if weight <= capacity:
+            continue
+        # Minimalize: drop items whose removal keeps it a cover (scalar order:
+        # stable ascending by literal value).
+        for item in sorted(cover, key=lambda it: _literal_value(it, x)):
+            if weight - item[0] > capacity:
+                cover.remove(item)
+                weight -= item[0]
+        lhs = sum(_literal_value(item, x) for item in cover)
+        if lhs > len(cover) - 1 + violation_tol:
+            cut = _cover_cut(cover)
+            key = (cut.terms, cut.rhs)
+            if key not in seen:
+                seen.add(key)
+                cuts.append(cut)
+                if len(cuts) >= max_cuts:
+                    break
+    return cuts

@@ -7,6 +7,27 @@ are not both compatible with the constraint.  This is the workhorse of both
 presolve and the branch-and-bound nodes — LICM constraints are short
 ("each constraint contains only a very small number of variables", as the
 paper notes), so propagation is cheap and strong.
+
+Input/output invariants (the contract the vectorized kernels hold parity
+with, see :mod:`repro.solver.kernels`):
+
+* Domains are encoded ``FREE=-1, ZERO=0, ONE=1``, one ``int`` per
+  variable.  ``propagate`` never *un*-fixes: every non-``FREE`` entry of
+  the input survives unchanged in the output (or the whole call returns
+  ``None`` for proven infeasibility).  The input list itself is never
+  mutated.
+* The result is the **closure of a monotone forcing operator**: a
+  variable is fixed exactly when one of its two values is incompatible
+  with some row's min/max achievable activity under the current domains.
+  Monotone closures are confluent, so the fixpoint is independent of
+  worklist order — this is why the scalar worklist here and the
+  full-sweep vectorized ``CompiledProblem.propagate`` agree bit-for-bit.
+* Propagation reads only constraints, never the objective, so it is
+  valid in any objective space (branch-and-bound runs it in the
+  negated-max space used for minimization).
+* ``None`` is returned **only** on proven infeasibility: some row cannot
+  be satisfied by any completion of the current domains.  All arithmetic
+  is exact integer arithmetic; there is no tolerance.
 """
 
 from __future__ import annotations

@@ -29,6 +29,11 @@ class Solution:
     nodes: int = 0
     solve_time: float = 0.0
     backend: str = ""
+    #: provenance of the node-0 incumbent seed the B&B installed before
+    #: search, if any: ``'greedy'`` (pure-greedy point, pre-LP) or
+    #: ``'lp_round'`` (rounded root LP point).  ``None`` when seeding is
+    #: disabled, produced nothing, or the backend does not seed (SciPy).
+    seed_incumbent: Optional[str] = None
 
     @property
     def gap(self) -> Optional[float]:
@@ -76,6 +81,18 @@ class SolverOptions:
     per component — see :mod:`repro.solver.decompose` and docs/solver.md.
     A no-op for genuinely coupled problems; ``--no-decompose`` on the
     ``serve`` and ``experiments`` CLIs turns it off.
+
+    ``kernels`` selects the B&B's inner loops: ``'auto'`` uses the
+    vectorized numpy kernels (:mod:`repro.solver.kernels`) when numpy is
+    importable, ``'on'`` requires them, ``'off'`` forces the scalar
+    worklist paths (the parity oracle).  ``seed_incumbent`` installs a
+    greedy node-0 incumbent before search (see docs/solver.md).
+
+    ``portfolio`` (``'off'``/``'auto'``) races the own B&B against the
+    SciPy HiGHS backend per solve, first conclusive finisher wins — see
+    :mod:`repro.engine.portfolio`.  Honoured by the engine's execution
+    path (fabric workers run both arms inside one unit); plain
+    :func:`repro.solver.interface.solve` ignores it.
     """
 
     backend: str = "auto"
@@ -89,6 +106,9 @@ class SolverOptions:
     cut_rounds: int = 3  # rounds of root cover-cut separation (0 disables)
     integrality_tol: float = 1e-6
     enable_decomposition: bool = True
+    kernels: str = "auto"  # 'auto' | 'on' | 'off' — vectorized B&B inner loops
+    seed_incumbent: bool = True  # greedy node-0 incumbent before search
+    portfolio: str = "off"  # 'off' | 'auto' — race bb vs scipy per solve
     stop_check: Optional[Callable[[], bool]] = field(
         default=None, repr=False, compare=False
     )

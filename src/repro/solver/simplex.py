@@ -6,6 +6,20 @@ solver.  It is deliberately simple — dense tableau, Bland's anti-cycling
 rule — and is used as the fallback/ablation LP engine and as a correctness
 cross-check against SciPy's HiGHS in the tests.  For the large benchmark
 instances the branch-and-bound defaults to HiGHS.
+
+Input/output invariants:
+
+* ``solve_lp`` **maximizes**.  Branch-and-bound solves minimization by
+  negating the objective (the "negated-max" space) and negating the
+  value back; this module never sees a ``sense`` flag.
+* Box bounds default to ``[0, 1]`` per variable, matching the BIP
+  relaxation; with finite boxes, unboundedness is impossible, so the
+  status is exactly ``'optimal'`` or ``'infeasible'``.
+* On ``'optimal'`` the returned ``x`` satisfies every constraint and
+  box bound to within ``_EPS`` (floating point — callers that need
+  exactness, e.g. the dual-bound floor, must round defensively); on
+  ``'infeasible'`` the point is ``None``.
+* The input ``objective``/``constraints`` sequences are never mutated.
 """
 
 from __future__ import annotations

@@ -127,10 +127,14 @@ def test_node_selection_rules_agree(selection):
 
 def test_node_limit_reports_limit_status():
     # A problem with enough symmetry to need > 1 node, with node_limit=0.
+    # Node-0 seeding is disabled: it would prove this instance optimal
+    # before the search (and its node limit) is ever consulted.
     problem = _problem(
         [(((2, 0), (2, 1), (2, 2)), "<=", 3)], 3, {0: 1, 1: 1, 2: 1}
     )
-    options = SolverOptions(backend="bb", node_limit=0, use_presolve=False)
+    options = SolverOptions(
+        backend="bb", node_limit=0, use_presolve=False, seed_incumbent=False
+    )
     solution = solve(problem, "max", options)
     assert solution.status == "limit"
     assert solution.bound is not None

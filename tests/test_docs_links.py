@@ -104,3 +104,32 @@ def test_architecture_map_links_every_module():
         if os.path.normpath(os.path.join(src, name)) not in targets
     ]
     assert not missing, f"docs/architecture.md does not link module dirs: {missing}"
+
+
+def test_performance_guide_covers_every_bench_artifact():
+    """docs/performance.md is the consolidated index of committed
+    benchmark artifacts: every BENCH_*.json in the repo must be
+    explained there, and the page must be reachable from both the
+    top-level README and the docs index."""
+    perf = os.path.join(REPO_ROOT, "docs", "performance.md")
+    assert os.path.isfile(perf), "docs/performance.md is missing"
+    with open(perf, encoding="utf-8") as handle:
+        text = handle.read()
+
+    artifacts = sorted(
+        name
+        for base in (REPO_ROOT, os.path.join(REPO_ROOT, "benchmarks"))
+        for name in os.listdir(base)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    assert artifacts, "no BENCH_*.json artifacts found — wrong repo root?"
+    unexplained = [name for name in artifacts if name not in text]
+    assert not unexplained, (
+        f"docs/performance.md does not cover benchmark artifacts: {unexplained}"
+    )
+
+    for index in ("README.md", os.path.join("docs", "README.md")):
+        with open(os.path.join(REPO_ROOT, index), encoding="utf-8") as handle:
+            assert "performance.md" in handle.read(), (
+                f"{index} does not link docs/performance.md"
+            )

@@ -252,7 +252,7 @@ def test_l2_survives_scheduler_restart(tmp_path, monkeypatch):
     def no_solver(problem, sense, options):
         raise AssertionError("restart should answer from L2, not re-solve")
 
-    monkeypatch.setattr(fabric_module, "solve", no_solver)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", no_solver)
     # drop the memoized handle so the "restarted" session reopens the file
     fabric_module._L2_HANDLES.clear()
     model2, objective2 = _objective()  # same model rebuilt from scratch

@@ -1,0 +1,212 @@
+"""Unit tests for the vectorized solver kernels (repro.solver.kernels).
+
+The hypothesis cross-checks against the scalar oracles live in
+tests/test_kernels_properties.py; these pin concrete behaviors: the CSR
+compile layout, propagation forcing/conflict cases, bound soundness on
+enumerable problems, seed validity, and cut parity at fixed LP points.
+"""
+
+from itertools import product as iter_product
+
+import numpy as np
+import pytest
+
+from repro.solver import kernels
+from repro.solver.cuts import separate_cover_cuts
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.propagation import FREE, ONE, ZERO
+
+
+def _problem(constraints, num_vars, objective, constant=0):
+    return BIPProblem(
+        num_vars=num_vars,
+        constraints=[BIPConstraint(tuple(t), op, rhs) for t, op, rhs in constraints],
+        objective=objective,
+        objective_constant=constant,
+    )
+
+
+def _brute_max(problem, domains=None):
+    best = None
+    for bits in iter_product((0, 1), repeat=problem.num_vars):
+        if domains is not None and any(
+            d != FREE and d != b for d, b in zip(domains, bits)
+        ):
+            continue
+        if problem.is_feasible(list(bits)):
+            value = problem.objective_value(list(bits))
+            best = value if best is None else max(best, value)
+    return best
+
+
+def test_compile_csr_layout():
+    problem = _problem(
+        [
+            (((2, 0), (-1, 2)), "<=", 1),
+            (((1, 1),), ">=", 1),
+            (((1, 0), (1, 1), (1, 2)), "==", 2),
+        ],
+        3,
+        {0: 5, 2: -3},
+    )
+    compiled = kernels.compile_problem(problem)
+    assert compiled.indptr.tolist() == [0, 2, 3, 6]
+    assert compiled.cols.tolist() == [0, 2, 1, 0, 1, 2]
+    assert compiled.coefs.tolist() == [2, -1, 1, 1, 1, 1]
+    assert compiled.rhs.tolist() == [1, 1, 2]
+    assert compiled.check_le.tolist() == [True, False, True]
+    assert compiled.check_ge.tolist() == [False, True, True]
+    assert compiled.row.tolist() == [0, 0, 1, 2, 2, 2]
+    assert compiled.c.tolist() == [5, 0, -3]
+    # every variable's constraint-row count (the seed tie-breaker)
+    assert compiled.var_degree.tolist() == [2, 2, 2]
+
+
+def test_knapsack_view_normalization():
+    # -2*x0 + 3*x1 <= 1 complements x0: weights (2, 3), capacity 1 + 2 = 3.
+    problem = _problem([(((-2, 0), (3, 1)), "<=", 1)], 2, {})
+    compiled = kernels.compile_problem(problem)
+    assert compiled.k_rows == 1
+    assert compiled.k_w.tolist() == [2, 3]
+    assert compiled.k_compl.tolist() == [True, False]
+    assert compiled.k_cap.tolist() == [3]
+    # total weight 5 > capacity 3 >= 0: a cover exists
+    assert compiled.k_coverable.tolist() == [True]
+
+
+def test_equality_contributes_both_knapsack_directions():
+    problem = _problem([(((1, 0), (1, 1)), "==", 1)], 2, {})
+    compiled = kernels.compile_problem(problem)
+    # <=-side as-is, >=-side negated (both literals complemented).
+    assert compiled.k_rows == 2
+    assert compiled.k_cap.tolist() == [1, 1]
+    assert compiled.k_compl.tolist() == [False, False, True, True]
+
+
+def test_root_domains_all_free():
+    compiled = kernels.compile_problem(_problem([], 4, {}))
+    domains = compiled.root_domains()
+    assert domains.dtype == np.int8
+    assert (domains == FREE).all()
+
+
+def test_propagate_forces_and_cascades():
+    # x0 + x1 >= 2 forces both; then x0 + x2 <= 1 forces x2 = 0.
+    problem = _problem(
+        [(((1, 0), (1, 1)), ">=", 2), (((1, 0), (1, 2)), "<=", 1)], 3, {}
+    )
+    compiled = kernels.compile_problem(problem)
+    result = compiled.propagate(compiled.root_domains())
+    assert result.tolist() == [ONE, ONE, ZERO]
+
+
+def test_propagate_detects_conflict():
+    problem = _problem(
+        [(((1, 0),), ">=", 1), (((1, 0),), "<=", 0)], 1, {}
+    )
+    compiled = kernels.compile_problem(problem)
+    assert compiled.propagate(compiled.root_domains()) is None
+
+
+def test_propagate_respects_fixed_domains():
+    problem = _problem([(((1, 0), (1, 1)), "<=", 1)], 2, {})
+    compiled = kernels.compile_problem(problem)
+    result = compiled.propagate(np.array([ONE, FREE], dtype=np.int8))
+    assert result.tolist() == [ONE, ZERO]
+
+
+def test_upper_bound_sound_and_tight_on_cardinality_row():
+    # max 3x0 + 4x1 + 5x2 s.t. x0 + x1 + x2 <= 1: true optimum 5.
+    problem = _problem(
+        [(((1, 0), (1, 1), (1, 2)), "<=", 1)], 3, {0: 3, 1: 4, 2: 5}
+    )
+    compiled = kernels.compile_problem(problem)
+    bound = compiled.upper_bound(compiled.root_domains())
+    assert bound >= _brute_max(problem) == 5
+    # The single-row fractional knapsack is exact here (unit weights).
+    assert bound == 5
+
+
+def test_upper_bound_includes_constant_and_fixed_vars():
+    problem = _problem([], 2, {0: 3, 1: -2}, constant=10)
+    compiled = kernels.compile_problem(problem)
+    domains = np.array([ONE, ONE], dtype=np.int8)
+    assert compiled.upper_bound(domains) == 3 - 2 + 10
+
+
+def test_upper_bound_adds_disjoint_row_improvements():
+    # Two disjoint cardinality groups: bound must subtract both drops.
+    problem = _problem(
+        [
+            (((1, 0), (1, 1)), "<=", 1),
+            (((1, 2), (1, 3)), "<=", 1),
+        ],
+        4,
+        {0: 2, 1: 2, 2: 3, 3: 3},
+    )
+    compiled = kernels.compile_problem(problem)
+    assert compiled.upper_bound(compiled.root_domains()) == 5 == _brute_max(problem)
+
+
+def test_greedy_seed_feasible_and_domain_respecting():
+    problem = _problem(
+        [
+            (((1, 0), (1, 1), (1, 2)), "<=", 1),
+            (((1, 2), (1, 3)), ">=", 1),
+        ],
+        4,
+        {0: 5, 1: 4, 2: 3, 3: 1},
+    )
+    compiled = kernels.compile_problem(problem)
+    domains = np.array([FREE, ZERO, FREE, FREE], dtype=np.int8)
+    seed = compiled.greedy_seed(domains)
+    assert seed is not None
+    assert problem.is_feasible(seed)
+    assert seed[1] == 0  # fixed variables are never flipped
+
+
+def test_greedy_seed_gives_up_cleanly():
+    # Infeasible under the given domains: no point exists, must be None.
+    problem = _problem([(((1, 0), (1, 1)), ">=", 2)], 2, {})
+    compiled = kernels.compile_problem(problem)
+    assert compiled.greedy_seed(np.array([ZERO, FREE], dtype=np.int8)) is None
+
+
+@pytest.mark.parametrize(
+    "x_lp",
+    [
+        [0.5, 0.5, 0.5],
+        [1.0, 0.9, 0.0],
+        [0.34, 0.33, 0.33],
+    ],
+)
+def test_cover_cuts_match_scalar(x_lp):
+    problem = _problem(
+        [
+            (((3, 0), (4, 1), (5, 2)), "<=", 7),
+            (((-2, 0), (3, 2)), "<=", 1),
+        ],
+        3,
+        {0: 3, 1: 4, 2: 5},
+    )
+    compiled = kernels.compile_problem(problem)
+    vec = kernels.separate_cover_cuts_vec(compiled, x_lp)
+    scalar = separate_cover_cuts(problem, x_lp)
+    assert [(c.terms, c.op, c.rhs) for c in vec] == [
+        (c.terms, c.op, c.rhs) for c in scalar
+    ]
+
+
+def test_cover_cuts_are_valid_inequalities():
+    problem = _problem(
+        [(((3, 0), (4, 1), (5, 2), (2, 3)), "<=", 8)], 4, {i: 1 for i in range(4)}
+    )
+    compiled = kernels.compile_problem(problem)
+    cuts = kernels.separate_cover_cuts_vec(compiled, [0.9, 0.8, 0.7, 0.6])
+    assert cuts  # this fractional point must be separable
+    for bits in iter_product((0, 1), repeat=4):
+        if not problem.is_feasible(list(bits)):
+            continue
+        for cut in cuts:
+            lhs = sum(coef * bits[idx] for coef, idx in cut.terms)
+            assert lhs <= cut.rhs, (cut, bits)

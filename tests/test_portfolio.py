@@ -1,0 +1,193 @@
+"""Backend portfolio racing (repro.engine.portfolio).
+
+Contracts under test:
+
+* ``portfolio='off'`` is a pure passthrough to the facade ``solve()``;
+* a race returns the same optimum/status as each arm run alone;
+* the losing arm is stopped cooperatively (B&B) or abandoned (SciPy) and
+  its result can never reach the caller or the L2 cache — even when it
+  is slow *and wrong*;
+* wins are recorded on the ``repro_solver_portfolio_wins_total`` counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.engine import portfolio
+from repro.engine.fabric import SolveUnit, run_unit
+from repro.engine.l2cache import L2SolveCache
+from repro.engine.portfolio import portfolio_solve
+from repro.obs.export import global_registry
+from repro.solver.interface import solve
+from repro.solver.model import BIPConstraint, BIPProblem
+from repro.solver.result import Solution, SolverOptions
+
+
+def _knapsack():
+    return BIPProblem(
+        num_vars=3,
+        constraints=[BIPConstraint(((3, 0), (4, 1), (5, 2)), "<=", 7)],
+        objective={0: 3, 1: 4, 2: 5},
+    )
+
+
+def _infeasible():
+    return BIPProblem(
+        num_vars=1,
+        constraints=[BIPConstraint(((1, 0),), ">=", 2)],
+        objective={0: 1},
+    )
+
+
+def _wins_total() -> float:
+    counter = global_registry().counter(
+        "solver_portfolio_wins_total", "Portfolio races won, by backend arm"
+    )
+    return sum(counter.series.values())
+
+
+def test_portfolio_off_is_passthrough():
+    problem = _knapsack()
+    options = SolverOptions(backend="bb", portfolio="off")
+    direct = solve(problem, "max", options)
+    via_portfolio = portfolio_solve(problem, "max", options)
+    assert (via_portfolio.status, via_portfolio.objective) == (
+        direct.status,
+        direct.objective,
+    )
+
+
+@pytest.mark.parametrize("sense", ["max", "min"])
+def test_race_matches_each_arm_alone(sense):
+    pytest.importorskip("scipy.optimize")
+    problem = _knapsack()
+    bb = solve(problem, sense, SolverOptions(backend="bb"))
+    scipy_arm = solve(problem, sense, SolverOptions(backend="scipy"))
+    raced = portfolio_solve(problem, sense, SolverOptions(portfolio="auto"))
+    assert raced.status == "optimal"
+    assert raced.objective == bb.objective == scipy_arm.objective
+    assert raced.backend in ("bb", "scipy")
+
+
+def test_race_agrees_on_infeasibility():
+    pytest.importorskip("scipy.optimize")
+    raced = portfolio_solve(_infeasible(), "max", SolverOptions(portfolio="auto"))
+    assert raced.status == "infeasible"
+
+
+def test_race_increments_wins_counter():
+    pytest.importorskip("scipy.optimize")
+    before = _wins_total()
+    portfolio_solve(_knapsack(), "max", SolverOptions(portfolio="auto"))
+    assert _wins_total() == before + 1
+
+
+def test_losing_bb_arm_is_stopped_cooperatively(monkeypatch):
+    pytest.importorskip("scipy.optimize")
+    problem = _knapsack()
+    loser_stopped = threading.Event()
+
+    def fake_arm(p, sense, options):
+        if options.backend == "scipy":
+            return Solution(status="optimal", objective=7, x=[1, 1, 0], backend="scipy")
+        # A "stuck" B&B arm: spins until the race tells it to stand down.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if options.should_stop():
+                loser_stopped.set()
+                return Solution(status="limit", backend="bb")
+            time.sleep(0.002)
+        return Solution(status="optimal", objective=999, backend="bb")
+
+    monkeypatch.setattr(portfolio, "_solve_arm", fake_arm)
+    t0 = time.monotonic()
+    raced = portfolio_solve(problem, "max", SolverOptions(portfolio="auto"))
+    assert raced.objective == 7
+    assert raced.backend == "scipy"
+    assert time.monotonic() - t0 < 5.0  # won without waiting out the loser
+    assert loser_stopped.wait(timeout=5.0)  # and the loser actually stopped
+
+
+def test_caller_stop_sources_still_work_in_the_race(monkeypatch):
+    pytest.importorskip("scipy.optimize")
+    seen = {}
+
+    real_arm = portfolio._solve_arm
+
+    def spy_arm(p, sense, options):
+        if options.backend == "bb":
+            # The combined closure must still consult the caller's check.
+            seen["caller_consulted"] = options.should_stop()
+        return real_arm(p, sense, options)
+
+    monkeypatch.setattr(portfolio, "_solve_arm", spy_arm)
+    options = SolverOptions(portfolio="auto", stop_check=lambda: True)
+    raced = portfolio_solve(_knapsack(), "max", options)
+    assert seen["caller_consulted"] is True
+    # SciPy cannot poll, so the race still concludes via the other arm.
+    assert raced.status in ("optimal", "limit")
+
+
+def test_inconclusive_race_returns_better_incumbent(monkeypatch):
+    def fake_arm(p, sense, options):
+        if options.backend == "scipy":
+            return Solution(status="limit", objective=5, backend="scipy")
+        return Solution(status="limit", objective=6, backend="bb")
+
+    monkeypatch.setattr(portfolio, "_solve_arm", fake_arm)
+    monkeypatch.setattr(portfolio, "_scipy_available", lambda: True)
+    assert portfolio_solve(_knapsack(), "max", SolverOptions(portfolio="auto")).objective == 6
+    assert portfolio_solve(_knapsack(), "min", SolverOptions(portfolio="auto")).objective == 5
+
+
+def test_cancelled_loser_does_not_corrupt_cache(tmp_path, monkeypatch):
+    """A slow and WRONG losing arm must never reach the L2 cache.
+
+    The winner's solution is stored; the loser keeps running after the
+    race returns (abandoned daemon thread) — even once it finishes, the
+    cache entry must still be the winner's.
+    """
+    problem = _knapsack()
+    correct = solve(problem, "max", SolverOptions(backend="bb"))
+    loser_finished = threading.Event()
+
+    def fake_arm(p, sense, options):
+        if options.backend == "scipy":
+            time.sleep(0.3)  # loses the race …
+            loser_finished.set()
+            return Solution(  # … and is wrong on top of it
+                status="optimal", objective=10**6, x=[1, 1, 1], backend="scipy"
+            )
+        return dataclasses.replace(correct)
+
+    monkeypatch.setattr(portfolio, "_solve_arm", fake_arm)
+    monkeypatch.setattr(portfolio, "_scipy_available", lambda: True)
+
+    l2_path = str(tmp_path / "l2.sqlite")
+    unit = SolveUnit(
+        problem=problem,
+        sense="max",
+        fingerprint="portfolio-test",
+        var_order=(0, 1, 2),
+        dense={0: 0, 1: 1, 2: 2},
+        options=SolverOptions(backend="bb", portfolio="auto"),
+        l2_path=l2_path,
+    )
+    result = run_unit(unit)
+    assert result.status == "optimal"
+    assert result.objective == correct.objective == 7
+    assert result.backend == "bb"
+
+    entry = L2SolveCache(l2_path).get("portfolio-test", "max")
+    assert entry is not None and entry.objective == 7
+    # Let the abandoned loser finish, then re-check: still the winner's.
+    assert loser_finished.wait(timeout=5.0)
+    time.sleep(0.05)
+    entry = L2SolveCache(l2_path).get("portfolio-test", "max")
+    assert entry is not None and entry.objective == 7
+    assert entry.backend == "bb"

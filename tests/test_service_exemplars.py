@@ -24,7 +24,7 @@ from repro.obs.tracer import Tracer, activate
 from repro.service.api import STATUS_DEGRADED, STATUS_OK, QueryRequest
 from repro.service.scheduler import QueryScheduler
 
-REAL_SOLVE = fabric_module.solve
+REAL_SOLVE = fabric_module.portfolio_solve
 
 
 @pytest.fixture(scope="module")
@@ -107,7 +107,7 @@ def test_deduped_follower_gets_its_own_exemplar(scheduler, monkeypatch):
         time.sleep(0.25)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(fabric_module, "solve", slow_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", slow_solve)
     request_a = QueryRequest(query="Q1", params={"pb_selectivity": 0.52})
     request_b = QueryRequest(query="Q1", params={"pb_selectivity": 0.52})
     pending = [scheduler.submit(request_a), scheduler.submit(request_b)]
@@ -148,7 +148,7 @@ def test_worker_thread_is_tagged_with_trace_id_during_solve(scheduler, monkeypat
         tags.append(_THREAD_TRACES.get(threading.get_ident()))
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(fabric_module, "solve", spying_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", spying_solve)
     response = scheduler.execute(
         QueryRequest(query="Q1", params={"pb_selectivity": 0.45})
     )

@@ -28,7 +28,7 @@ from repro.service.api import (
 )
 from repro.service.scheduler import QueryScheduler
 
-REAL_SOLVE = fabric_module.solve
+REAL_SOLVE = fabric_module.portfolio_solve
 
 
 @pytest.fixture(scope="module")
@@ -101,7 +101,7 @@ def test_admission_queue_full_rejects(context, monkeypatch):
         release.wait(timeout=10.0)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(fabric_module, "solve", stalled_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", stalled_solve)
     with QueryScheduler(context, workers=1, max_queue=1) as sched:
         sched.warm([("km", 2)])
         # Occupy the only worker (a fresh key so the solve really runs) …
@@ -129,7 +129,7 @@ def test_close_answers_queued_requests_and_refuses_new_ones(context, monkeypatch
         release.wait(timeout=10.0)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(fabric_module, "solve", stalled_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", stalled_solve)
     sched = QueryScheduler(context, workers=1, max_queue=4)
     sched.warm([("km", 2)])
     busy = sched.submit(QueryRequest(query="Q1", params={"pb_selectivity": 0.44}))
@@ -160,7 +160,7 @@ def test_two_concurrent_identical_requests_cost_one_solve(scheduler, monkeypatch
         time.sleep(0.25)
         return REAL_SOLVE(problem, sense, options)
 
-    monkeypatch.setattr(fabric_module, "solve", slow_counting_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", slow_counting_solve)
     request_a = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
     request_b = QueryRequest(query="Q1", params={"pb_selectivity": 0.51})
     pending = [scheduler.submit(request_a), scheduler.submit(request_b)]
@@ -209,13 +209,16 @@ def test_slow_solver_is_cancelled_and_degrades(scheduler, monkeypatch):
                 break
             time.sleep(0.005)
         # A zero node budget forces a truncated (inexact) solution, exactly
-        # like a deadline firing inside the branch-and-bound loop.
+        # like a deadline firing inside the branch-and-bound loop.  Seeding
+        # must be off: the node-0 seed shortcut can prove optimality before
+        # the node limit is ever consulted.
         truncated = dataclasses.replace(
-            options, stop_check=None, deadline_at=None, cancel=None, node_limit=0
+            options, stop_check=None, deadline_at=None, cancel=None,
+            node_limit=0, seed_incumbent=False,
         )
         return REAL_SOLVE(problem, sense, truncated)
 
-    monkeypatch.setattr(fabric_module, "solve", dawdling_solve)
+    monkeypatch.setattr(fabric_module, "portfolio_solve", dawdling_solve)
     response = scheduler.execute(
         QueryRequest(
             query="Q1", params={"pb_selectivity": 0.61},
